@@ -1,0 +1,136 @@
+package liger_test
+
+// One benchmark per paper table/figure: each regenerates its
+// table/figure (quick fidelity) through the same code paths as
+// cmd/ligerbench, so `go test -bench=.` exercises the full evaluation
+// pipeline. Custom metrics surface the headline numbers: Liger's
+// saturated-throughput gain over Intra-Op and its latency reduction
+// against the pipeline baselines.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"liger/internal/bench"
+	"liger/internal/core"
+	"liger/internal/hw"
+	"liger/internal/liger"
+	"liger/internal/model"
+	"liger/internal/serve"
+)
+
+// quickCfg keeps per-iteration work small enough for testing.B.
+func quickCfg() bench.RunConfig {
+	return bench.RunConfig{Batches: 60, Quick: true, Seed: 1}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := quickCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(cfg, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)     { runExperiment(b, "table1") }
+func BenchmarkFig03(b *testing.B)      { runExperiment(b, "fig3") }
+func BenchmarkFig04(b *testing.B)      { runExperiment(b, "fig4") }
+func BenchmarkFig09(b *testing.B)      { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)      { runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)      { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)      { runExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)      { runExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)      { runExperiment(b, "fig14") }
+func BenchmarkContention(b *testing.B) { runExperiment(b, "contention") }
+func BenchmarkChannels(b *testing.B)   { runExperiment(b, "channels") }
+
+// serveOnce runs one serving point and returns the result.
+func serveOnce(b *testing.B, node hw.Node, spec model.Spec, kind core.RuntimeKind, rate float64, batches int) serve.Result {
+	b.Helper()
+	eng, err := core.NewEngine(core.Options{Node: node, Model: spec, Runtime: kind})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace, err := serve.Generate(serve.TraceConfig{
+		Batches: batches, BatchSize: 2, RatePerSec: rate,
+		MinSeq: 16, MaxSeq: 128, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := eng.Serve(trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkHeadlineV100 reports the paper's headline comparison on the
+// V100 node as custom metrics (liger-vs-intra throughput ratio and
+// liger-vs-inter latency ratio).
+func BenchmarkHeadlineV100(b *testing.B) {
+	node := hw.V100Node()
+	spec := model.OPT30B()
+	var thrGain, latRatio float64
+	for i := 0; i < b.N; i++ {
+		ligerSat := serveOnce(b, node, spec, core.KindLiger, 30, 80)
+		intraSat := serveOnce(b, node, spec, core.KindIntraOp, 30, 80)
+		ligerLat := serveOnce(b, node, spec, core.KindLiger, 12, 80)
+		interLat := serveOnce(b, node, spec, core.KindInterOp, 12, 80)
+		thrGain = ligerSat.ThroughputBatches() / intraSat.ThroughputBatches()
+		latRatio = float64(ligerLat.AvgLatency) / float64(interLat.AvgLatency)
+	}
+	b.ReportMetric(thrGain, "thrX-vs-intra")
+	b.ReportMetric(latRatio, "latFrac-vs-inter")
+}
+
+// BenchmarkHeadlineA100 is the A100/PCIe headline comparison.
+func BenchmarkHeadlineA100(b *testing.B) {
+	node := hw.A100Node()
+	spec := model.OPT30B()
+	var thrGain float64
+	for i := 0; i < b.N; i++ {
+		ligerSat := serveOnce(b, node, spec, core.KindLiger, 45, 80)
+		intraSat := serveOnce(b, node, spec, core.KindIntraOp, 45, 80)
+		thrGain = ligerSat.ThroughputBatches() / intraSat.ThroughputBatches()
+	}
+	b.ReportMetric(thrGain, "thrX-vs-intra")
+}
+
+// BenchmarkSchedulerRound measures the cost of one scheduling round on
+// the simulated node (scheduler overhead, not modeled GPU time).
+func BenchmarkSchedulerRound(b *testing.B) {
+	node := hw.V100Node()
+	spec := model.Tiny()
+	eng, err := core.NewEngine(core.Options{Node: node, Model: spec, Runtime: core.KindLiger,
+		Liger: liger.DefaultConfig("v100"), LigerSet: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := make([]serve.Arrival, b.N)
+	gap := time.Duration(50 * time.Microsecond)
+	for i := range trace {
+		trace[i] = serve.Arrival{
+			At:       time.Duration(i) * gap,
+			Workload: model.Workload{Batch: 2, SeqLen: 16, Phase: model.Context},
+		}
+	}
+	b.ResetTimer()
+	if _, err := eng.Serve(trace); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkFig06(b *testing.B)         { runExperiment(b, "fig6") }
+func BenchmarkSplitStrategy(b *testing.B) { runExperiment(b, "splitstrategy") }
+func BenchmarkRobustness(b *testing.B)    { runExperiment(b, "robustness") }
+func BenchmarkAdaptive(b *testing.B)      { runExperiment(b, "adaptive") }
+func BenchmarkStraggler(b *testing.B)     { runExperiment(b, "straggler") }

@@ -1,0 +1,60 @@
+// Command ligerbench regenerates the paper's tables and figures on the
+// simulated testbeds.
+//
+//	ligerbench -list
+//	ligerbench -exp fig10 -batches 300
+//	ligerbench -exp all > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"liger/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ligerbench: ")
+
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		batches = flag.Int("batches", 150, "batch arrivals per data point (paper: 2000)")
+		quick   = flag.Bool("quick", false, "trim sweeps to a few points")
+		seed    = flag.Int64("seed", 1, "trace random seed")
+		csvDir  = flag.String("csv", "", "also write per-panel CSV sweep data into this directory")
+		plotDir = flag.String("plots", "", "also render per-panel SVG charts into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-11s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.RunConfig{Batches: *batches, Quick: *quick, Seed: *seed, CSVDir: *csvDir, PlotDir: *plotDir}
+	var exps []bench.Experiment
+	if *exp == "all" {
+		exps = bench.Experiments()
+	} else {
+		e, err := bench.ByID(*exp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exps = []bench.Experiment{e}
+	}
+	for _, e := range exps {
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(cfg, os.Stdout); err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

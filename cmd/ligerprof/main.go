@@ -1,0 +1,114 @@
+// Command ligerprof runs Liger's offline preprocessing procedure
+// (Fig. 5): it profiles solo kernel durations for a model/workload on a
+// node and measures the contention factors (§3.5), emitting a JSON
+// profile. The runtime trace is what the function assembler's duration
+// fields come from; the contention factor feeds the scheduling
+// algorithm.
+//
+//	ligerprof -node v100 -model OPT-30B -batch 2 -seq 64 > profile.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"liger/internal/gpusim"
+	"liger/internal/hw"
+	"liger/internal/model"
+	"liger/internal/nccl"
+	"liger/internal/parallel"
+	"liger/internal/trace"
+)
+
+// kernelProfile is one profiled kernel.
+type kernelProfile struct {
+	Name       string        `json:"name"`
+	Class      string        `json:"class"`
+	Duration   time.Duration `json:"duration_ns"`
+	Collective bool          `json:"collective,omitempty"`
+	Bytes      int64         `json:"bytes,omitempty"`
+}
+
+// profile is the emitted document.
+type profile struct {
+	Node             string          `json:"node"`
+	Model            string          `json:"model"`
+	Batch            int             `json:"batch"`
+	SeqLen           int             `json:"seq_len"`
+	Kernels          []kernelProfile `json:"kernels"`
+	ContentionFactor float64         `json:"contention_factor"`
+	ComputeFactor    float64         `json:"compute_factor"`
+	CommFactor       float64         `json:"comm_factor"`
+	PairsProfiled    int             `json:"pairs_profiled"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ligerprof: ")
+	var (
+		nodeName  = flag.String("node", "v100", "node preset: v100 or a100")
+		modelName = flag.String("model", "OPT-30B", "model to profile")
+		batch     = flag.Int("batch", 2, "batch size")
+		seq       = flag.Int("seq", 64, "sequence length")
+		layersOne = flag.Bool("onelayer", true, "profile a single layer (models stack identical layers)")
+	)
+	flag.Parse()
+
+	node, err := hw.Preset(*nodeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := model.ByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profiled := spec
+	if *layersOne {
+		profiled = spec.WithLayers(1)
+	}
+	comp := parallel.NewCompiler(node, nccl.Config{ReducedChannels: true})
+	w := model.Workload{Batch: *batch, SeqLen: *seq, Phase: model.Context}
+	kernels, err := comp.IntraOp(profiled, node.NumGPUs, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	durs, err := trace.SoloProfile(node, kernels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc := profile{Node: node.Name, Model: spec.Name, Batch: *batch, SeqLen: *seq}
+	var computeKs, commKs []parallel.KernelDesc
+	for i, k := range kernels {
+		doc.Kernels = append(doc.Kernels, kernelProfile{
+			Name:       k.Name,
+			Class:      k.Class.String(),
+			Duration:   durs[i],
+			Collective: k.Collective,
+			Bytes:      k.Bytes,
+		})
+		if k.Class == gpusim.Comm {
+			commKs = append(commKs, k)
+		} else if k.CanSplit() {
+			computeKs = append(computeKs, k) // the lengthy GEMMs
+		}
+	}
+
+	rep, err := trace.MeasureContention(node, computeKs, commKs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc.ContentionFactor = rep.MaxFactor
+	doc.ComputeFactor = rep.ComputeFactor
+	doc.CommFactor = rep.CommFactor
+	doc.PairsProfiled = rep.Pairs
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Command ligersim runs a single serving simulation: one node, one
+// model, one runtime, one arrival rate — and prints the paper's
+// metrics. Use it to explore operating points interactively; use
+// ligerbench to regenerate whole figures.
+//
+// Example:
+//
+//	ligersim -node v100 -model OPT-30B -runtime Liger -rate 12 -batches 200 -batch 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"liger/internal/core"
+	"liger/internal/hw"
+	"liger/internal/liger"
+	"liger/internal/model"
+	"liger/internal/serve"
+	"liger/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ligersim: ")
+
+	var (
+		nodeName  = flag.String("node", "v100", "node preset: v100 (4x NVLink) or a100 (4x PCIe)")
+		gpus      = flag.Int("gpus", 0, "override GPU count (strong scaling); 0 keeps the preset")
+		modelName = flag.String("model", "OPT-30B", "model: OPT-30B, OPT-66B, GLM-130B, tiny")
+		rtName    = flag.String("runtime", "Liger", "runtime: Liger, Intra-Op, Inter-Op, Inter-Th")
+		rate      = flag.Float64("rate", 10, "batch arrival rate per second")
+		batches   = flag.Int("batches", 200, "number of batch arrivals (paper uses 2000)")
+		batchSize = flag.Int("batch", 2, "requests per batch")
+		minSeq    = flag.Int("minseq", 16, "minimum sequence length")
+		maxSeq    = flag.Int("maxseq", 128, "maximum sequence length")
+		decode    = flag.Bool("decode", false, "generative incremental-sampling phase (§4.3)")
+		ctxLen    = flag.Int("ctx", 16, "KV-cache length for -decode")
+		process   = flag.String("process", "constant", "arrival process: constant, poisson, bursty")
+		seed      = flag.Int64("seed", 1, "trace random seed")
+		division  = flag.Int("division", 8, "Liger kernel decomposition factor (§3.6)")
+		cfactor   = flag.Float64("cfactor", 0, "Liger contention factor; 0 = node default (§3.5)")
+		inflight  = flag.Int("inflight", 4, "Liger processing-list size")
+		syncMode  = flag.String("sync", "hybrid", "Liger sync mode: hybrid or cpu-gpu (§3.4)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace JSON of kernel execution to this file")
+		journalN  = flag.Int("journal", 0, "print the last N Liger scheduling rounds")
+		traceIn   = flag.String("tracein", "", "replay a JSON trace file instead of generating one")
+		traceSave = flag.String("tracesave", "", "save the generated trace as JSON before serving")
+		deadline  = flag.Duration("deadline", 0, "also report goodput/miss rate against this latency SLO")
+	)
+	flag.Parse()
+
+	node, err := hw.Preset(*nodeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *gpus > 0 {
+		node = node.WithGPUs(*gpus)
+	}
+	spec, err := model.ByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, err := core.KindByName(*rtName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lcfg := liger.DefaultConfig(*nodeName)
+	lcfg.DivisionFactor = *division
+	lcfg.MaxInflight = *inflight
+	if *cfactor > 0 {
+		lcfg.ContentionFactor = *cfactor
+	}
+	switch *syncMode {
+	case "hybrid":
+		lcfg.Sync = liger.Hybrid
+	case "cpu-gpu":
+		lcfg.Sync = liger.CPUGPU
+	case "inter-stream-only":
+		lcfg.Sync = liger.InterStreamOnly
+	default:
+		log.Fatalf("unknown sync mode %q", *syncMode)
+	}
+
+	opts := core.Options{Node: node, Model: spec, Runtime: kind, Liger: lcfg, LigerSet: true}
+	var recorder *trace.Recorder
+	if *traceOut != "" {
+		recorder = trace.NewRecorder()
+		opts.Tracer = recorder
+	}
+	eng, err := core.NewEngine(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *journalN > 0 && kind == core.KindLiger {
+		if lg, ok := eng.Runtime().(interface{ Scheduler() *liger.Scheduler }); ok {
+			lg.Scheduler().EnableJournal(*journalN)
+		}
+	}
+
+	tc := serve.TraceConfig{
+		Batches:    *batches,
+		BatchSize:  *batchSize,
+		RatePerSec: *rate,
+		MinSeq:     *minSeq,
+		MaxSeq:     *maxSeq,
+		Seed:       *seed,
+	}
+	if *decode {
+		tc.Phase = model.Decode
+		tc.CtxLen = *ctxLen
+	}
+	switch *process {
+	case "poisson":
+		tc.Process = serve.Poisson
+	case "bursty":
+		tc.Process = serve.Bursty
+	case "constant":
+		tc.Process = serve.ConstantRate
+	default:
+		log.Fatalf("unknown arrival process %q", *process)
+	}
+	var arrivals []serve.Arrival
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		arrivals, err = serve.LoadTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		arrivals, err = serve.Generate(tc)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *traceSave != "" {
+		f, err := os.Create(*traceSave)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := serve.SaveTrace(f, arrivals); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := eng.Serve(arrivals)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("node      : %s (%d GPUs, %s)\n", node.Name, node.NumGPUs, node.Interconnect.Name)
+	fmt.Printf("model     : %s (%.0fB params)\n", spec.Name, float64(spec.Params())/1e9)
+	fmt.Printf("runtime   : %s\n", res.Runtime)
+	fmt.Printf("trace     : %d batches x %d reqs, %s rate %.2f/s, phase %s\n",
+		*batches, *batchSize, tc.Process, *rate, tc.Phase)
+	fmt.Printf("avg lat   : %v\n", res.AvgLatency)
+	fmt.Printf("p50/95/99 : %v / %v / %v\n", res.P50, res.P95, res.P99)
+	fmt.Printf("throughput: %.3f batches/s (%.3f req/s)\n", res.ThroughputBatches(), res.ThroughputRequests())
+	fmt.Printf("makespan  : %v\n", res.Makespan)
+	if *deadline > 0 {
+		fmt.Printf("SLO %v    : %.1f%% missed, goodput %.3f batches/s\n",
+			*deadline, 100*res.DeadlineMissRate(*deadline), res.Goodput(*deadline))
+	}
+	for i, st := range eng.SimNode().Stats() {
+		fmt.Printf("gpu%d      : compute %v, comm %v, overlap %v, kernels %d\n",
+			i, st.ComputeBusy, st.CommBusy, st.OverlapBusy, st.KernelsRun)
+	}
+	if lg, ok := eng.Runtime().(interface{ Scheduler() *liger.Scheduler }); ok && kind == core.KindLiger {
+		s := lg.Scheduler().Stats()
+		fmt.Printf("scheduler : %d rounds, %d primary + %d secondary kernels, %d decompositions, %d empty-secondary rounds\n",
+			s.Rounds, s.PrimaryKernels, s.SecondaryKernels, s.Decompositions, s.EmptySecondary)
+		if *journalN > 0 {
+			fmt.Printf("last %d scheduling rounds:\n", *journalN)
+			if err := lg.Scheduler().WriteJournal(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if recorder != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := recorder.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace     : wrote %s\n", *traceOut)
+	}
+}

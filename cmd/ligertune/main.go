@@ -1,0 +1,67 @@
+// Command ligertune measures a deployment's operating envelope: the
+// saturation throughput of Liger and the baselines, and the arrival-
+// rate window in which Liger beats both (the paper's Appendix D advises
+// finding this range per node).
+//
+//	ligertune -node a100 -model OPT-30B
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"liger/internal/core"
+	"liger/internal/hw"
+	"liger/internal/model"
+	"liger/internal/tune"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ligertune: ")
+	var (
+		nodeName  = flag.String("node", "v100", "node preset: v100 or a100")
+		modelName = flag.String("model", "OPT-30B", "model to serve")
+		batch     = flag.Int("batch", 2, "requests per batch")
+		batches   = flag.Int("batches", 100, "batches per probe point")
+		points    = flag.Int("points", 9, "rate sweep resolution")
+	)
+	flag.Parse()
+
+	node, err := hw.Preset(*nodeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := model.ByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := tune.DefaultConfig(node, spec)
+	cfg.BatchSize = *batch
+	cfg.Batches = *batches
+	cfg.Points = *points
+
+	rep, err := tune.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s serving %s (batch %d)\n", node.Name, spec.Name, *batch)
+	fmt.Println(rep)
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rate\tLiger lat\tIntra-Op lat\tInter-Op lat")
+	for i := range rep.Sweep[core.KindLiger] {
+		fmt.Fprintf(tw, "%.2f\t%v\t%v\t%v\n",
+			rep.Sweep[core.KindLiger][i].Rate,
+			rep.Sweep[core.KindLiger][i].Latency.Round(time.Microsecond),
+			rep.Sweep[core.KindIntraOp][i].Latency.Round(time.Microsecond),
+			rep.Sweep[core.KindInterOp][i].Latency.Round(time.Microsecond))
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,25 @@
+// Package liger is a full reproduction of "Liger: Interleaving Intra-
+// and Inter-Operator Parallelism for Distributed Large Model Inference"
+// (PPoPP 2024) in pure Go.
+//
+// Because this environment has no GPUs, the hardware layers are
+// substituted by a deterministic discrete-event simulator of a
+// multi-GPU node (internal/gpusim) with calibrated kernel cost models
+// (internal/costmodel, internal/nccl). The paper's contribution — the
+// interleaved-parallelism runtime with its multi-stream scheduler,
+// hybrid synchronization, contention factors and runtime kernel
+// decomposition — is implemented in full in internal/liger, alongside
+// the three baselines (internal/runtimes) and a serving layer
+// (internal/serve).
+//
+// Entry points:
+//
+//   - internal/core: the public Engine façade
+//   - cmd/ligersim: run a single serving simulation
+//   - cmd/ligerbench: regenerate every paper table and figure
+//   - examples/: runnable walkthroughs
+//
+// The benchmarks in bench_test.go regenerate each figure via
+// `go test -bench=.`; see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package liger

@@ -1,0 +1,59 @@
+// Strong scaling (§4.4): serve OPT-30B on 1, 2 and 4 A100 GPUs with
+// Liger and the Intra-Op baseline. Liger's advantage grows with the
+// device count because the communication ratio grows — and with one
+// device the interleaved parallelism degenerates to plain single-GPU
+// execution.
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"liger/internal/core"
+	"liger/internal/hw"
+	"liger/internal/model"
+	"liger/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	spec := model.OPT30B()
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "GPUs\truntime\tavg latency\tthroughput (batch/s)")
+	for _, gpus := range []int{1, 2, 4} {
+		node := hw.A100Node()
+		if gpus != node.NumGPUs {
+			node = node.WithGPUs(gpus)
+		}
+		for _, kind := range []core.RuntimeKind{core.KindLiger, core.KindIntraOp} {
+			eng, err := core.NewEngine(core.Options{Node: node, Model: spec, Runtime: kind})
+			if err != nil {
+				log.Fatal(err)
+			}
+			trace, err := serve.Generate(serve.TraceConfig{
+				Batches:    150,
+				BatchSize:  2,
+				RatePerSec: 30,
+				MinSeq:     16,
+				MaxSeq:     128,
+				Seed:       3,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := eng.Serve(trace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%v\t%.2f\n", gpus, res.Runtime, res.AvgLatency, res.ThroughputBatches())
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module liger
+
+go 1.22

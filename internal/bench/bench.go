@@ -1,0 +1,207 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§4) on the simulated testbeds. Each experiment prints the
+// rows/series the paper reports; EXPERIMENTS.md records paper-vs-
+// measured numbers for each.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"liger/internal/core"
+	"liger/internal/hw"
+	"liger/internal/liger"
+	"liger/internal/model"
+	"liger/internal/nccl"
+	"liger/internal/parallel"
+	"liger/internal/serve"
+)
+
+// RunConfig controls experiment fidelity.
+type RunConfig struct {
+	// Batches is the number of batch arrivals per data point. The paper
+	// serves 2000 requests per point; the default trades a little noise
+	// for tractable simulation time.
+	Batches int
+	// Quick trims sweeps to a handful of points (used by the Go
+	// benchmarks).
+	Quick bool
+	// Seed drives trace generation.
+	Seed int64
+	// CSVDir, when set, receives machine-readable sweep data for the
+	// Fig. 10/11/12 panels in addition to the printed tables.
+	CSVDir string
+	// PlotDir, when set, receives SVG latency/throughput charts of the
+	// Fig. 10/11/12 panels (the figures themselves).
+	PlotDir string
+}
+
+// DefaultRunConfig returns the standard fidelity.
+func DefaultRunConfig() RunConfig { return RunConfig{Batches: 150, Seed: 1} }
+
+// Experiment regenerates one paper table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg RunConfig, w io.Writer) error
+}
+
+// Experiments returns every experiment in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: model specifications", RunTable1},
+		{"fig3", "Fig. 3: strong scaling of the intra-operator approach", RunFig03},
+		{"fig4", "Fig. 4: kernel durations across models and input sizes", RunFig04},
+		{"fig6", "Fig. 6: kernel execution order per parallelism (timeline demo)", RunFig06},
+		{"fig9", "Fig. 9: GEMM decomposition strategies (vertical vs horizontal)", RunFig09},
+		{"fig10", "Fig. 10: latency/throughput vs arrival rate (general tasks)", RunFig10},
+		{"fig11", "Fig. 11: generative (incremental sampling) tasks", RunFig11},
+		{"fig12", "Fig. 12: strong scaling of serving OPT-30B", RunFig12},
+		{"fig13", "Fig. 13: hybrid vs CPU-GPU synchronization", RunFig13},
+		{"fig14", "Fig. 14: kernel decomposition division factor", RunFig14},
+		{"contention", "§3.5/§4.2: contention factor profiling and ablation", RunContention},
+		{"channels", "§3.5 ablation: NCCL channel reduction", RunChannels},
+		{"splitstrategy", "extension: runtime GEMM decomposition strategy ablation", RunSplitStrategy},
+		{"robustness", "extension: constant vs Poisson vs bursty arrivals", RunRobustness},
+		{"adaptive", "extension: online adaptive contention factor", RunAdaptive},
+		{"straggler", "extension: failure injection — one slow GPU", RunStraggler},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+// panel describes one sub-plot of Fig. 10/11: a model on a node at a
+// batch size.
+type panel struct {
+	label   string
+	nodeKey string
+	node    hw.Node
+	spec    model.Spec
+	batch   int
+	phase   model.Phase
+	ctxLen  int
+}
+
+// meanSeq is the midpoint of the paper's 16–128 sequence range.
+const meanSeq = 72
+
+// intraCapacity estimates the intra-operator runtime's saturated
+// throughput analytically (batches/s) — used to center the arrival-rate
+// sweep of each panel on its interesting region.
+func intraCapacity(p panel) float64 {
+	comp := parallel.NewCompiler(p.node, nccl.Config{})
+	w := model.Workload{Batch: p.batch, Phase: p.phase}
+	if p.phase == model.Decode {
+		w.CtxLen = p.ctxLen
+	} else {
+		w.SeqLen = meanSeq
+	}
+	ks, err := comp.IntraOp(p.spec, p.node.NumGPUs, w)
+	if err != nil {
+		return 1
+	}
+	c, m := parallel.TotalDurations(ks)
+	total := c + m
+	if total <= 0 {
+		return 1
+	}
+	return float64(time.Second) / float64(total)
+}
+
+// rateFractions spans from comfortably-below-intra-saturation to beyond
+// Liger's (the paper sweeps until past the red line).
+func rateFractions(quick bool) []float64 {
+	if quick {
+		return []float64{0.6, 1.0, 1.4}
+	}
+	return []float64{0.4, 0.7, 0.9, 1.05, 1.2, 1.4, 1.6}
+}
+
+// point is one measured (runtime, rate) result.
+type point struct {
+	rate float64
+	res  serve.Result
+}
+
+// runPanel serves the panel's trace at each rate with each runtime.
+func runPanel(p panel, rates []float64, kinds []core.RuntimeKind, cfg RunConfig) (map[core.RuntimeKind][]point, error) {
+	out := make(map[core.RuntimeKind][]point)
+	for _, kind := range kinds {
+		for _, rate := range rates {
+			res, err := runPoint(p, rate, kind, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			out[kind] = append(out[kind], point{rate: rate, res: res})
+		}
+	}
+	return out, nil
+}
+
+// runPoint serves one (panel, rate, runtime) configuration. ligerCfg
+// overrides the scheduler configuration when non-nil.
+func runPoint(p panel, rate float64, kind core.RuntimeKind, cfg RunConfig, ligerCfg *liger.Config) (serve.Result, error) {
+	opts := core.Options{Node: p.node, Model: p.spec, Runtime: kind}
+	if ligerCfg != nil {
+		opts.Liger = *ligerCfg
+		opts.LigerSet = true
+	}
+	eng, err := core.NewEngine(opts)
+	if err != nil {
+		return serve.Result{}, err
+	}
+	trace, err := genTrace(p, rate, cfg)
+	if err != nil {
+		return serve.Result{}, err
+	}
+	return eng.Serve(trace)
+}
+
+// genTrace builds the panel's standard random trace at an arrival rate.
+func genTrace(p panel, rate float64, cfg RunConfig) ([]serve.Arrival, error) {
+	return serve.Generate(serve.TraceConfig{
+		Batches:    cfg.Batches,
+		BatchSize:  p.batch,
+		RatePerSec: rate,
+		MinSeq:     16,
+		MaxSeq:     128,
+		Phase:      p.phase,
+		CtxLen:     p.ctxLen,
+		Seed:       cfg.Seed,
+	})
+}
+
+// saturatedThroughput returns the best throughput a runtime reached
+// across its sweep points.
+func saturatedThroughput(pts []point) float64 {
+	best := 0.0
+	for _, pt := range pts {
+		if t := pt.res.ThroughputBatches(); t > best {
+			best = t
+		}
+	}
+	return best
+}
+
+// fmtDur renders a duration at µs precision.
+func fmtDur(d time.Duration) string { return d.Round(time.Microsecond).String() }
+
+// sortedKinds returns map keys in paper order.
+func sortedKinds(m map[core.RuntimeKind][]point) []core.RuntimeKind {
+	var ks []core.RuntimeKind
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"liger/internal/core"
+)
+
+// writePanelCSV dumps one panel's sweep as machine-readable rows when
+// RunConfig.CSVDir is set: exp, panel, rate, runtime, latencies (µs)
+// and throughput. Plotting scripts regenerate the paper's line/bar
+// charts from these files.
+func writePanelCSV(cfg RunConfig, expID string, p panel, rates []float64, results map[core.RuntimeKind][]point) error {
+	if cfg.CSVDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(cfg.CSVDir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s_%s.csv", expID, sanitize(p.label))
+	f, err := os.Create(filepath.Join(cfg.CSVDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"experiment", "panel", "rate_batches_per_s", "runtime",
+		"avg_latency_us", "p50_us", "p95_us", "p99_us", "throughput_batches_per_s"}); err != nil {
+		return err
+	}
+	for _, kind := range sortedKinds(results) {
+		for i, rate := range rates {
+			pt := results[kind][i]
+			rec := []string{
+				expID,
+				p.label,
+				strconv.FormatFloat(rate, 'f', 3, 64),
+				kind.String(),
+				strconv.FormatInt(pt.res.AvgLatency.Microseconds(), 10),
+				strconv.FormatInt(pt.res.P50.Microseconds(), 10),
+				strconv.FormatInt(pt.res.P95.Microseconds(), 10),
+				strconv.FormatInt(pt.res.P99.Microseconds(), 10),
+				strconv.FormatFloat(pt.res.ThroughputBatches(), 'f', 3, 64),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// sanitize turns a panel label into a file-name fragment.
+func sanitize(label string) string {
+	out := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '-' || r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, label)
+	return strings.Trim(out, "_")
+}

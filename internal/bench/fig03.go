@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"liger/internal/hw"
+	"liger/internal/model"
+	"liger/internal/nccl"
+	"liger/internal/parallel"
+)
+
+// RunFig03 reproduces Fig. 3: strong scaling of the intra-operator
+// approach. OPT-30B on the V100/NVLink node and GLM-130B on the
+// A100/PCIe node, scaled from 1 to 4 devices, reporting total execution
+// time split into computation and communication. The paper reports a
+// 2.58x total-time reduction with communication at 20.7% of total for
+// OPT-30B, and 1.91x with 47.1% for GLM-130B.
+func RunFig03(cfg RunConfig, w io.Writer) error {
+	cases := []struct {
+		node hw.Node
+		spec model.Spec
+	}{
+		{hw.V100Node(), model.OPT30B()},
+		{hw.A100Node(), model.GLM130B()},
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\tnode\tdevices\tcompute\tcomm\ttotal\tspeedup\tcomm share")
+	for _, c := range cases {
+		wk := model.Workload{Batch: 2, SeqLen: meanSeq, Phase: model.Context}
+		var base time.Duration
+		for _, devs := range []int{1, 2, 4} {
+			node := c.node
+			if devs != node.NumGPUs {
+				node = node.WithGPUs(devs)
+			}
+			comp := parallel.NewCompiler(node, nccl.Config{ReducedChannels: true})
+			ks, err := comp.IntraOp(c.spec, devs, wk)
+			if err != nil {
+				return err
+			}
+			cd, md := parallel.TotalDurations(ks)
+			total := cd + md
+			if devs == 1 {
+				base = total
+			}
+			share := 0.0
+			if total > 0 {
+				share = float64(md) / float64(total)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%v\t%v\t%v\t%.2fx\t%.1f%%\n",
+				c.spec.Name, node.Interconnect.Name, devs,
+				cd.Round(time.Microsecond), md.Round(time.Microsecond),
+				total.Round(time.Microsecond),
+				float64(base)/float64(total), 100*share)
+		}
+	}
+	fmt.Fprintln(tw, "\npaper: OPT-30B/V100 2.58x @4 devices, comm 20.7%; GLM-130B/A100 1.91x, comm 47.1%")
+	return tw.Flush()
+}

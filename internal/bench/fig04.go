@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"liger/internal/gpusim"
+	"liger/internal/hw"
+	"liger/internal/model"
+	"liger/internal/nccl"
+	"liger/internal/parallel"
+	"liger/internal/stats"
+)
+
+// RunFig04 reproduces Fig. 4: the widely-varied kernel durations that
+// motivate runtime decomposition. Panel (a): normalized durations of
+// the compute kernels of one layer across model sizes (8B–175B) on the
+// V100 — larger models concentrate time in a few long kernels. Panel
+// (b): the same kernels across input sizes for OPT-30B — durations vary
+// with the input.
+func RunFig04(cfg RunConfig, w io.Writer) error {
+	node := hw.V100Node()
+	comp := parallel.NewCompiler(node, nccl.Config{ReducedChannels: true})
+
+	layerComputeDurations := func(spec model.Spec, wk model.Workload) ([]string, []time.Duration, error) {
+		ks, err := comp.IntraOp(spec.WithLayers(1), node.NumGPUs, wk)
+		if err != nil {
+			return nil, nil, err
+		}
+		var names []string
+		var ds []time.Duration
+		for _, k := range ks {
+			if k.Class != gpusim.Compute {
+				continue
+			}
+			names = append(names, k.Name)
+			ds = append(ds, k.Duration)
+		}
+		return names, ds, nil
+	}
+
+	fmt.Fprintln(w, "(a) normalized kernel durations per layer across model sizes (V100, batch 2, seq 72)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	wk := model.Workload{Batch: 2, SeqLen: meanSeq, Phase: model.Context}
+	var header bool
+	for _, spec := range []model.Spec{model.GPT8B(), model.OPT30B(), model.OPT66B(), model.GLM130B(), model.GPT175B()} {
+		names, ds, err := layerComputeDurations(spec, wk)
+		if err != nil {
+			return err
+		}
+		if !header {
+			fmt.Fprint(tw, "model\t")
+			for _, n := range names {
+				fmt.Fprintf(tw, "%s\t", trimLayerPrefix(n))
+			}
+			fmt.Fprintln(tw, "CoV")
+			header = true
+		}
+		norm := stats.Normalize(ds)
+		fmt.Fprintf(tw, "%s\t", spec.Name)
+		for _, v := range norm {
+			fmt.Fprintf(tw, "%.2f\t", v)
+		}
+		fmt.Fprintf(tw, "%.2f\n", stats.CoefficientOfVariation(ds))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\n(b) kernel durations across input sizes (OPT-30B, V100)")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "batch x seq\tqkv\tattn\tattn_out\tfc1\tfc2")
+	for _, in := range []struct{ b, s int }{{2, 16}, {2, 64}, {4, 64}, {8, 64}, {8, 128}} {
+		names, ds, err := layerComputeDurations(model.OPT30B(), model.Workload{Batch: in.b, SeqLen: in.s, Phase: model.Context})
+		if err != nil {
+			return err
+		}
+		byName := map[string]time.Duration{}
+		for i, n := range names {
+			byName[trimLayerPrefix(n)] = ds[i]
+		}
+		fmt.Fprintf(tw, "%dx%d\t%v\t%v\t%v\t%v\t%v\n", in.b, in.s,
+			byName["qkv"].Round(time.Microsecond), byName["attn"].Round(time.Microsecond),
+			byName["attn_out"].Round(time.Microsecond), byName["fc1"].Round(time.Microsecond),
+			byName["fc2"].Round(time.Microsecond))
+	}
+	return tw.Flush()
+}
+
+// trimLayerPrefix strips the "l0." layer prefix from kernel names.
+func trimLayerPrefix(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

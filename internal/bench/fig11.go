@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"liger/internal/core"
+	"liger/internal/hw"
+	"liger/internal/model"
+)
+
+// RunFig11 reproduces Fig. 11: the generative incremental-sampling
+// phase (§4.3). One sampling iteration per batch with a KV cache at
+// sequence length 16 and batch size 32, across the four model/node
+// configurations. The paper measures throughput gains of up to 1.08x,
+// 1.29x, 1.23x and 1.13x over Intra-Op — weaker than the general tasks
+// because decode is memory-bound and relatively lighter on
+// communication.
+func RunFig11(cfg RunConfig, w io.Writer) error {
+	columns := []struct {
+		nodeKey string
+		node    hw.Node
+		spec    model.Spec
+	}{
+		{"v100", hw.V100Node(), model.OPT30B()},
+		{"a100", hw.A100Node(), model.OPT30B()},
+		{"a100", hw.A100Node(), model.OPT66B()},
+		{"a100", hw.A100Node(), model.GLM130B()},
+	}
+	if cfg.Quick {
+		columns = columns[:1]
+	}
+	kinds := core.Kinds()
+	for _, c := range columns {
+		p := panel{
+			label:   fmt.Sprintf("%s on %s, decode batch 32 ctx 16", c.spec.Name, c.node.Name),
+			nodeKey: c.nodeKey,
+			node:    c.node,
+			spec:    c.spec,
+			batch:   32,
+			phase:   model.Decode,
+			ctxLen:  16,
+		}
+		cap := intraCapacity(p)
+		var rates []float64
+		for _, f := range rateFractions(cfg.Quick) {
+			rates = append(rates, f*cap)
+		}
+		results, err := runPanel(p, rates, kinds, cfg)
+		if err != nil {
+			return err
+		}
+		if err := printPanel(w, p, rates, results); err != nil {
+			return err
+		}
+		if err := writePanelCSV(cfg, "fig11", p, rates, results); err != nil {
+			return err
+		}
+		if err := writePanelSVG(cfg, "fig11", p, rates, results); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "paper: throughput up to 1.08x/1.29x/1.23x/1.13x vs Intra-Op; better latency than Inter-Op/Inter-Th pre-saturation")
+	return nil
+}

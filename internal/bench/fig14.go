@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"liger/internal/core"
+	"liger/internal/hw"
+	"liger/internal/liger"
+	"liger/internal/model"
+)
+
+// RunFig14 reproduces Fig. 14: the impact of the runtime kernel
+// decomposition division factor (2, 4, 8, 16) serving OPT-30B on the
+// V100 node with batch size 2. Larger factors give the scheduler
+// finer-grained pieces and more closely matched subsets, with
+// diminishing returns once pieces stop saturating the GPU.
+func RunFig14(cfg RunConfig, w io.Writer) error {
+	p := panel{
+		label:   "OPT-30B on v100x4, batch 2",
+		nodeKey: "v100",
+		node:    hw.V100Node(),
+		spec:    model.OPT30B(),
+		batch:   2,
+		phase:   model.Context,
+	}
+	cap := intraCapacity(p)
+	factors := []int{2, 4, 8, 16}
+	if cfg.Quick {
+		factors = []int{2, 8}
+	}
+	// Operate near Liger's saturation, where matching quality matters.
+	rates := []float64{0.95 * cap, 1.15 * cap}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "division factor\trate (batch/s)\tavg lat\tthroughput\tdecompositions")
+	for _, d := range factors {
+		lcfg := liger.DefaultConfig(p.nodeKey)
+		lcfg.DivisionFactor = d
+		for _, rate := range rates {
+			res, err := runPoint(p, rate, core.KindLiger, cfg, &lcfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%d\t%.2f\t%s\t%.2f\t\n", d, rate, fmtDur(res.AvgLatency), res.ThroughputBatches())
+		}
+	}
+	fmt.Fprintln(tw, "\npaper: larger decomposition factors improve latency and throughput with gradually decreasing benefit")
+	return tw.Flush()
+}

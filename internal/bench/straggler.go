@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"liger/internal/core"
+	"liger/internal/hw"
+	"liger/internal/model"
+)
+
+// RunStraggler is a failure-injection extension: one GPU of the node
+// runs at reduced speed (thermal throttling, a flaky link) and we
+// measure how each runtime degrades. Tensor-parallel execution
+// (Intra-Op, Liger) is gated by the slowest rank at every collective;
+// the pipeline only slows in proportion to the straggler's stage.
+func RunStraggler(cfg RunConfig, w io.Writer) error {
+	p := panel{nodeKey: "a100", node: hw.A100Node(), spec: model.OPT30B(), batch: 2, phase: model.Context}
+	rate := 0.85 * intraCapacity(p)
+	kinds := []core.RuntimeKind{core.KindLiger, core.KindIntraOp, core.KindInterOp}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "gpu2 speed\truntime\tavg lat\tp99 lat\tthroughput")
+	for _, speed := range []float64{1.0, 0.8, 0.6} {
+		for _, kind := range kinds {
+			eng, err := core.NewEngine(core.Options{Node: p.node, Model: p.spec, Runtime: kind})
+			if err != nil {
+				return err
+			}
+			if speed < 1 {
+				eng.SimNode().Device(2).SetSpeed(speed)
+			}
+			trace, err := genTrace(p, rate, cfg)
+			if err != nil {
+				return err
+			}
+			res, err := eng.Serve(trace)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%.0f%%\t%s\t%s\t%s\t%.2f\n",
+				100*speed, kind, fmtDur(res.AvgLatency), fmtDur(res.P99), res.ThroughputBatches())
+		}
+	}
+	fmt.Fprintln(tw, "\nextension: a straggler GPU gates every collective; interleaving other batches' work into the induced idle time softens the hit")
+	return tw.Flush()
+}

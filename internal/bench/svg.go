@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"liger/internal/core"
+	"liger/internal/plot"
+)
+
+// writePanelSVG renders one panel as the paper presents it — a latency
+// chart and a throughput chart over arrival rate, with the red line at
+// Liger's measured saturation — when RunConfig.PlotDir is set.
+func writePanelSVG(cfg RunConfig, expID string, p panel, rates []float64, results map[core.RuntimeKind][]point) error {
+	if cfg.PlotDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(cfg.PlotDir, 0o755); err != nil {
+		return err
+	}
+	ligerSat := saturatedThroughput(results[core.KindLiger])
+
+	latency := plot.Chart{
+		Title:  p.label + " — average latency",
+		XLabel: "arrival rate (batches/s)",
+		YLabel: "latency (ms)",
+		VLineX: ligerSat,
+	}
+	throughput := plot.Chart{
+		Title:  p.label + " — throughput",
+		XLabel: "arrival rate (batches/s)",
+		YLabel: "throughput (batches/s)",
+		VLineX: ligerSat,
+	}
+	for _, kind := range sortedKinds(results) {
+		var lat, thr plot.Series
+		lat.Name, thr.Name = kind.String(), kind.String()
+		for i, rate := range rates {
+			pt := results[kind][i]
+			lat.X = append(lat.X, rate)
+			lat.Y = append(lat.Y, float64(pt.res.AvgLatency)/float64(time.Millisecond))
+			thr.X = append(thr.X, rate)
+			thr.Y = append(thr.Y, pt.res.ThroughputBatches())
+		}
+		latency.Series = append(latency.Series, lat)
+		throughput.Series = append(throughput.Series, thr)
+	}
+	for suffix, chart := range map[string]plot.Chart{"latency": latency, "throughput": throughput} {
+		name := fmt.Sprintf("%s_%s_%s.svg", expID, sanitize(p.label), suffix)
+		f, err := os.Create(filepath.Join(cfg.PlotDir, name))
+		if err != nil {
+			return err
+		}
+		if err := chart.WriteSVG(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

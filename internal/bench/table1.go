@@ -1,0 +1,23 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"liger/internal/model"
+)
+
+// RunTable1 reproduces Table 1: the specifications of the evaluated
+// models, with parameter counts and FP16 sizes derived from the layer
+// dimensions.
+func RunTable1(cfg RunConfig, w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Name\tParameters\tLayers\tHeads\tHidden Size\tPrec.\tFP16 Size")
+	for _, s := range model.Table1() {
+		fmt.Fprintf(tw, "%s\t%.0fB\t%d\t%d\t%d\tFP16\t%.0fGB\n",
+			s.Name, float64(s.Params())/1e9, s.Layers, s.Heads, s.Hidden,
+			float64(s.WeightBytes())/1e9)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"liger/internal/hw"
+	"liger/internal/liger"
+	"liger/internal/model"
+	"liger/internal/nccl"
+	"liger/internal/serve"
+)
+
+func smallTrace(t *testing.T, batches int, rate float64) []serve.Arrival {
+	t.Helper()
+	tr, err := serve.Generate(serve.TraceConfig{
+		Batches: batches, BatchSize: 2, RatePerSec: rate,
+		MinSeq: 16, MaxSeq: 64, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestEngineAllKinds(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			eng, err := NewEngine(Options{Node: hw.V100Node(), Model: model.Tiny(), Runtime: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.Kind() != kind {
+				t.Fatalf("Kind = %v", eng.Kind())
+			}
+			res, err := eng.Serve(smallTrace(t, 10, 1000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed != 10 {
+				t.Fatalf("completed %d", res.Completed)
+			}
+			if res.Runtime != kind.String() {
+				t.Fatalf("runtime name %q", res.Runtime)
+			}
+			if res.AvgLatency <= 0 || res.Makespan <= 0 {
+				t.Fatalf("degenerate metrics %+v", res)
+			}
+		})
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := KindByName(k.String())
+		if err != nil || got != k {
+			t.Fatalf("KindByName(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := KindByName("Mega-Op"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	badNode := hw.V100Node()
+	badNode.NumGPUs = 0
+	if _, err := NewEngine(Options{Node: badNode, Model: model.Tiny()}); err == nil {
+		t.Fatal("invalid node accepted")
+	}
+	if _, err := NewEngine(Options{Node: hw.V100Node(), Model: model.Spec{Name: "x"}}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+	if _, err := NewEngine(Options{Node: hw.V100Node(), Model: model.Tiny(), Runtime: RuntimeKind(99)}); err == nil {
+		t.Fatal("unknown runtime accepted")
+	}
+	badLiger := liger.DefaultConfig("v100")
+	badLiger.ContentionFactor = 0.5
+	if _, err := NewEngine(Options{Node: hw.V100Node(), Model: model.Tiny(), Runtime: KindLiger,
+		Liger: badLiger, LigerSet: true}); err == nil {
+		t.Fatal("invalid liger config accepted")
+	}
+}
+
+func TestEngineCustomLigerConfig(t *testing.T) {
+	cfg := liger.DefaultConfig("v100")
+	cfg.DivisionFactor = 4
+	cfg.Sync = liger.CPUGPU
+	eng, err := NewEngine(Options{Node: hw.V100Node(), Model: model.Tiny(), Runtime: KindLiger,
+		Liger: cfg, LigerSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Serve(smallTrace(t, 5, 1000)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineNCCLOverride(t *testing.T) {
+	eng, err := NewEngine(Options{Node: hw.A100Node(), Model: model.Tiny(), Runtime: KindLiger,
+		NCCL: nccl.Config{ReducedChannels: false}, NCCLSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Serve(smallTrace(t, 5, 1000)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	eng, err := NewEngine(Options{Node: hw.V100Node(), Model: model.Tiny(), Runtime: KindIntraOp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Clock() == nil || eng.SimNode() == nil || eng.Compiler() == nil || eng.Runtime() == nil {
+		t.Fatal("nil accessor")
+	}
+	if eng.SimNode().NumDevices() != 4 {
+		t.Fatalf("devices = %d", eng.SimNode().NumDevices())
+	}
+}
+
+func TestLigerBeatsIntraOpUnderLoad(t *testing.T) {
+	// The headline behaviour as an integration test: at a rate beyond
+	// intra-op's capacity, Liger sustains higher throughput with lower
+	// latency.
+	spec := model.OPT30B().WithLayers(8) // keep the test fast
+	run := func(kind RuntimeKind) serve.Result {
+		eng, err := NewEngine(Options{Node: hw.A100Node(), Model: spec, Runtime: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Serve(smallTrace(t, 60, 300))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	lg := run(KindLiger)
+	intra := run(KindIntraOp)
+	if lg.ThroughputBatches() <= intra.ThroughputBatches() {
+		t.Fatalf("Liger throughput %.2f not above intra-op %.2f",
+			lg.ThroughputBatches(), intra.ThroughputBatches())
+	}
+	if lg.AvgLatency >= intra.AvgLatency {
+		t.Fatalf("Liger latency %v not below intra-op %v under overload", lg.AvgLatency, intra.AvgLatency)
+	}
+}
+
+func TestDeterministicServing(t *testing.T) {
+	run := func() time.Duration {
+		eng, err := NewEngine(Options{Node: hw.V100Node(), Model: model.Tiny(), Runtime: KindLiger})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Serve(smallTrace(t, 20, 2000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgLatency
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,16 @@
+package costmodel
+
+import (
+	"testing"
+
+	"liger/internal/hw"
+)
+
+// BenchmarkGEMMDuration measures cost-model evaluation (on the critical
+// path of compilation and decomposition).
+func BenchmarkGEMMDuration(b *testing.B) {
+	m := New(hw.A100Node().GPU)
+	for i := 0; i < b.N; i++ {
+		_ = m.GEMM(128+i%8, 12288, 12288)
+	}
+}

@@ -1,0 +1,187 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"liger/internal/hw"
+)
+
+func v100() *Model { return New(hw.V100Node().GPU) }
+func a100() *Model { return New(hw.A100Node().GPU) }
+
+func TestGEMMPositiveAndFloored(t *testing.T) {
+	m := v100()
+	if d := m.GEMM(1, 1, 1); d < GEMMFloor {
+		t.Fatalf("tiny GEMM %v below floor %v", d, GEMMFloor)
+	}
+	if d := m.GEMM(0, 128, 128); d != GEMMFloor {
+		t.Fatalf("degenerate GEMM = %v, want floor", d)
+	}
+}
+
+func TestGEMMScalesWithWork(t *testing.T) {
+	m := v100()
+	small := m.GEMM(128, 1024, 1024)
+	big := m.GEMM(128, 4096, 1024)
+	if big <= small {
+		t.Fatalf("4x columns not slower: %v vs %v", big, small)
+	}
+}
+
+func TestGEMMSkinnyRowsLessEfficient(t *testing.T) {
+	m := v100()
+	// Same FLOPs, but 8 rows vs 128 rows: the skinny one must take
+	// longer per FLOP (drives Fig. 9's horizontal-split penalty).
+	skinny := m.GEMM(8, 4096, 4096)
+	wide := m.GEMM(128, 4096, 4096)
+	perFlopSkinny := float64(skinny) / (8 * 4096 * 4096)
+	perFlopWide := float64(wide) / (128 * 4096 * 4096)
+	if perFlopSkinny <= perFlopWide {
+		t.Fatalf("skinny GEMM not less efficient: %.3g vs %.3g ns/flop", perFlopSkinny, perFlopWide)
+	}
+}
+
+func TestGEMMDecodeIsMemoryBound(t *testing.T) {
+	m := v100()
+	// Single-token GEMM over a 7168x7168 weight: duration must be at
+	// least the weight streaming time.
+	d := m.GEMM(1, 7168, 7168)
+	weightBytes := 2.0 * 7168 * 7168
+	floor := time.Duration(weightBytes / (900e9 * MemEff) * 1e9)
+	if d < floor {
+		t.Fatalf("decode GEMM %v below weight-streaming floor %v", d, floor)
+	}
+}
+
+func TestGEMMEffWithinBounds(t *testing.T) {
+	f := func(rows, cols, inner uint16) bool {
+		r, c, k := int(rows)+1, int(cols)+1, int(inner)+1
+		e := v100().GEMMEff(r, c, k)
+		return e > 0 && e <= v100().GPU().MaxGEMMEff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGEMMMonotonicInColumns(t *testing.T) {
+	m := a100()
+	prev := time.Duration(0)
+	for cols := 256; cols <= 32768; cols *= 2 {
+		d := m.GEMM(128, cols, 8192)
+		if d < prev {
+			t.Fatalf("GEMM duration decreased at cols=%d: %v < %v", cols, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestVerticalSplitOverheadModerate(t *testing.T) {
+	// Fig. 9 / §4.2: all-reduce and GEMM kernels are decomposed by a
+	// factor of 8 and remain usable — the accumulated duration of the
+	// vertical pieces must stay within ~2x of the original.
+	m := v100()
+	orig := m.GEMM(128, 7168, 7168)
+	var sum time.Duration
+	for i := 0; i < 8; i++ {
+		sum += m.GEMM(128, 7168/8, 7168)
+	}
+	ratio := float64(sum) / float64(orig)
+	if ratio < 1.0 {
+		t.Fatalf("split pieces sum %v below original %v", sum, orig)
+	}
+	if ratio > 2.0 {
+		t.Fatalf("vertical split overhead ratio %.2f too high", ratio)
+	}
+}
+
+func TestHorizontalSplitWorseThanVertical(t *testing.T) {
+	// Fig. 9: horizontal decomposition collapses compute intensity for
+	// skinny activations; vertical must win.
+	m := v100()
+	rows, cols, inner := 128, 28672, 7168
+	var vert, horiz time.Duration
+	for i := 0; i < 8; i++ {
+		vert += m.GEMM(rows, cols/8, inner)
+		horiz += m.GEMM(rows/8, cols, inner)
+	}
+	if horiz <= vert {
+		t.Fatalf("horizontal split %v not worse than vertical %v", horiz, vert)
+	}
+}
+
+func TestAttentionContextGrowsQuadraticallyWithSeq(t *testing.T) {
+	m := a100()
+	d1 := m.AttentionContext(2, 128, 24, 128)
+	d2 := m.AttentionContext(2, 256, 24, 128)
+	// At these sizes attention is compute-dominated: doubling seq should
+	// more than double the duration.
+	if float64(d2) < 2*float64(d1) {
+		t.Fatalf("attention not superlinear in seq: %v vs %v", d1, d2)
+	}
+}
+
+func TestAttentionDecodeScalesWithContext(t *testing.T) {
+	m := v100()
+	d1 := m.AttentionDecode(32, 512, 14, 128)
+	d2 := m.AttentionDecode(32, 2048, 14, 128)
+	if d2 <= d1 {
+		t.Fatalf("decode attention not growing with KV length: %v vs %v", d1, d2)
+	}
+}
+
+func TestAttentionDegenerate(t *testing.T) {
+	m := v100()
+	if d := m.AttentionContext(0, 64, 8, 64); d != AuxFloor {
+		t.Fatalf("degenerate attention = %v, want floor", d)
+	}
+	if d := m.AttentionDecode(2, 0, 8, 64); d != AuxFloor {
+		t.Fatalf("degenerate decode attention = %v, want floor", d)
+	}
+}
+
+func TestElementwiseLinear(t *testing.T) {
+	m := v100()
+	d1 := m.Elementwise(1<<20, 1) - AuxFloor
+	d4 := m.Elementwise(4<<20, 1) - AuxFloor
+	ratio := float64(d4) / float64(d1)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("elementwise not linear in bytes: ratio %.2f", ratio)
+	}
+	if m.Elementwise(0, 1) != AuxFloor {
+		t.Fatal("zero-byte elementwise should hit floor")
+	}
+}
+
+func TestEmbedding(t *testing.T) {
+	m := a100()
+	if d := m.Embedding(128, 12288); d <= AuxFloor {
+		t.Fatalf("embedding duration %v too small", d)
+	}
+}
+
+func TestA100FasterThanV100(t *testing.T) {
+	dv := v100().GEMM(128, 8192, 8192)
+	da := a100().GEMM(128, 8192, 8192)
+	if da >= dv {
+		t.Fatalf("A100 GEMM %v not faster than V100 %v", da, dv)
+	}
+}
+
+// Property: GEMM duration is always at least the floor and grows with
+// the inner dimension.
+func TestPropertyGEMMInnerMonotonic(t *testing.T) {
+	m := v100()
+	f := func(rows, cols uint8, innerStep uint8) bool {
+		r, c := int(rows)+1, int(cols)*16+16
+		i1 := int(innerStep)*64 + 64
+		i2 := i1 * 2
+		d1, d2 := m.GEMM(r, c, i1), m.GEMM(r, c, i2)
+		return d1 >= GEMMFloor && d2 >= d1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

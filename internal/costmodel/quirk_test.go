@@ -1,0 +1,69 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin down the RectK implementation quirk that drives the
+// Fig. 10(j)(k) anomaly: for reduction-heavy shapes at large token
+// counts, the full kernel loses efficiency, so the K-partitioned pieces
+// of the intra-operator approach can accumulate to *less* than the
+// original kernel.
+
+func TestRectKPenaltyGating(t *testing.T) {
+	m := a100()
+	h := 12288
+	// FC2 shape at batch 8 (tokens ≈ 576): K = 4h ≥ 3.5·N and rows ≥ 512
+	// → penalized.
+	effPenalized := m.GEMMEff(576, h, 4*h)
+	// Same shape at batch 2 (tokens 144): no penalty.
+	effSmall := m.GEMMEff(144, h, 4*h)
+	// The row-utilization difference alone cannot explain a drop: the
+	// penalized efficiency must be lower than the unpenalized curve
+	// value at the same rows.
+	unpenalized := m.GEMMEff(576, h, int(RectKRatio*float64(h))-1)
+	_ = effSmall
+	if effPenalized >= unpenalized {
+		t.Fatalf("RectK penalty missing: eff %v >= %v", effPenalized, unpenalized)
+	}
+	ratio := effPenalized / unpenalized
+	if ratio < RectKPenalty-0.02 || ratio > RectKPenalty+0.02 {
+		t.Fatalf("penalty ratio %.3f, want ≈%v", ratio, RectKPenalty)
+	}
+}
+
+func TestFig10jkAnomalyAtBatch8(t *testing.T) {
+	// At batch 8 on the A100, the four K-partitioned FC2 pieces must sum
+	// to less than the full FC2 kernel (Inter-Th faster than Inter-Op on
+	// that kernel), while at batch 2 the pieces are slower — who wins
+	// flips with batch size, as the paper reports for panels (j)(k).
+	m := a100()
+	h := 12288
+	fullAt := func(tokens int) time.Duration { return m.GEMM(tokens, h, 4*h) }
+	piecesAt := func(tokens int) time.Duration {
+		var sum time.Duration
+		for i := 0; i < 4; i++ {
+			sum += m.GEMM(tokens, h, h)
+		}
+		return sum
+	}
+	if piecesAt(576) >= fullAt(576) {
+		t.Fatalf("batch-8 anomaly missing: pieces %v >= full %v", piecesAt(576), fullAt(576))
+	}
+	if piecesAt(144) <= fullAt(144) {
+		t.Fatalf("batch-2 should not show the anomaly: pieces %v <= full %v", piecesAt(144), fullAt(144))
+	}
+}
+
+func TestRectKDoesNotBreakInnerMonotonicity(t *testing.T) {
+	m := a100()
+	prev := time.Duration(0)
+	for k := 1024; k <= 65536; k *= 2 {
+		d := m.GEMM(1024, 4096, k)
+		if d < prev {
+			t.Fatalf("duration decreased at k=%d: %v < %v", k, d, prev)
+		}
+		prev = d
+	}
+}

@@ -1,0 +1,218 @@
+package generate
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"liger/internal/kvcache"
+	"liger/internal/model"
+	"liger/internal/runtimes"
+	"liger/internal/simclock"
+)
+
+// Continuous batching (Orca-style iteration-level scheduling, which the
+// paper lists as orthogonal related work): instead of carrying a fixed
+// batch through its whole generation, every decode iteration runs over
+// the current pool of live sequences, admitting newly arrived sequences
+// between iterations. Liger's interleaving composes with it — the
+// iteration kernels are scheduled like any other batch.
+
+// ContinuousConfig shapes a continuous-batching run.
+type ContinuousConfig struct {
+	// Sequences is the number of generations to serve.
+	Sequences int
+	// RatePerSec is the sequence arrival rate.
+	RatePerSec float64
+	// PromptLen and GenTokens shape each sequence.
+	PromptLen int
+	GenTokens int
+	// MaxPool caps live sequences per iteration.
+	MaxPool int
+	// KV, if non-nil, gates admission on cache capacity.
+	KV *kvcache.Manager
+	// Seed jitters arrivals (Poisson).
+	Seed int64
+}
+
+// Validate reports bad configurations.
+func (c ContinuousConfig) Validate() error {
+	switch {
+	case c.Sequences <= 0:
+		return fmt.Errorf("generate: need sequences")
+	case c.RatePerSec <= 0:
+		return fmt.Errorf("generate: arrival rate %v", c.RatePerSec)
+	case c.PromptLen <= 0 || c.GenTokens <= 0:
+		return fmt.Errorf("generate: bad lengths %d/%d", c.PromptLen, c.GenTokens)
+	case c.MaxPool <= 0:
+		return fmt.Errorf("generate: pool size %d", c.MaxPool)
+	}
+	return nil
+}
+
+// ContinuousResult aggregates a run.
+type ContinuousResult struct {
+	Result
+	// Iterations counts decode steps executed.
+	Iterations int
+	// MeanPool is the average live-pool size over iterations.
+	MeanPool float64
+}
+
+type seqState struct {
+	id       int
+	arrived  simclock.Time
+	firstTok simclock.Time
+	finished simclock.Time
+	ctx      int // cached tokens (prompt after prefill, +1 per step)
+	left     int // tokens still to generate
+}
+
+// RunContinuous executes the workload on the runtime attached to eng.
+// It owns the runtime's completion callback for the duration.
+func RunContinuous(eng *simclock.Engine, rt runtimes.Runtime, cfg ContinuousConfig) (ContinuousResult, error) {
+	res := ContinuousResult{}
+	if err := cfg.Validate(); err != nil {
+		return res, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var pool []*seqState     // live, decoding
+	var arrivalQ []*seqState // arrived, awaiting admission+prefill
+	var prefilling []*seqState
+	inFlight := false // one iteration (prefill or decode step) at a time
+	completed := 0
+	var poolSum int
+	var runErr error
+	// The in-flight iteration's members, set at Submit and consumed by
+	// the completion callback; the one-at-a-time discipline means at
+	// most one pending iteration exists.
+	var pendingBatch []*seqState
+	var pendingIsPrefill bool
+
+	all := make([]*seqState, cfg.Sequences)
+
+	seqTokens := cfg.PromptLen + cfg.GenTokens
+
+	admit := func(s *seqState) bool {
+		if len(pool)+len(prefilling) >= cfg.MaxPool {
+			return false
+		}
+		if cfg.KV != nil {
+			if !cfg.KV.CanAdmit(seqTokens) {
+				return false
+			}
+			if err := cfg.KV.Admit(s.id, seqTokens); err != nil {
+				if runErr == nil {
+					runErr = err
+				}
+				return false
+			}
+		}
+		prefilling = append(prefilling, s)
+		return true
+	}
+
+	var step func(now simclock.Time)
+	step = func(now simclock.Time) {
+		if inFlight {
+			return
+		}
+		// Admit as many arrivals as fit.
+		for len(arrivalQ) > 0 && admit(arrivalQ[0]) {
+			arrivalQ = arrivalQ[1:]
+		}
+		if len(prefilling) > 0 {
+			// One prefill batch for all newly admitted sequences.
+			batch := prefilling
+			prefilling = nil
+			inFlight = true
+			if err := rt.Submit(model.Workload{Batch: len(batch), SeqLen: cfg.PromptLen, Phase: model.Context}); err != nil && runErr == nil {
+				runErr = err
+			}
+			// Completion moves them into the pool (see SetOnDone).
+			pendingBatch = batch
+			pendingIsPrefill = true
+			return
+		}
+		if len(pool) == 0 {
+			return // idle until the next arrival
+		}
+		// One decode iteration over the pool, padded to the longest
+		// context.
+		maxCtx := 0
+		for _, s := range pool {
+			if s.ctx > maxCtx {
+				maxCtx = s.ctx
+			}
+		}
+		inFlight = true
+		res.Iterations++
+		poolSum += len(pool)
+		if err := rt.Submit(model.Workload{Batch: len(pool), CtxLen: maxCtx, Phase: model.Decode}); err != nil && runErr == nil {
+			runErr = err
+		}
+		pendingBatch = pool
+		pendingIsPrefill = false
+	}
+
+	rt.SetOnDone(func(done runtimes.Completion) {
+		now := done.Done
+		inFlight = false
+		if pendingIsPrefill {
+			for _, s := range pendingBatch {
+				s.ctx = cfg.PromptLen
+				s.firstTok = now
+				s.left = cfg.GenTokens
+				pool = append(pool, s)
+			}
+		} else {
+			var live []*seqState
+			for _, s := range pendingBatch {
+				s.ctx++
+				s.left--
+				if s.left <= 0 {
+					s.finished = now
+					completed++
+					if cfg.KV != nil {
+						cfg.KV.Release(s.id)
+					}
+					continue
+				}
+				live = append(live, s)
+			}
+			pool = live
+		}
+		step(now)
+	})
+
+	var at simclock.Time
+	gap := time.Duration(float64(time.Second) / cfg.RatePerSec)
+	for i := 0; i < cfg.Sequences; i++ {
+		s := &seqState{id: i}
+		all[i] = s
+		eng.At(at, func(now simclock.Time) {
+			s.arrived = now
+			arrivalQ = append(arrivalQ, s)
+			step(now)
+		})
+		at += time.Duration(rng.ExpFloat64() * float64(gap))
+	}
+	eng.Run()
+	if runErr != nil {
+		return res, runErr
+	}
+	if completed != cfg.Sequences {
+		return res, fmt.Errorf("generate: %d of %d sequences finished", completed, cfg.Sequences)
+	}
+	for _, s := range all {
+		res.TTFT = append(res.TTFT, time.Duration(s.firstTok-s.arrived))
+		res.TPOT = append(res.TPOT, time.Duration(s.finished-s.firstTok)/time.Duration(cfg.GenTokens))
+		res.Total = append(res.Total, time.Duration(s.finished-s.arrived))
+	}
+	res.Conversations = cfg.Sequences
+	if res.Iterations > 0 {
+		res.MeanPool = float64(poolSum) / float64(res.Iterations)
+	}
+	return res, nil
+}

@@ -1,0 +1,53 @@
+package gpusim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkKernelThroughput measures simulator overhead per executed
+// kernel (launch + admission + completion bookkeeping).
+func BenchmarkKernelThroughput(b *testing.B) {
+	eng, n := testNode(b, 1)
+	s := n.NewStream(0)
+	for i := 0; i < b.N; i++ {
+		s.Launch(KernelSpec{Name: "k", Class: Compute, Duration: time.Microsecond,
+			ComputeDemand: 0.5, MemBWDemand: 0.5})
+	}
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkCollectiveThroughput measures rendezvous overhead across 4
+// devices.
+func BenchmarkCollectiveThroughput(b *testing.B) {
+	eng, n := testNode(b, 4)
+	streams := make([]*Stream, 4)
+	for d := range streams {
+		streams[d] = n.NewStream(d)
+	}
+	for i := 0; i < b.N; i++ {
+		coll := n.NewCollective(4)
+		for d := range streams {
+			streams[d].Launch(KernelSpec{Name: "ar", Class: Comm, Duration: time.Microsecond,
+				ComputeDemand: 0.05, MemBWDemand: 0.3, Coll: coll})
+		}
+	}
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkContentionRecompute stresses the rate-recompute path with
+// many concurrent kernels.
+func BenchmarkContentionRecompute(b *testing.B) {
+	eng, n := testNode(b, 1)
+	for i := 0; i < 8; i++ {
+		s := n.NewStream(0)
+		for j := 0; j < b.N/8+1; j++ {
+			s.Launch(KernelSpec{Name: "k", Class: Compute, Duration: 10 * time.Microsecond,
+				ComputeDemand: 0.1, MemBWDemand: 0.3})
+		}
+	}
+	b.ResetTimer()
+	eng.Run()
+}

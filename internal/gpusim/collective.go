@@ -1,0 +1,115 @@
+package gpusim
+
+import (
+	"liger/internal/simclock"
+)
+
+// Collective is a rendezvous group for a multi-device communication
+// kernel (an NCCL-style all-reduce or point-to-point copy). One member
+// kernel is launched on a stream of each participating device with the
+// same *Collective in its spec. Semantics:
+//
+//   - a member occupies its device's resources from local admission —
+//     NCCL kernels busy-wait on their peers, so a rank that arrives
+//     early still holds SMs while it spins;
+//   - progress begins only when every member has been admitted;
+//   - the group advances at the rate of its slowest member device (the
+//     interconnect is driven in lockstep), so contention on any one
+//     device slows the whole collective;
+//   - all members complete at the same instant.
+type Collective struct {
+	node *Node
+	id   int
+	size int
+
+	members []*kernelInstance
+	started bool
+	done    bool
+
+	remainingNS float64
+	rate        float64
+	lastUpdate  simclock.Time
+	completion  simclock.Handle
+}
+
+// Size returns the expected member count.
+func (c *Collective) Size() int { return c.size }
+
+// Started reports whether all members have joined and progress began.
+func (c *Collective) Started() bool { return c.started }
+
+// join registers an admitted member; the last arrival starts the group.
+func (c *Collective) join(k *kernelInstance, now simclock.Time) {
+	if c.done {
+		panic("gpusim: member joined a finished collective")
+	}
+	c.members = append(c.members, k)
+	if len(c.members) > c.size {
+		panic("gpusim: too many members joined collective")
+	}
+	if len(c.members) == c.size {
+		c.start(now)
+	}
+}
+
+func (c *Collective) start(now simclock.Time) {
+	c.started = true
+	c.lastUpdate = now
+	// The collective's work is the largest member duration; members of a
+	// well-formed collective share one duration.
+	for _, m := range c.members {
+		if w := float64(m.spec.Duration); w > c.remainingNS {
+			c.remainingNS = w
+		}
+		m.startedAt = now
+		if tr := c.node.tracer; tr != nil {
+			tr.KernelStart(m.stream.dev.id, m.spec.Name, m.spec.Class, now)
+		}
+	}
+	c.refreshRate(now)
+}
+
+// refreshRate re-times completion after any member device's contention
+// state changed.
+func (c *Collective) refreshRate(now simclock.Time) {
+	if !c.started || c.done {
+		return
+	}
+	// Fold progress at the old rate.
+	elapsed := float64(now - c.lastUpdate)
+	c.remainingNS -= elapsed * c.rate
+	if c.remainingNS < 0 {
+		c.remainingNS = 0
+	}
+	c.lastUpdate = now
+
+	rate := 1.0
+	for _, m := range c.members {
+		dev := m.stream.dev
+		r := dev.speed
+		if m.spec.MemBWDemand > 0 {
+			r = dev.speed / dev.classFactor(m.spec.Class)
+		}
+		if r < rate {
+			rate = r
+		}
+	}
+	if rate == c.rate && c.completion != (simclock.Handle{}) {
+		return
+	}
+	c.rate = rate
+	c.completion.Cancel()
+	delay := completionDelay(c.remainingNS, rate)
+	c.completion = c.node.eng.After(delay, func(t simclock.Time) { c.finish(t) })
+}
+
+func (c *Collective) finish(now simclock.Time) {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.completion.Cancel()
+	for _, m := range c.members {
+		m.stream.dev.finish(m, now)
+	}
+}

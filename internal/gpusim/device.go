@@ -1,0 +1,321 @@
+package gpusim
+
+import (
+	"math"
+	"sort"
+
+	"liger/internal/simclock"
+)
+
+const admitEpsilon = 1e-9
+
+// connection models one host→device launch queue. Commands issued on a
+// connection are delivered in order: delivery time is the later of
+// (issue time + launch latency) and (previous delivery + issue gap),
+// which reproduces both the ~5 µs asynchronous launch cost and the
+// serialization a burst of launches suffers on a shared queue.
+type connection struct {
+	id           int
+	lastDelivery simclock.Time
+}
+
+// DeviceStats aggregates utilization over the run; all durations are in
+// virtual time.
+type DeviceStats struct {
+	// ComputeBusy is time with at least one compute kernel resident.
+	ComputeBusy simclock.Time
+	// CommBusy is time with at least one communication kernel resident.
+	CommBusy simclock.Time
+	// OverlapBusy is time with both classes resident simultaneously —
+	// the interleaving Liger creates.
+	OverlapBusy simclock.Time
+	// KernelsRun counts completed kernels.
+	KernelsRun int
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	node    *Node
+	id      int
+	conns   []*connection
+	streams []*Stream
+
+	running      []*kernelInstance
+	computeInUse float64
+	// membwFactor is the current slowdown (>=1) from bandwidth
+	// oversubscription.
+	membwFactor float64
+
+	// pendingAdmission holds streams whose head kernel was delivered but
+	// did not fit under the left-over policy.
+	pendingAdmission []*Stream
+
+	connRR int
+
+	memCapacity int64
+	memUsed     int64
+
+	// speed scales every kernel's progress rate on this device;
+	// values below 1 model a straggler GPU (thermal throttling, a bad
+	// link, a noisy neighbour).
+	speed float64
+
+	stats      DeviceStats
+	lastSample simclock.Time
+}
+
+func newDevice(n *Node, id, conns int) *Device {
+	d := &Device{node: n, id: id, membwFactor: 1, speed: 1,
+		memCapacity: int64(n.spec.GPU.MemGB * 1e9)}
+	for i := 0; i < conns; i++ {
+		d.conns = append(d.conns, &connection{id: i})
+	}
+	return d
+}
+
+// ID returns the device index within the node.
+func (d *Device) ID() int { return d.id }
+
+// SetSpeed sets the device's progress-rate multiplier (1 is nominal,
+// 0.8 models a 20% straggler). Must be called from an engine callback
+// or before the simulation starts; it applies to kernels from the next
+// rate recomputation on.
+func (d *Device) SetSpeed(f float64) {
+	if f <= 0 {
+		panic("gpusim: device speed must be positive")
+	}
+	d.speed = f
+}
+
+// Speed returns the progress-rate multiplier.
+func (d *Device) Speed() float64 { return d.speed }
+
+// nextConn returns the next connection index round-robin.
+func (d *Device) nextConn() int {
+	c := d.connRR % len(d.conns)
+	d.connRR++
+	return c
+}
+
+// ComputeInUse reports the SM fraction currently allocated.
+func (d *Device) ComputeInUse() float64 { return d.computeInUse }
+
+// RunningKernels reports how many kernels are resident.
+func (d *Device) RunningKernels() int { return len(d.running) }
+
+// sample folds elapsed busy time into the counters. Must be called
+// before the running set changes.
+func (d *Device) sample(now simclock.Time) {
+	dt := now - d.lastSample
+	if dt > 0 {
+		var comp, comm bool
+		for _, k := range d.running {
+			switch k.spec.Class {
+			case Compute:
+				comp = true
+			case Comm:
+				comm = true
+			}
+		}
+		if comp {
+			d.stats.ComputeBusy += dt
+		}
+		if comm {
+			d.stats.CommBusy += dt
+		}
+		if comp && comm {
+			d.stats.OverlapBusy += dt
+		}
+	}
+	d.lastSample = now
+}
+
+func (d *Device) statsAt(now simclock.Time) DeviceStats {
+	d.sample(now)
+	return d.stats
+}
+
+// deliver computes the delivery time of a command issued now on conn.
+func (d *Device) deliver(conn *connection, now simclock.Time) simclock.Time {
+	host := d.node.spec.Host
+	at := now + host.LaunchLatency
+	if min := conn.lastDelivery + host.IssueGap; at < min {
+		at = min
+	}
+	conn.lastDelivery = at
+	return at
+}
+
+// tryAdmit attempts to start the head kernel of stream s under the
+// left-over policy: the kernel starts only if the residual SM pool
+// covers its demand. Returns false if it must wait for capacity.
+func (d *Device) tryAdmit(s *Stream, k *kernelInstance, now simclock.Time) bool {
+	if d.computeInUse+k.spec.ComputeDemand > 1+admitEpsilon {
+		return false
+	}
+	d.sample(now)
+	d.computeInUse += k.spec.ComputeDemand
+	d.running = append(d.running, k)
+	k.state = kRunning
+	k.admittedAt = now
+	k.lastUpdate = now
+	k.remainingNS = float64(k.spec.Duration)
+	k.rate = 0 // set by recompute / collective join below
+	if k.spec.Coll != nil {
+		k.spec.Coll.join(k, now)
+	} else {
+		k.startedAt = now
+		if tr := d.node.tracer; tr != nil {
+			tr.KernelStart(d.id, k.spec.Name, k.spec.Class, now)
+		}
+	}
+	d.recompute(now)
+	return true
+}
+
+// queueForAdmission registers a stream whose head kernel is blocked on
+// capacity.
+func (d *Device) queueForAdmission(s *Stream) {
+	for _, q := range d.pendingAdmission {
+		if q == s {
+			return
+		}
+	}
+	d.pendingAdmission = append(d.pendingAdmission, s)
+}
+
+// admitPending retries blocked streams in deterministic order (delivery
+// time, then stream id). Later small kernels may bypass an earlier big
+// one, as concurrent kernel execution on real devices allows.
+func (d *Device) admitPending(now simclock.Time) {
+	if len(d.pendingAdmission) == 0 {
+		return
+	}
+	sort.Slice(d.pendingAdmission, func(i, j int) bool {
+		a, b := d.pendingAdmission[i], d.pendingAdmission[j]
+		if a.priority != b.priority {
+			return a.priority > b.priority
+		}
+		ha, hb := a.headKernelDelivery(), b.headKernelDelivery()
+		if ha != hb {
+			return ha < hb
+		}
+		return a.id < b.id
+	})
+	var still []*Stream
+	for _, s := range d.pendingAdmission {
+		cmd := s.head()
+		if cmd == nil || cmd.kind != cmdKernel || cmd.kernel.state != kQueued {
+			continue // stream advanced some other way
+		}
+		if d.tryAdmit(s, cmd.kernel, now) {
+			continue
+		}
+		still = append(still, s)
+	}
+	d.pendingAdmission = still
+}
+
+// finish completes a kernel: releases resources, advances the stream,
+// retries blocked admissions and refreshes rates.
+func (d *Device) finish(k *kernelInstance, now simclock.Time) {
+	if k.state != kRunning {
+		return
+	}
+	d.sample(now)
+	k.state = kDone
+	k.finishedAt = now
+	k.completion.Cancel()
+	d.computeInUse -= k.spec.ComputeDemand
+	if d.computeInUse < 0 {
+		d.computeInUse = 0
+	}
+	for i, r := range d.running {
+		if r == k {
+			d.running = append(d.running[:i], d.running[i+1:]...)
+			break
+		}
+	}
+	d.stats.KernelsRun++
+	if tr := d.node.tracer; tr != nil {
+		tr.KernelEnd(d.id, k.spec.Name, k.spec.Class, k.startedAt, now)
+	}
+	k.stream.completeHead(now)
+	d.admitPending(now)
+	d.recompute(now)
+	if k.spec.OnDone != nil {
+		k.spec.OnDone(now)
+	}
+}
+
+// recompute refreshes the contention state after the running set
+// changed: memory-bandwidth oversubscription slows every memory-using
+// kernel by the oversubscription factor — communication kernels by the
+// factor raised to the node's CommBWSensitivity, since pipelined
+// collectives amplify memory stalls into interconnect bubbles (§2.3.2);
+// collectives take the slowest member device's rate.
+func (d *Device) recompute(now simclock.Time) {
+	var bw float64
+	for _, k := range d.running {
+		bw += k.spec.MemBWDemand
+	}
+	factor := 1.0
+	if bw > 1 {
+		factor = bw
+	}
+	d.membwFactor = factor
+
+	var colls []*Collective
+	for _, k := range d.running {
+		if k.spec.Coll != nil {
+			found := false
+			for _, c := range colls {
+				if c == k.spec.Coll {
+					found = true
+					break
+				}
+			}
+			if !found {
+				colls = append(colls, k.spec.Coll)
+			}
+			continue
+		}
+		rate := d.speed
+		if k.spec.MemBWDemand > 0 {
+			rate = d.speed / d.classFactor(k.spec.Class)
+		}
+		d.setKernelRate(k, rate, now)
+	}
+	for _, c := range colls {
+		c.refreshRate(now)
+	}
+}
+
+// classFactor returns the slowdown applied to a kernel class under the
+// current bandwidth oversubscription.
+func (d *Device) classFactor(class KernelClass) float64 {
+	if d.membwFactor <= 1 {
+		return 1
+	}
+	if class == Comm {
+		if s := d.node.spec.Contention.CommBWSensitivity; s > 0 {
+			return math.Pow(d.membwFactor, s)
+		}
+	}
+	return d.membwFactor
+}
+
+// setKernelRate re-times a local kernel's completion under a new rate.
+func (d *Device) setKernelRate(k *kernelInstance, rate float64, now simclock.Time) {
+	k.updateProgress(now)
+	if k.rate == rate && k.completion != (simclock.Handle{}) {
+		return
+	}
+	k.rate = rate
+	k.completion.Cancel()
+	delay := completionDelay(k.remainingNS, rate)
+	k.completion = d.node.eng.After(delay, func(t simclock.Time) {
+		k.updateProgress(t)
+		d.finish(k, t)
+	})
+}

@@ -1,0 +1,108 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"liger/internal/simclock"
+)
+
+// KernelClass distinguishes the two kernel families whose interleaving
+// Liger schedules (§3.1): computation kernels (GEMM, attention,
+// elementwise) and communication kernels (collectives, p2p copies).
+type KernelClass int
+
+const (
+	// Compute marks kernels that primarily use SMs and HBM bandwidth.
+	Compute KernelClass = iota
+	// Comm marks kernels that primarily move data between devices.
+	Comm
+)
+
+// String implements fmt.Stringer.
+func (c KernelClass) String() string {
+	switch c {
+	case Compute:
+		return "compute"
+	case Comm:
+		return "comm"
+	default:
+		return fmt.Sprintf("KernelClass(%d)", int(c))
+	}
+}
+
+// KernelSpec describes one kernel launch. Duration is the solo execution
+// time (no concurrent kernels); the contention engine stretches it when
+// the device's memory bandwidth is oversubscribed.
+type KernelSpec struct {
+	Name  string
+	Class KernelClass
+	// Duration is the kernel's execution time when running alone.
+	Duration time.Duration
+	// ComputeDemand is the fraction of the device's SMs the kernel
+	// occupies while resident. Admission follows the left-over policy:
+	// a kernel starts only when the running set leaves enough SMs.
+	ComputeDemand float64
+	// MemBWDemand is the fraction of HBM bandwidth the kernel wants;
+	// oversubscription slows every memory-using kernel proportionally.
+	MemBWDemand float64
+	// Coll, when non-nil, makes this launch one member of a collective:
+	// the kernel occupies resources from local admission (NCCL kernels
+	// busy-wait) but progresses only once every member has been admitted,
+	// and all members finish together.
+	Coll *Collective
+	// Batch and Seq carry scheduling metadata through to traces.
+	Batch int
+	Seq   int
+	// OnDone, if set, runs when the kernel completes.
+	OnDone func(now simclock.Time)
+}
+
+type kernelState int
+
+const (
+	kQueued kernelState = iota
+	kRunning
+	kDone
+)
+
+// kernelInstance is a launched kernel tracked by the simulator.
+type kernelInstance struct {
+	spec   KernelSpec
+	stream *Stream
+	state  kernelState
+
+	// remainingNS is solo-time work left, in float nanoseconds.
+	remainingNS float64
+	rate        float64
+	lastUpdate  simclock.Time
+	completion  simclock.Handle
+
+	admittedAt simclock.Time
+	startedAt  simclock.Time // for collectives: when progress began
+	finishedAt simclock.Time
+}
+
+// updateProgress folds elapsed time into remaining work at the old rate.
+func (k *kernelInstance) updateProgress(now simclock.Time) {
+	if k.state != kRunning {
+		return
+	}
+	elapsed := float64(now - k.lastUpdate)
+	k.remainingNS -= elapsed * k.rate
+	if k.remainingNS < 0 {
+		k.remainingNS = 0
+	}
+	k.lastUpdate = now
+}
+
+// completionDelay converts remaining work at the given rate into a
+// duration, rounding up so completion never fires early.
+func completionDelay(remainingNS, rate float64) time.Duration {
+	if rate <= 0 {
+		return time.Duration(math.MaxInt64 / 4)
+	}
+	d := remainingNS / rate
+	return time.Duration(math.Ceil(d))
+}

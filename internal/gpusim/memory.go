@@ -1,0 +1,63 @@
+package gpusim
+
+import (
+	"fmt"
+)
+
+// Device memory accounting. The simulator tracks a byte pool per
+// device: runtimes allocate the model weights once at construction and
+// an activation workspace per in-flight batch, so over-admission
+// surfaces as allocation failure (the backpressure a real serving
+// system gets from cudaMalloc) instead of silently ignoring capacity.
+
+// MemCapacity returns the device's total memory in bytes.
+func (d *Device) MemCapacity() int64 { return d.memCapacity }
+
+// MemUsed returns currently allocated bytes.
+func (d *Device) MemUsed() int64 { return d.memUsed }
+
+// MemFree returns unallocated bytes.
+func (d *Device) MemFree() int64 { return d.memCapacity - d.memUsed }
+
+// Alloc reserves bytes of device memory.
+func (d *Device) Alloc(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("gpusim: negative allocation %d on device %d", bytes, d.id)
+	}
+	if d.memUsed+bytes > d.memCapacity {
+		return fmt.Errorf("gpusim: device %d out of memory: %d requested, %d free of %d",
+			d.id, bytes, d.MemFree(), d.memCapacity)
+	}
+	d.memUsed += bytes
+	return nil
+}
+
+// Free releases bytes of device memory. Over-freeing panics: it always
+// indicates a runtime accounting bug.
+func (d *Device) Free(bytes int64) {
+	if bytes < 0 || bytes > d.memUsed {
+		panic(fmt.Sprintf("gpusim: device %d freeing %d of %d used", d.id, bytes, d.memUsed))
+	}
+	d.memUsed -= bytes
+}
+
+// AllocAll reserves the same amount on every device of the node,
+// rolling back on partial failure.
+func (n *Node) AllocAll(bytes int64) error {
+	for i, d := range n.devices {
+		if err := d.Alloc(bytes); err != nil {
+			for j := 0; j < i; j++ {
+				n.devices[j].Free(bytes)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// FreeAll releases the same amount on every device.
+func (n *Node) FreeAll(bytes int64) {
+	for _, d := range n.devices {
+		d.Free(bytes)
+	}
+}

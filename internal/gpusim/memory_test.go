@@ -1,0 +1,102 @@
+package gpusim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMemAllocFree(t *testing.T) {
+	_, n := testNode(t, 2)
+	d := n.Device(0)
+	cap := d.MemCapacity()
+	if cap <= 0 {
+		t.Fatal("no capacity")
+	}
+	if err := d.Alloc(cap / 2); err != nil {
+		t.Fatal(err)
+	}
+	if d.MemUsed() != cap/2 || d.MemFree() != cap-cap/2 {
+		t.Fatalf("used %d free %d", d.MemUsed(), d.MemFree())
+	}
+	if err := d.Alloc(d.MemFree() + 1); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	d.Free(cap / 2)
+	if d.MemUsed() != 0 {
+		t.Fatalf("used %d after free", d.MemUsed())
+	}
+}
+
+func TestMemNegativeAlloc(t *testing.T) {
+	_, n := testNode(t, 1)
+	if err := n.Device(0).Alloc(-1); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+}
+
+func TestMemOverFreePanics(t *testing.T) {
+	_, n := testNode(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-free did not panic")
+		}
+	}()
+	n.Device(0).Free(1)
+}
+
+func TestAllocAllRollsBack(t *testing.T) {
+	_, n := testNode(t, 3)
+	// Fill device 2 so a node-wide allocation must fail and roll back.
+	d2 := n.Device(2)
+	if err := d2.Alloc(d2.MemCapacity()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AllocAll(1024); err == nil {
+		t.Fatal("AllocAll succeeded with a full device")
+	}
+	for i := 0; i < 2; i++ {
+		if n.Device(i).MemUsed() != 0 {
+			t.Fatalf("device %d leaked %d bytes after rollback", i, n.Device(i).MemUsed())
+		}
+	}
+}
+
+func TestFreeAll(t *testing.T) {
+	_, n := testNode(t, 4)
+	if err := n.AllocAll(4096); err != nil {
+		t.Fatal(err)
+	}
+	n.FreeAll(4096)
+	for i := 0; i < 4; i++ {
+		if n.Device(i).MemUsed() != 0 {
+			t.Fatalf("device %d not freed", i)
+		}
+	}
+}
+
+// Property: any interleaving of successful allocations and their frees
+// keeps used within [0, capacity].
+func TestPropertyMemConsistency(t *testing.T) {
+	f := func(sizes []uint32) bool {
+		_, n := testNode(t, 1)
+		d := n.Device(0)
+		var held []int64
+		for _, s := range sizes {
+			b := int64(s % (1 << 30))
+			if d.Alloc(b) == nil {
+				held = append(held, b)
+			}
+			if len(held) > 4 {
+				d.Free(held[0])
+				held = held[1:]
+			}
+			if d.MemUsed() < 0 || d.MemUsed() > d.MemCapacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

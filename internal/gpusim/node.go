@@ -1,0 +1,151 @@
+// Package gpusim is a discrete-event simulator of an NVIDIA-style
+// multi-GPU node. It models the pieces of the platform that Liger's
+// scheduling depends on (§2):
+//
+//   - devices with a finite SM pool and finite HBM bandwidth, running
+//     kernels concurrently under a left-over admission policy;
+//   - CUDA-like streams with in-order execution, events, inter-stream
+//     waits, and host notification;
+//   - host→device launch connections (CUDA_DEVICE_MAX_CONNECTIONS) with
+//     realistic launch latency and issue serialization;
+//   - collective kernels with rendezvous semantics: members occupy
+//     resources from local admission (as NCCL's busy-waiting kernels do)
+//     and progress only once every rank has joined;
+//   - a contention engine: when the memory-bandwidth demands of resident
+//     kernels oversubscribe the device, every memory-using kernel slows
+//     down proportionally — this is the phenomenon the paper's
+//     contention factors anticipate (§3.5).
+//
+// The simulator knows nothing about transformers or Liger; it executes
+// whatever kernels the runtimes launch and reports precise timing.
+package gpusim
+
+import (
+	"fmt"
+	"time"
+
+	"liger/internal/hw"
+	"liger/internal/simclock"
+)
+
+// Tracer receives kernel lifecycle callbacks; used by the profiler and
+// the Chrome-trace exporter. Implementations must not mutate simulator
+// state.
+type Tracer interface {
+	KernelStart(dev int, name string, class KernelClass, start simclock.Time)
+	KernelEnd(dev int, name string, class KernelClass, start, end simclock.Time)
+}
+
+// Node is a simulated multi-GPU server attached to a simclock engine.
+type Node struct {
+	eng     *simclock.Engine
+	spec    hw.Node
+	devices []*Device
+
+	nextStreamID int
+	nextCollID   int
+
+	tracer Tracer
+}
+
+// New builds a simulated node from a hardware description.
+func New(eng *simclock.Engine, spec hw.Node) (*Node, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{eng: eng, spec: spec}
+	for i := 0; i < spec.NumGPUs; i++ {
+		n.devices = append(n.devices, newDevice(n, i, spec.Host.MaxConnections))
+	}
+	return n, nil
+}
+
+// MustNew is New but panics on error; for tests and examples with
+// known-good specs.
+func MustNew(eng *simclock.Engine, spec hw.Node) *Node {
+	n, err := New(eng, spec)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Engine returns the simulation engine driving this node.
+func (n *Node) Engine() *simclock.Engine { return n.eng }
+
+// Spec returns the hardware description.
+func (n *Node) Spec() hw.Node { return n.spec }
+
+// NumDevices returns the GPU count.
+func (n *Node) NumDevices() int { return len(n.devices) }
+
+// Device returns device i.
+func (n *Node) Device(i int) *Device { return n.devices[i] }
+
+// SetTracer installs a kernel lifecycle tracer (nil to disable).
+func (n *Node) SetTracer(t Tracer) { n.tracer = t }
+
+// NewStream creates a stream on device dev. Streams are assigned to
+// host→device connections round-robin, mirroring how CUDA maps streams
+// onto CUDA_DEVICE_MAX_CONNECTIONS hardware queues.
+func (n *Node) NewStream(dev int) *Stream {
+	return n.NewStreamOnConnection(dev, n.devices[dev].nextConn())
+}
+
+// NewStreamOnConnection creates a stream bound to a specific launch
+// connection. Liger places compute and communication streams on separate
+// connections so a burst of compute launches cannot delay a
+// communication kernel's delivery (§3.4).
+func (n *Node) NewStreamOnConnection(dev, conn int) *Stream {
+	d := n.devices[dev]
+	if conn < 0 || conn >= len(d.conns) {
+		panic(fmt.Sprintf("gpusim: connection %d out of range (device has %d)", conn, len(d.conns)))
+	}
+	s := &Stream{node: n, dev: d, id: n.nextStreamID, conn: d.conns[conn]}
+	n.nextStreamID++
+	d.streams = append(d.streams, s)
+	return s
+}
+
+// NewCollective creates a rendezvous group expecting size members.
+func (n *Node) NewCollective(size int) *Collective {
+	if size < 1 {
+		panic("gpusim: collective size must be >= 1")
+	}
+	c := &Collective{node: n, id: n.nextCollID, size: size}
+	n.nextCollID++
+	return c
+}
+
+// HostBarrier invokes fn once every event in events has fired, adding
+// the host notification latency plus the multi-device relaunch jitter
+// (§4.5: waiting for kernels on all GPUs costs well over the single
+// null-kernel launch latency). This is the CPU-GPU synchronization
+// primitive used by the non-hybrid scheduler mode.
+func (n *Node) HostBarrier(events []*Event, fn func(now simclock.Time)) {
+	if len(events) == 0 {
+		n.eng.After(0, fn)
+		return
+	}
+	pending := len(events)
+	jitter := n.spec.Host.NotifyLatency +
+		time.Duration(len(n.devices))*n.spec.Host.SyncJitterPerDevice
+	for _, ev := range events {
+		ev.onFire(func(simclock.Time) {
+			pending--
+			if pending == 0 {
+				n.eng.After(jitter, fn)
+			}
+		})
+	}
+}
+
+// Stats returns a copy of every device's utilization counters, folding
+// in busy time up to the current instant.
+func (n *Node) Stats() []DeviceStats {
+	out := make([]DeviceStats, len(n.devices))
+	for i, d := range n.devices {
+		out[i] = d.statsAt(n.eng.Now())
+	}
+	return out
+}

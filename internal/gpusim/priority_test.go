@@ -1,0 +1,66 @@
+package gpusim
+
+import (
+	"testing"
+	"time"
+
+	"liger/internal/simclock"
+)
+
+func TestPriorityOrdersBlockedAdmissions(t *testing.T) {
+	eng, n := testNode(t, 1)
+	hog := n.NewStream(0)
+	low := n.NewStream(0)
+	high := n.NewStream(0)
+	low.SetPriority(-1)
+	high.SetPriority(1)
+	var lowDone, highDone simclock.Time
+	// The hog occupies the device; two big kernels queue behind it on
+	// different streams. The high-priority one must be admitted first
+	// even though the low-priority one was delivered earlier.
+	launch(hog, "hog", Compute, 100*time.Microsecond, 0.9, 0.2, nil)
+	launch(low, "low", Compute, 50*time.Microsecond, 0.9, 0.2, &lowDone)
+	launch(high, "high", Compute, 50*time.Microsecond, 0.9, 0.2, &highDone)
+	eng.Run()
+	if highDone >= lowDone {
+		t.Fatalf("high-priority kernel finished at %v, after low-priority %v", highDone, lowDone)
+	}
+}
+
+// TestPriorityDoesNotFixDeliveryLag reproduces the §2.3.1 observation:
+// assigning communication kernels to a high-priority stream does not
+// resolve the launch lag, because priority only reorders *admission* —
+// a kernel stuck behind a burst of launches on a shared host→device
+// connection is still delivered late.
+func TestPriorityDoesNotFixDeliveryLag(t *testing.T) {
+	eng, n := testNode(t, 1)
+	burst := n.NewStreamOnConnection(0, 0)
+	comm := n.NewStreamOnConnection(0, 0) // same connection as the burst
+	comm.SetPriority(10)
+	for i := 0; i < 20; i++ {
+		launch(burst, "b", Compute, 0, 0.05, 0, nil)
+	}
+	var commDone simclock.Time
+	launch(comm, "comm", Comm, 0, 0.05, 0, &commDone)
+	eng.Run()
+	// Delivery-bound: launchLatency + 20 issue gaps, despite priority.
+	if want := 5*time.Microsecond + 20*time.Microsecond; commDone != want {
+		t.Fatalf("prioritized comm kernel finished at %v, want %v (delivery-bound)", commDone, want)
+	}
+}
+
+func TestSeparateConnectionFixesWhatPriorityCannot(t *testing.T) {
+	// Liger's actual remedy: a dedicated connection for communication.
+	eng, n := testNode(t, 1)
+	burst := n.NewStreamOnConnection(0, 0)
+	comm := n.NewStreamOnConnection(0, 1)
+	for i := 0; i < 20; i++ {
+		launch(burst, "b", Compute, 0, 0.05, 0, nil)
+	}
+	var commDone simclock.Time
+	launch(comm, "comm", Comm, 0, 0.05, 0, &commDone)
+	eng.Run()
+	if want := 5 * time.Microsecond; commDone != want {
+		t.Fatalf("comm kernel on dedicated connection finished at %v, want %v", commDone, want)
+	}
+}

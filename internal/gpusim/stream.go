@@ -1,0 +1,209 @@
+package gpusim
+
+import (
+	"liger/internal/simclock"
+)
+
+type cmdKind int
+
+const (
+	cmdKernel cmdKind = iota
+	cmdRecord
+	cmdWait
+)
+
+// command is one entry in a stream's FIFO.
+type command struct {
+	kind           cmdKind
+	kernel         *kernelInstance
+	event          *Event
+	deliveredAt    simclock.Time
+	delivered      bool
+	waitRegistered bool
+}
+
+// Event mirrors a CUDA event: recorded on a stream, it fires once all
+// prior work on that stream completes. Other streams can wait on it
+// without CPU involvement (inter-stream synchronization, Fig. 8), and
+// the host can register a notification callback.
+type Event struct {
+	node    *Node
+	fired   bool
+	firedAt simclock.Time
+	subs    []func(simclock.Time)
+}
+
+// Fired reports whether the event has completed.
+func (e *Event) Fired() bool { return e.fired }
+
+// FiredAt returns the completion instant (zero if not fired).
+func (e *Event) FiredAt() simclock.Time { return e.firedAt }
+
+func (e *Event) fire(now simclock.Time) {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	e.firedAt = now
+	subs := e.subs
+	e.subs = nil
+	for _, fn := range subs {
+		fn(now)
+	}
+}
+
+// onFire registers an immediate (same-instant) callback.
+func (e *Event) onFire(fn func(simclock.Time)) {
+	if e.fired {
+		fn(e.firedAt)
+		return
+	}
+	e.subs = append(e.subs, fn)
+}
+
+// Observe registers an instrumentation callback invoked at the event's
+// completion instant with no host latency. For measurement only — work
+// launched from it would bypass the modeled CPU path.
+func (e *Event) Observe(fn func(now simclock.Time)) { e.onFire(fn) }
+
+// OnHost invokes fn on the "CPU" once the event completes, adding the
+// host notification latency. This is the mechanism behind hybrid
+// synchronization's pre-launch trigger (§3.4).
+func (e *Event) OnHost(fn func(now simclock.Time)) {
+	lat := e.node.spec.Host.NotifyLatency
+	e.onFire(func(simclock.Time) {
+		e.node.eng.After(lat, fn)
+	})
+}
+
+// Stream is a CUDA-like in-order command queue on one device.
+type Stream struct {
+	node     *Node
+	dev      *Device
+	id       int
+	conn     *connection
+	queue    []*command
+	priority int
+}
+
+// SetPriority raises (positive) or lowers the stream's scheduling
+// priority. Priority affects only the admission order among kernels
+// already delivered to the device — exactly like CUDA stream
+// priorities. It does not reorder host→device delivery, which is why
+// the paper found priorities insufficient against the communication
+// launch lag (§2.3.1).
+func (s *Stream) SetPriority(p int) { s.priority = p }
+
+// Priority returns the stream's scheduling priority.
+func (s *Stream) Priority() int { return s.priority }
+
+// ID returns the stream's node-unique identifier.
+func (s *Stream) ID() int { return s.id }
+
+// DeviceID returns the owning device index.
+func (s *Stream) DeviceID() int { return s.dev.id }
+
+// QueueLen reports commands not yet completed.
+func (s *Stream) QueueLen() int { return len(s.queue) }
+
+// Idle reports whether the stream has no outstanding work.
+func (s *Stream) Idle() bool { return len(s.queue) == 0 }
+
+// issue appends a command, computing its host→device delivery time from
+// the stream's launch connection, and schedules the delivery.
+func (s *Stream) issue(cmd *command) {
+	now := s.node.eng.Now()
+	cmd.deliveredAt = s.dev.deliver(s.conn, now)
+	s.queue = append(s.queue, cmd)
+	s.node.eng.At(cmd.deliveredAt, func(t simclock.Time) {
+		cmd.delivered = true
+		s.advance(t)
+	})
+}
+
+// Launch enqueues a kernel. The call returns immediately (asynchronous
+// launch); execution follows stream order, delivery latency and the
+// device's admission policy.
+func (s *Stream) Launch(spec KernelSpec) {
+	if spec.ComputeDemand < 0 || spec.MemBWDemand < 0 || spec.Duration < 0 {
+		panic("gpusim: negative kernel demand or duration")
+	}
+	k := &kernelInstance{spec: spec, stream: s}
+	s.issue(&command{kind: cmdKernel, kernel: k})
+}
+
+// Record enqueues an event-record command and returns the event.
+func (s *Stream) Record() *Event {
+	ev := &Event{node: s.node}
+	s.issue(&command{kind: cmdRecord, event: ev})
+	return ev
+}
+
+// Wait enqueues a wait: subsequent commands on s do not execute until ev
+// fires. This is pure inter-stream synchronization — no CPU round trip.
+func (s *Stream) Wait(ev *Event) {
+	s.issue(&command{kind: cmdWait, event: ev})
+}
+
+// head returns the oldest incomplete command, or nil.
+func (s *Stream) head() *command {
+	if len(s.queue) == 0 {
+		return nil
+	}
+	return s.queue[0]
+}
+
+// headKernelDelivery is used for deterministic admission ordering.
+func (s *Stream) headKernelDelivery() simclock.Time {
+	if cmd := s.head(); cmd != nil {
+		return cmd.deliveredAt
+	}
+	return 0
+}
+
+func (s *Stream) pop() { s.queue = s.queue[1:] }
+
+// completeHead is called by the device when the head kernel finishes.
+func (s *Stream) completeHead(now simclock.Time) {
+	if len(s.queue) > 0 && s.queue[0].kind == cmdKernel && s.queue[0].kernel.state == kDone {
+		s.pop()
+	}
+	s.advance(now)
+}
+
+// advance processes as many head commands as are currently eligible.
+func (s *Stream) advance(now simclock.Time) {
+	for {
+		cmd := s.head()
+		if cmd == nil || !cmd.delivered {
+			return
+		}
+		switch cmd.kind {
+		case cmdRecord:
+			s.pop()
+			cmd.event.fire(now)
+		case cmdWait:
+			if cmd.event.fired {
+				s.pop()
+				continue
+			}
+			if !cmd.waitRegistered {
+				cmd.waitRegistered = true
+				cmd.event.onFire(func(t simclock.Time) { s.advance(t) })
+			}
+			return
+		case cmdKernel:
+			switch cmd.kernel.state {
+			case kQueued:
+				if !s.dev.tryAdmit(s, cmd.kernel, now) {
+					s.dev.queueForAdmission(s)
+				}
+				return
+			case kRunning:
+				return
+			case kDone:
+				s.pop()
+			}
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package hw describes the multi-GPU node hardware that the simulator
+// models: GPU compute/memory characteristics and the inter-GPU
+// interconnect. Two presets mirror the paper's testbeds (§4.1): a node
+// with 4 NVIDIA V100 16 GB GPUs linked by NVLink, and a node with
+// 4 NVIDIA A100 80 GB GPUs communicating over a PCIe switch.
+package hw
+
+import (
+	"fmt"
+	"time"
+)
+
+// GPUSpec captures the per-device characteristics that matter for the
+// kernel cost model and the contention model.
+type GPUSpec struct {
+	Name string
+	// FP16TFLOPS is the peak FP16 tensor-core throughput in TFLOP/s.
+	FP16TFLOPS float64
+	// MemBWGBs is the peak HBM bandwidth in GB/s.
+	MemBWGBs float64
+	// SMs is the number of streaming multiprocessors; used to translate
+	// NCCL channel counts into a fractional compute-resource demand.
+	SMs int
+	// MemGB is the device memory capacity, used for model placement checks.
+	MemGB float64
+	// MaxGEMMEff is the fraction of peak FLOP/s a large, well-shaped
+	// GEMM achieves on this GPU (cuBLAS-style efficiency ceiling).
+	MaxGEMMEff float64
+}
+
+// InterconnectSpec captures the GPU-to-GPU fabric.
+type InterconnectSpec struct {
+	Name string
+	// AllReduceBusBWGBs is the peak all-reduce *bus* bandwidth in GB/s as
+	// reported by nccl-tests (busbw = algbw * 2(n-1)/n). The paper
+	// reports 32.75 GB/s for the V100/NVLink node and 14.88 GB/s for the
+	// A100/PCIe node.
+	AllReduceBusBWGBs float64
+	// P2PBWGBs is the point-to-point bandwidth in GB/s used by pipeline
+	// (inter-operator) stage transfers.
+	P2PBWGBs float64
+	// CollectiveLatency is the fixed startup cost of a collective once
+	// all ranks have joined.
+	CollectiveLatency time.Duration
+	// P2PLatency is the fixed startup cost of a point-to-point copy.
+	P2PLatency time.Duration
+}
+
+// HostSpec captures CPU-side kernel launch behaviour (§2.1, §3.4, §4.5).
+type HostSpec struct {
+	// LaunchLatency is the host→device delivery latency of a single
+	// asynchronously launched kernel (the ~5 µs "null kernel" figure).
+	LaunchLatency time.Duration
+	// IssueGap is the CPU-side serialization between back-to-back
+	// launches on one connection (driver + PCIe posting).
+	IssueGap time.Duration
+	// NotifyLatency is the time for the CPU to observe a completed CUDA
+	// event (polling/interrupt path) before it can react.
+	NotifyLatency time.Duration
+	// SyncJitterPerDevice is the extra per-device inconsistency when the
+	// CPU relaunches work on all devices after a full synchronization;
+	// §4.5 attributes the >20 µs switch cost to this plus PCIe
+	// contention.
+	SyncJitterPerDevice time.Duration
+	// MaxConnections mirrors CUDA_DEVICE_MAX_CONNECTIONS: the number of
+	// independent host→device launch queues. Liger sets it to 2.
+	MaxConnections int
+}
+
+// ContentionSpec gives the fractional resource demands used by the
+// contention engine for each kernel class. Demands are fractions of a
+// device's compute (SM) and memory-bandwidth pools; overlapping kernels
+// whose combined memory-bandwidth demand exceeds 1.0 all slow down
+// proportionally (§2.3.2).
+type ContentionSpec struct {
+	// GEMMCompute / GEMMMemBW are the demands of a dense GEMM kernel.
+	GEMMCompute, GEMMMemBW float64
+	// AuxCompute / AuxMemBW are the demands of memory-bound elementwise
+	// and attention kernels.
+	AuxCompute, AuxMemBW float64
+	// CommComputeDefault is the SM demand of a collective kernel with
+	// NCCL's default (redundant) channel allocation.
+	CommComputeDefault float64
+	// CommComputeReduced is the SM demand after Liger trims
+	// NCCL_MAX_NCHANNELS / NCCL_NTHREADS (§3.5).
+	CommComputeReduced float64
+	// CommMemBW is the memory-bandwidth demand of a collective kernel.
+	CommMemBW float64
+	// CommBWSensitivity is the exponent applied to the bandwidth
+	// oversubscription factor for communication kernels: ring-pipelined
+	// collectives amplify memory stalls into interconnect bubbles
+	// (Rashidi et al. [31]), so they slow disproportionately under
+	// contention. This asymmetry is what the paper's contention factor
+	// anticipates — the secondary (communication) subset can outlast the
+	// primary window if scheduled from no-load durations. Zero means 1.
+	CommBWSensitivity float64
+}
+
+// Node is a complete description of a multi-GPU server.
+type Node struct {
+	Name         string
+	GPU          GPUSpec
+	NumGPUs      int
+	Interconnect InterconnectSpec
+	Host         HostSpec
+	Contention   ContentionSpec
+}
+
+// Validate reports configuration errors that would make a simulation
+// meaningless.
+func (n Node) Validate() error {
+	switch {
+	case n.NumGPUs < 1:
+		return fmt.Errorf("hw: node %q has %d GPUs", n.Name, n.NumGPUs)
+	case n.GPU.FP16TFLOPS <= 0:
+		return fmt.Errorf("hw: node %q GPU peak FLOP/s must be positive", n.Name)
+	case n.GPU.MemBWGBs <= 0:
+		return fmt.Errorf("hw: node %q GPU memory bandwidth must be positive", n.Name)
+	case n.NumGPUs > 1 && n.Interconnect.AllReduceBusBWGBs <= 0:
+		return fmt.Errorf("hw: node %q needs an interconnect bandwidth", n.Name)
+	case n.Host.MaxConnections < 1:
+		return fmt.Errorf("hw: node %q needs at least one launch connection", n.Name)
+	case n.GPU.MaxGEMMEff <= 0 || n.GPU.MaxGEMMEff > 1:
+		return fmt.Errorf("hw: node %q GEMM efficiency %v outside (0,1]", n.Name, n.GPU.MaxGEMMEff)
+	}
+	return nil
+}
+
+// AllReduceAlgoBWGBs converts the nccl-tests bus bandwidth into the
+// algorithm bandwidth seen by one rank: algbw = busbw * n / (2(n-1)).
+// For a single GPU there is no communication.
+func (n Node) AllReduceAlgoBWGBs() float64 {
+	if n.NumGPUs <= 1 {
+		return 0
+	}
+	k := float64(n.NumGPUs)
+	return n.Interconnect.AllReduceBusBWGBs * k / (2 * (k - 1))
+}
+
+// WithGPUs returns a copy of the node with a different device count,
+// used by the strong-scaling experiments (Fig. 3, Fig. 12).
+func (n Node) WithGPUs(count int) Node {
+	n.NumGPUs = count
+	n.Name = fmt.Sprintf("%s-%dgpu", n.Name, count)
+	return n
+}
+
+// defaultHost returns launch-path constants shared by both testbeds.
+func defaultHost() HostSpec {
+	return HostSpec{
+		LaunchLatency:       5 * time.Microsecond,
+		IssueGap:            1500 * time.Nanosecond,
+		NotifyLatency:       2 * time.Microsecond,
+		SyncJitterPerDevice: 4 * time.Microsecond,
+		MaxConnections:      2,
+	}
+}
+
+// V100Node returns the paper's first testbed: 4× Tesla V100 16 GB with
+// first-generation NVLink (peak all-reduce bus bandwidth 32.75 GB/s).
+func V100Node() Node {
+	return Node{
+		Name: "v100x4-nvlink",
+		GPU: GPUSpec{
+			Name:       "Tesla V100 16GB",
+			FP16TFLOPS: 112,
+			MemBWGBs:   900,
+			SMs:        80,
+			MemGB:      16,
+			MaxGEMMEff: 0.62,
+		},
+		NumGPUs: 4,
+		Interconnect: InterconnectSpec{
+			Name:              "NVLink (gen1)",
+			AllReduceBusBWGBs: 32.75,
+			P2PBWGBs:          44,
+			CollectiveLatency: 9 * time.Microsecond,
+			P2PLatency:        6 * time.Microsecond,
+		},
+		Host: defaultHost(),
+		Contention: ContentionSpec{
+			GEMMCompute:        0.88,
+			GEMMMemBW:          0.56,
+			AuxCompute:         0.35,
+			AuxMemBW:           0.62,
+			CommComputeDefault: 0.30,
+			CommComputeReduced: 0.08,
+			CommMemBW:          0.48,
+			CommBWSensitivity:  2.4,
+		},
+	}
+}
+
+// A100Node returns the paper's second testbed: 4× A100 80 GB over a PCIe
+// switch (peak all-reduce bus bandwidth 14.88 GB/s).
+func A100Node() Node {
+	return Node{
+		Name: "a100x4-pcie",
+		GPU: GPUSpec{
+			Name:       "A100 80GB PCIe",
+			FP16TFLOPS: 312,
+			MemBWGBs:   2039,
+			SMs:        108,
+			MemGB:      80,
+			MaxGEMMEff: 0.55,
+		},
+		NumGPUs: 4,
+		Interconnect: InterconnectSpec{
+			Name:              "PCIe switch",
+			AllReduceBusBWGBs: 14.88,
+			P2PBWGBs:          12,
+			CollectiveLatency: 16 * time.Microsecond,
+			P2PLatency:        9 * time.Microsecond,
+		},
+		Host: defaultHost(),
+		Contention: ContentionSpec{
+			GEMMCompute:        0.88,
+			GEMMMemBW:          0.55,
+			AuxCompute:         0.35,
+			AuxMemBW:           0.62,
+			CommComputeDefault: 0.32,
+			CommComputeReduced: 0.08,
+			CommMemBW:          0.50,
+			CommBWSensitivity:  2.8,
+		},
+	}
+}
+
+// Presets returns all built-in nodes keyed by name.
+func Presets() map[string]Node {
+	return map[string]Node{
+		"v100": V100Node(),
+		"a100": A100Node(),
+	}
+}
+
+// Preset looks up a node preset by name ("v100" or "a100").
+func Preset(name string) (Node, error) {
+	n, ok := Presets()[name]
+	if !ok {
+		return Node{}, fmt.Errorf("hw: unknown node preset %q", name)
+	}
+	return n, nil
+}

@@ -1,0 +1,113 @@
+package hw
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for name, n := range Presets() {
+		if err := n.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestPaperBandwidths(t *testing.T) {
+	// §4.1: nccl-tests report 32.75 GB/s (V100/NVLink) and 14.88 GB/s
+	// (A100/PCIe) peak all-reduce bus bandwidth.
+	if bw := V100Node().Interconnect.AllReduceBusBWGBs; bw != 32.75 {
+		t.Errorf("V100 bus BW = %v, want 32.75", bw)
+	}
+	if bw := A100Node().Interconnect.AllReduceBusBWGBs; bw != 14.88 {
+		t.Errorf("A100 bus BW = %v, want 14.88", bw)
+	}
+}
+
+func TestAllReduceAlgoBW(t *testing.T) {
+	n := V100Node()
+	// algbw = busbw * n / (2(n-1)) = 32.75 * 4/6.
+	want := 32.75 * 4 / 6
+	got := n.AllReduceAlgoBWGBs()
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("algo BW = %v, want %v", got, want)
+	}
+	if single := n.WithGPUs(1).AllReduceAlgoBWGBs(); single != 0 {
+		t.Fatalf("single-GPU algo BW = %v, want 0", single)
+	}
+}
+
+func TestWithGPUs(t *testing.T) {
+	n := A100Node().WithGPUs(2)
+	if n.NumGPUs != 2 {
+		t.Fatalf("NumGPUs = %d", n.NumGPUs)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadNodes(t *testing.T) {
+	bad := V100Node()
+	bad.NumGPUs = 0
+	if bad.Validate() == nil {
+		t.Error("0 GPUs accepted")
+	}
+	bad = V100Node()
+	bad.GPU.FP16TFLOPS = 0
+	if bad.Validate() == nil {
+		t.Error("0 FLOPS accepted")
+	}
+	bad = V100Node()
+	bad.Host.MaxConnections = 0
+	if bad.Validate() == nil {
+		t.Error("0 connections accepted")
+	}
+	bad = V100Node()
+	bad.GPU.MaxGEMMEff = 1.5
+	if bad.Validate() == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+}
+
+func TestPresetLookup(t *testing.T) {
+	if _, err := Preset("v100"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Preset("h100"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestHostDefaults(t *testing.T) {
+	h := V100Node().Host
+	// §2.3.1 / §4.5: ~5 µs null-kernel launch; MAX_CONNECTIONS=2.
+	if h.LaunchLatency != 5*time.Microsecond {
+		t.Errorf("launch latency %v, want 5µs", h.LaunchLatency)
+	}
+	if h.MaxConnections != 2 {
+		t.Errorf("MaxConnections %d, want 2 (CUDA_DEVICE_MAX_CONNECTIONS=2)", h.MaxConnections)
+	}
+}
+
+func TestContentionSpecShape(t *testing.T) {
+	for name, n := range Presets() {
+		c := n.Contention
+		if c.CommComputeReduced >= c.CommComputeDefault {
+			t.Errorf("%s: reduced channels must shrink SM demand", name)
+		}
+		// Reduced comm must fit alongside a GEMM (the overlap Liger needs);
+		// default channels must not.
+		if c.GEMMCompute+c.CommComputeReduced > 1 {
+			t.Errorf("%s: reduced comm cannot overlap GEMM", name)
+		}
+		if c.GEMMCompute+c.CommComputeDefault <= 1 {
+			t.Errorf("%s: default comm should conflict with GEMM (the §2.3.1 lag)", name)
+		}
+		// Overlapping GEMM + comm oversubscribes bandwidth — the source
+		// of the contention factor.
+		if c.GEMMMemBW+c.CommMemBW <= 1 {
+			t.Errorf("%s: GEMM+comm should oversubscribe memory bandwidth", name)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package liger implements the paper's primary contribution: the
+// interleaved-parallelism runtime (§3). It assembles each arriving
+// batch into a list of kernel launch functions (§3.2), schedules
+// matched-duration subsets of computation and communication kernels
+// from different batches onto per-device compute and communication
+// streams (Algorithm 1, §3.4), controls execution order with hybrid
+// CPU-GPU / inter-stream synchronization (§3.4), anticipates resource
+// contention with contention factors (§3.5), and decomposes lengthy
+// kernels at runtime to tighten the overlap (§3.6).
+package liger
+
+import (
+	"fmt"
+	"time"
+
+	"liger/internal/gpusim"
+	"liger/internal/model"
+	"liger/internal/parallel"
+	"liger/internal/simclock"
+)
+
+// Func is one kernel launch function wrapper (§3.2): the kernel
+// descriptor plus the batch bookkeeping the scheduler needs.
+type Func struct {
+	Desc  parallel.KernelDesc
+	batch *Batch
+}
+
+// BatchClass distinguishes service classes, an extension beyond the
+// paper's FIFO ordering: latency-critical batches always outrank
+// best-effort ones for the primary slot, so best-effort work fills
+// overlap windows without ever delaying critical batches.
+type BatchClass int
+
+const (
+	// LatencyCritical is the default class (the paper's Principle 1
+	// treats every batch this way, FIFO).
+	LatencyCritical BatchClass = iota
+	// BestEffort batches yield the primary slot to critical batches.
+	BestEffort
+)
+
+func (c BatchClass) String() string {
+	if c == BestEffort {
+		return "best-effort"
+	}
+	return "latency-critical"
+}
+
+// Batch is an assembled inference: the FuncVec of one batched request
+// plus execution status. It is created by the Assembler and consumed by
+// the Scheduler.
+type Batch struct {
+	ID int
+	// Workload records the input shape (batch size, sequence length).
+	Workload model.Workload
+	// Class selects the service class; zero value is LatencyCritical.
+	Class BatchClass
+	// WorkspaceBytes is the per-device activation footprint reserved
+	// while the batch is in the processing list (set by the Assembler;
+	// zero disables memory accounting for hand-built batches).
+	WorkspaceBytes int64
+
+	funcs []Func
+	pos   int
+
+	// SubmittedAt / DoneAt bound the batch's latency (pending + CUDA
+	// execution time, the paper's latency metric); FirstLaunchAt splits
+	// the two components.
+	SubmittedAt   simclock.Time
+	FirstLaunchAt simclock.Time
+	DoneAt        simclock.Time
+
+	// pendingKernels counts launched-but-unfinished kernel instances
+	// across devices and rounds.
+	pendingKernels int
+	completed      bool
+
+	onDone func(b *Batch, now simclock.Time)
+}
+
+// NewBatch wraps a compiled kernel sequence as a schedulable batch.
+func NewBatch(id int, w model.Workload, kernels []parallel.KernelDesc) *Batch {
+	b := &Batch{ID: id, Workload: w}
+	b.funcs = make([]Func, len(kernels))
+	for i, k := range kernels {
+		b.funcs[i] = Func{Desc: k, batch: b}
+	}
+	return b
+}
+
+// Remaining reports how many funcs are not yet scheduled.
+func (b *Batch) Remaining() int { return len(b.funcs) - b.pos }
+
+// Exhausted reports whether every func has been scheduled.
+func (b *Batch) Exhausted() bool { return b.pos >= len(b.funcs) }
+
+// Completed reports whether every launched kernel has finished.
+func (b *Batch) Completed() bool { return b.completed }
+
+// Latency returns the batch's end-to-end latency (pending + execution).
+func (b *Batch) Latency() time.Duration {
+	if !b.completed {
+		return 0
+	}
+	return b.DoneAt - b.SubmittedAt
+}
+
+// PendingTime returns how long the batch waited before its first kernel
+// was launched.
+func (b *Batch) PendingTime() time.Duration {
+	if b.FirstLaunchAt == 0 {
+		return 0
+	}
+	return b.FirstLaunchAt - b.SubmittedAt
+}
+
+// ExecutionTime returns the span from first launch to completion.
+func (b *Batch) ExecutionTime() time.Duration {
+	if !b.completed || b.FirstLaunchAt == 0 {
+		return 0
+	}
+	return b.DoneAt - b.FirstLaunchAt
+}
+
+// head returns the next unscheduled func; callers must check
+// Exhausted first.
+func (b *Batch) head() Func { return b.funcs[b.pos] }
+
+// pop consumes and returns the head func.
+func (b *Batch) pop() Func {
+	f := b.funcs[b.pos]
+	b.pos++
+	return f
+}
+
+// replaceHead swaps the head's kernel descriptor — used when runtime
+// decomposition peels a prefix off a lengthy kernel and leaves the
+// remainder in place (§3.6).
+func (b *Batch) replaceHead(desc parallel.KernelDesc) {
+	b.funcs[b.pos].Desc = desc
+}
+
+// nextSwitch reports whether the head kernel's type differs from typ —
+// the switch-point test of Algorithm 1.
+func (b *Batch) nextSwitch(typ gpusim.KernelClass) bool {
+	return b.Exhausted() || b.head().Desc.Class != typ
+}
+
+// kernelLaunched records one launched kernel instance.
+func (b *Batch) kernelLaunched() { b.pendingKernels++ }
+
+// kernelDone records a completion and fires the batch callback when the
+// last in-flight kernel of an exhausted batch lands.
+func (b *Batch) kernelDone(now simclock.Time) {
+	b.pendingKernels--
+	if b.pendingKernels < 0 {
+		panic(fmt.Sprintf("liger: batch %d kernel completion underflow", b.ID))
+	}
+	if b.pendingKernels == 0 && b.Exhausted() && !b.completed {
+		b.completed = true
+		b.DoneAt = now
+		if b.onDone != nil {
+			b.onDone(b, now)
+		}
+	}
+}
+
+// Assembler builds FuncVecs for arriving batches (§3.2). It holds the
+// compiler for the target node and the model being served, and assigns
+// arrival-ordered batch IDs.
+type Assembler struct {
+	compiler *parallel.Compiler
+	spec     model.Spec
+	tp       int
+	nextID   int
+}
+
+// NewAssembler returns an assembler serving spec with tensor-parallel
+// degree tp (the intra-operator partitioning Liger reuses, §3.1).
+func NewAssembler(c *parallel.Compiler, spec model.Spec, tp int) (*Assembler, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if tp < 1 {
+		return nil, fmt.Errorf("liger: tensor-parallel degree %d", tp)
+	}
+	return &Assembler{compiler: c, spec: spec, tp: tp}, nil
+}
+
+// Assemble compiles one batch's inference into a schedulable Batch.
+func (a *Assembler) Assemble(w model.Workload) (*Batch, error) {
+	kernels, err := a.compiler.IntraOp(a.spec, a.tp, w)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBatch(a.nextID, w, kernels)
+	// Live activations at the widest point (FFN expansion), double
+	// buffered — consistent with parallel.PlanPlacement.
+	b.WorkspaceBytes = 3 * int64(w.Tokens()) * int64(a.spec.FFNHidden()) * 2
+	a.nextID++
+	return b, nil
+}
+
+// Spec returns the served model.
+func (a *Assembler) Spec() model.Spec { return a.spec }
+
+// TP returns the tensor-parallel degree.
+func (a *Assembler) TP() int { return a.tp }

@@ -1,0 +1,44 @@
+package liger
+
+import (
+	"testing"
+	"time"
+
+	"liger/internal/simclock"
+)
+
+func TestPendingAndExecutionSplit(t *testing.T) {
+	eng, _, s := testRig(t, testCfg())
+	// Batch 1 arrives while batch 0 monopolizes the node: its pending
+	// time must be visible, and pending + execution must equal latency.
+	b0 := syntheticBatch(0, 12, 3, 60*time.Microsecond, 60*time.Microsecond)
+	b1 := syntheticBatch(1, 12, 3, 60*time.Microsecond, 60*time.Microsecond)
+	eng.After(0, func(simclock.Time) { s.Submit(b0) })
+	eng.At(simclock.Time(100*time.Microsecond), func(simclock.Time) { s.Submit(b1) })
+	eng.Run()
+	for _, b := range []*Batch{b0, b1} {
+		if !b.Completed() {
+			t.Fatalf("batch %d incomplete", b.ID)
+		}
+		if b.PendingTime()+b.ExecutionTime() != b.Latency() {
+			t.Fatalf("batch %d: pending %v + exec %v != latency %v",
+				b.ID, b.PendingTime(), b.ExecutionTime(), b.Latency())
+		}
+		if b.ExecutionTime() <= 0 {
+			t.Fatalf("batch %d has no execution time", b.ID)
+		}
+	}
+	// The second batch's first kernels are donated into b0's windows, so
+	// its pending time is bounded by a round or two, not by b0's whole
+	// duration.
+	if b1.PendingTime() >= b0.Latency() {
+		t.Fatalf("batch 1 pended %v, as long as batch 0's full run %v", b1.PendingTime(), b0.Latency())
+	}
+}
+
+func TestIncompleteBatchTimesAreZero(t *testing.T) {
+	b := syntheticBatch(0, 2, 2, time.Microsecond, time.Microsecond)
+	if b.PendingTime() != 0 || b.ExecutionTime() != 0 || b.Latency() != 0 {
+		t.Fatal("unstarted batch reports nonzero times")
+	}
+}

@@ -1,0 +1,88 @@
+package liger
+
+import (
+	"testing"
+	"time"
+
+	"liger/internal/simclock"
+)
+
+// TestWorkspaceBackpressureShrinksProcessingList verifies that when
+// device memory cannot hold MaxInflight workspaces, the scheduler
+// admits fewer batches instead of over-allocating.
+func TestWorkspaceBackpressureShrinksProcessingList(t *testing.T) {
+	eng, node, s := testRig(t, testCfg())
+	// Occupy memory so only two workspaces fit.
+	ws := int64(1 << 30)
+	free := node.Device(0).MemFree()
+	if err := node.AllocAll(free - 2*ws); err != nil {
+		t.Fatal(err)
+	}
+	var maxProcessing int
+	eng.After(0, func(simclock.Time) {
+		for i := 0; i < 6; i++ {
+			b := syntheticBatch(i, 4, 2, 40*time.Microsecond, 30*time.Microsecond)
+			b.WorkspaceBytes = ws
+			s.Submit(b)
+		}
+		_, p := s.QueueLengths()
+		if p > maxProcessing {
+			maxProcessing = p
+		}
+	})
+	eng.Run()
+	if maxProcessing > 2 {
+		t.Fatalf("processing list reached %d with memory for 2 workspaces", maxProcessing)
+	}
+	if s.Stats().BatchesDone != 6 {
+		t.Fatalf("%d of 6 batches completed under backpressure", s.Stats().BatchesDone)
+	}
+	// All workspaces must be returned.
+	if got := node.Device(0).MemFree(); got != 2*ws {
+		t.Fatalf("workspace leak: %d bytes free, want %d", got, 2*ws)
+	}
+}
+
+func TestZeroWorkspaceSkipsAccounting(t *testing.T) {
+	eng, node, s := testRig(t, testCfg())
+	before := node.Device(0).MemUsed()
+	eng.After(0, func(simclock.Time) {
+		s.Submit(syntheticBatch(0, 2, 2, 40*time.Microsecond, 30*time.Microsecond))
+	})
+	eng.Run()
+	if node.Device(0).MemUsed() != before {
+		t.Fatal("hand-built batch without workspace touched device memory")
+	}
+}
+
+// TestMemoryBackpressureUnderFloodedLaunch regresses the overload OOM:
+// with InterStreamOnly sync the scheduler pre-launches aggressively, so
+// exhausted-but-running batches pile up holding workspace even though
+// the processing list is empty. Admission must wait for completions
+// (which re-kick the scheduler) instead of panicking.
+func TestMemoryBackpressureUnderFloodedLaunch(t *testing.T) {
+	cfg := testCfg()
+	cfg.Sync = InterStreamOnly
+	eng, node, s := testRig(t, cfg)
+	ws := int64(1 << 30)
+	free := node.Device(0).MemFree()
+	if err := node.AllocAll(free - 3*ws); err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	s.SetOnBatchDone(func(*Batch, simclock.Time) { done++ })
+	eng.After(0, func(simclock.Time) {
+		for i := 0; i < 12; i++ {
+			b := syntheticBatch(i, 6, 2, 40*time.Microsecond, 30*time.Microsecond)
+			b.WorkspaceBytes = ws
+			s.Submit(b)
+		}
+	})
+	eng.Run()
+	if done != 12 {
+		t.Fatalf("%d of 12 batches completed under memory-gated flooding", done)
+	}
+	if got := node.Device(0).MemFree(); got != 3*ws {
+		t.Fatalf("workspace leak: %d free, want %d", got, 3*ws)
+	}
+}

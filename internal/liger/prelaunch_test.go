@@ -1,0 +1,79 @@
+package liger
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"liger/internal/gpusim"
+	"liger/internal/hw"
+	"liger/internal/simclock"
+	"liger/internal/trace"
+)
+
+// deviceIdleTime sums the gaps between consecutive kernel spans on one
+// device — exposed launch/synchronization overhead.
+func deviceIdleTime(rec *trace.Recorder, dev int) time.Duration {
+	var spans []trace.Span
+	for _, s := range rec.Spans() {
+		if s.Device == dev {
+			spans = append(spans, s)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	var idle time.Duration
+	var busyUntil simclock.Time
+	for _, s := range spans {
+		if s.Start > busyUntil && busyUntil != 0 {
+			idle += time.Duration(s.Start - busyUntil)
+		}
+		if s.End > busyUntil {
+			busyUntil = s.End
+		}
+	}
+	return idle
+}
+
+// TestHybridPreLaunchHidesOverhead verifies the Fig. 8 mechanism
+// directly: with hybrid synchronization the device timeline has almost
+// no idle gaps between rounds (launches happen while the last kernel of
+// the previous subset runs); with CPU-GPU synchronization every switch
+// point exposes the multi-GPU round trip.
+func TestHybridPreLaunchHidesOverhead(t *testing.T) {
+	run := func(mode SyncMode) (time.Duration, int) {
+		eng := simclock.New()
+		node, err := gpusim.New(eng, hw.V100Node())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.NewRecorder()
+		node.SetTracer(rec)
+		cfg := testCfg()
+		cfg.Sync = mode
+		s, err := NewScheduler(node, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.After(0, func(simclock.Time) {
+			s.Submit(syntheticBatch(0, 16, 3, 50*time.Microsecond, 40*time.Microsecond))
+		})
+		eng.Run()
+		return deviceIdleTime(rec, 0), s.Stats().Rounds
+	}
+	hybridIdle, rounds := run(Hybrid)
+	cpugpuIdle, _ := run(CPUGPU)
+
+	// CPU-GPU: each switch costs notify + relaunch, >20µs per round on a
+	// 4-GPU node (§4.5). Hybrid must hide nearly all of it.
+	if hybridIdle*4 > cpugpuIdle {
+		t.Fatalf("hybrid idle %v not much below cpu-gpu idle %v", hybridIdle, cpugpuIdle)
+	}
+	perRound := cpugpuIdle / time.Duration(rounds)
+	if perRound < 20*time.Microsecond {
+		t.Fatalf("cpu-gpu per-switch overhead %v, paper reports >20µs", perRound)
+	}
+	perRoundHybrid := hybridIdle / time.Duration(rounds)
+	if perRoundHybrid > 6*time.Microsecond {
+		t.Fatalf("hybrid per-switch overhead %v should be a few µs at most", perRoundHybrid)
+	}
+}

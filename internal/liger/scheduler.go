@@ -1,0 +1,492 @@
+package liger
+
+import (
+	"time"
+
+	"liger/internal/gpusim"
+	"liger/internal/parallel"
+	"liger/internal/simclock"
+)
+
+// Stats aggregates scheduler activity over a run.
+type Stats struct {
+	Rounds int
+	// PrimaryKernels / SecondaryKernels count kernels launched in the
+	// primary and overlapped subsets.
+	PrimaryKernels   int
+	SecondaryKernels int
+	// Decompositions counts runtime kernel splits (§3.6).
+	Decompositions int
+	// EmptySecondary counts rounds where no matching subset was found
+	// (low arrival rate: interleaved parallelism degenerating to
+	// intra-op, §3.1).
+	EmptySecondary int
+	// BatchesDone counts completed batches.
+	BatchesDone int
+	// SecondaryOverruns counts rounds whose secondary subset outlasted
+	// the primary on the device timeline.
+	SecondaryOverruns int
+	// AdaptedFactor is the final online contention factor (equals the
+	// configured factor unless AdaptiveContention is on).
+	AdaptedFactor float64
+}
+
+// debugOverrunHook, when set by tests, observes (window, overrun) pairs
+// for every round with a secondary subset.
+var debugOverrunHook func(window, overrun time.Duration)
+
+// Scheduler is the multi-GPU multi-stream scheduler (§3.3). It owns a
+// compute stream and a communication stream on each device (each on its
+// own host launch connection, mirroring CUDA_DEVICE_MAX_CONNECTIONS=2),
+// a waiting queue, and a fixed-size processing list.
+type Scheduler struct {
+	node *gpusim.Node
+	cfg  Config
+
+	compute []*gpusim.Stream
+	comm    []*gpusim.Stream
+
+	// lastComputeEnd / lastCommEnd are the previous round's end events
+	// per device; the next round's streams wait on the *other* stream's
+	// event — the inter-stream half of hybrid synchronization.
+	lastComputeEnd []*gpusim.Event
+	lastCommEnd    []*gpusim.Event
+
+	waiting      []*Batch
+	processing   []*Batch
+	roundPending bool
+
+	onBatchDone func(b *Batch, now simclock.Time)
+	stats       Stats
+
+	// dynFactor is the live contention factor under AdaptiveContention.
+	dynFactor float64
+
+	journal    []RoundRecord
+	journalCap int
+}
+
+// NewScheduler builds a scheduler over the simulated node.
+func NewScheduler(node *gpusim.Node, cfg Config) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Scheduler{node: node, cfg: cfg}
+	for d := 0; d < node.NumDevices(); d++ {
+		// Compute launches on connection 0, communication on connection 1:
+		// a burst of compute launches can never delay the delivery of a
+		// communication kernel (§2.3.1's lag, avoided by construction).
+		s.compute = append(s.compute, node.NewStreamOnConnection(d, 0))
+		conn := 1 % node.Spec().Host.MaxConnections
+		s.comm = append(s.comm, node.NewStreamOnConnection(d, conn))
+	}
+	s.lastComputeEnd = make([]*gpusim.Event, node.NumDevices())
+	s.lastCommEnd = make([]*gpusim.Event, node.NumDevices())
+	s.dynFactor = cfg.ContentionFactor
+	if cfg.AdaptiveContention {
+		// Learn from scratch: start optimistic and let overruns teach.
+		s.dynFactor = 1.0
+	}
+	return s, nil
+}
+
+// contentionFactor returns the factor currently applied to subsequent
+// batches' durations during subset matching.
+func (s *Scheduler) contentionFactor() float64 {
+	if s.cfg.AdaptiveContention {
+		return s.dynFactor
+	}
+	return s.cfg.ContentionFactor
+}
+
+// SetOnBatchDone installs the completion callback (used by the serving
+// layer to record latency).
+func (s *Scheduler) SetOnBatchDone(fn func(b *Batch, now simclock.Time)) { s.onBatchDone = fn }
+
+// Stats returns a copy of the activity counters.
+func (s *Scheduler) Stats() Stats {
+	st := s.stats
+	st.AdaptedFactor = s.contentionFactor()
+	return st
+}
+
+// QueueLengths reports (waiting, processing) sizes.
+func (s *Scheduler) QueueLengths() (int, int) { return len(s.waiting), len(s.processing) }
+
+// Submit enqueues an assembled batch. Must be called from within the
+// simulation (an engine callback); the batch's arrival time is the
+// current virtual time.
+func (s *Scheduler) Submit(b *Batch) {
+	now := s.node.Engine().Now()
+	b.SubmittedAt = now
+	b.onDone = func(b *Batch, t simclock.Time) {
+		s.stats.BatchesDone++
+		if b.WorkspaceBytes > 0 {
+			s.node.FreeAll(b.WorkspaceBytes)
+			// Freed workspace may unblock memory-gated admissions even
+			// when no round notification is due.
+			s.maybeStartRound(t)
+		}
+		if s.onBatchDone != nil {
+			s.onBatchDone(b, t)
+		}
+	}
+	s.waiting = append(s.waiting, b)
+	s.maybeStartRound(now)
+}
+
+// refill moves waiting batches into the processing list (arrival order,
+// Principle 1), drops exhausted ones, and orders service classes:
+// latency-critical batches precede best-effort ones, each class keeping
+// arrival order (a stable partition, so FIFO semantics are unchanged
+// when only one class is in use).
+func (s *Scheduler) refill() {
+	live := s.processing[:0]
+	for _, b := range s.processing {
+		if !b.Exhausted() {
+			live = append(live, b)
+		}
+	}
+	s.processing = live
+	for len(s.processing) < s.cfg.MaxInflight && len(s.waiting) > 0 {
+		// Pull the first latency-critical waiter if any, else FIFO.
+		pick := 0
+		if s.waiting[pick].Class == BestEffort {
+			for i, b := range s.waiting {
+				if b.Class != BestEffort {
+					pick = i
+					break
+				}
+			}
+		}
+		b := s.waiting[pick]
+		// Reserve the batch's activation workspace on every device; when
+		// memory is tight the processing list shrinks below MaxInflight
+		// (real backpressure, not silent over-admission). Note that
+		// exhausted batches leave the processing list while their last
+		// kernels — and workspaces — are still in flight, so allocation
+		// can fail even with an empty list; completions free memory and
+		// re-kick the scheduler.
+		if b.WorkspaceBytes > 0 {
+			if err := s.node.AllocAll(b.WorkspaceBytes); err != nil {
+				break
+			}
+		}
+		s.processing = append(s.processing, b)
+		s.waiting = append(s.waiting[:pick], s.waiting[pick+1:]...)
+	}
+	// Stable partition by class.
+	var critical, effort []*Batch
+	for _, b := range s.processing {
+		if b.Class == BestEffort {
+			effort = append(effort, b)
+		} else {
+			critical = append(critical, b)
+		}
+	}
+	if len(effort) > 0 && len(critical) > 0 {
+		s.processing = append(critical, effort...)
+	}
+}
+
+// maybeStartRound launches the next scheduling round unless one is
+// already pending or there is nothing to do.
+func (s *Scheduler) maybeStartRound(now simclock.Time) {
+	if s.roundPending {
+		return
+	}
+	s.refill()
+	if len(s.processing) == 0 {
+		return
+	}
+	s.roundPending = true
+	s.launchRound(now)
+}
+
+// collectPrimary implements the first half of Algorithm 1: pop kernels
+// from the primary batch until the kernel type switches, accumulating
+// the window duration.
+func (s *Scheduler) collectPrimary(primary *Batch) (subset []Func, window time.Duration, typ gpusim.KernelClass) {
+	typ = primary.head().Desc.Class
+	for !primary.Exhausted() && primary.head().Desc.Class == typ {
+		f := primary.pop()
+		window += f.Desc.Duration
+		subset = append(subset, f)
+	}
+	return subset, window, typ
+}
+
+// collectSecondary implements the second half of Algorithm 1 plus the
+// §3.5/§3.6 refinements: walk subsequent batches in arrival order,
+// taking opposite-type kernels whose contention-scaled durations fit in
+// the primary window, decomposing lengthy kernels when only a fraction
+// fits.
+func (s *Scheduler) collectSecondary(typ gpusim.KernelClass, window time.Duration) []Func {
+	if window < s.cfg.MinOverlapWindow {
+		return nil
+	}
+	// Budget in un-scaled duration: scaled total = sum(dur)·cf ≤ window.
+	budget := time.Duration(float64(window) / s.contentionFactor())
+	var subset []Func
+	for _, v := range s.processing[1:] {
+		for !v.Exhausted() && budget > 0 {
+			head := v.head()
+			if head.Desc.Class == typ {
+				// Same type as the primary subset: taking it would make
+				// same-type kernels contend with the primary batch
+				// (Principle 1); move to the next batch.
+				break
+			}
+			if head.Desc.Duration <= budget {
+				f := v.pop()
+				budget -= f.Desc.Duration
+				subset = append(subset, f)
+				continue
+			}
+			// Lengthy kernel: runtime decomposition (§3.6). Find how many
+			// 1/D pieces fit in the remaining budget.
+			take := s.fittingPieces(head.Desc, budget)
+			if take == 0 {
+				break
+			}
+			headPieces, rest, ok := head.Desc.SplitPrefix(s.cfg.DivisionFactor, take)
+			if !ok {
+				break
+			}
+			s.stats.Decompositions++
+			for _, p := range headPieces {
+				budget -= p.Duration
+				subset = append(subset, Func{Desc: p, batch: v})
+			}
+			v.replaceHead(rest)
+			break // remainder is the new head; budget is largely spent
+		}
+		if budget <= 0 {
+			break
+		}
+	}
+	return subset
+}
+
+// fittingPieces returns how many pieces of a DivisionFactor-way split
+// of desc fit within budget (0 if the kernel is indivisible or nothing
+// fits).
+func (s *Scheduler) fittingPieces(desc parallel.KernelDesc, budget time.Duration) int {
+	d := s.cfg.DivisionFactor
+	if d < 2 || !desc.CanSplit() {
+		return 0
+	}
+	pieces, ok := desc.Split(d)
+	if !ok {
+		return 0
+	}
+	var acc time.Duration
+	take := 0
+	for _, p := range pieces {
+		if acc+p.Duration > budget {
+			break
+		}
+		acc += p.Duration
+		take++
+	}
+	if take >= d {
+		take = d - 1 // whole kernel fitting is handled by the fast path
+	}
+	return take
+}
+
+// launchRound collects the two subsets and launches them onto the
+// per-device streams with the configured synchronization approach.
+func (s *Scheduler) launchRound(now simclock.Time) {
+	primary := s.processing[0]
+	decomposedBefore := s.stats.Decompositions
+	sub0, window, typ := s.collectPrimary(primary)
+	sub1 := s.collectSecondary(typ, window)
+
+	s.stats.Rounds++
+	s.stats.PrimaryKernels += len(sub0)
+	s.stats.SecondaryKernels += len(sub1)
+	if len(sub1) == 0 {
+		s.stats.EmptySecondary++
+	}
+	if s.journalCap > 0 {
+		rec := RoundRecord{
+			Round:            s.stats.Rounds,
+			At:               now,
+			Primary:          primary.ID,
+			Class:            typ,
+			Window:           window,
+			PrimaryKernels:   len(sub0),
+			SecondaryKernels: len(sub1),
+			Decomposed:       decomposedBefore != s.stats.Decompositions,
+		}
+		seen := map[int]bool{}
+		for _, f := range sub1 {
+			if !seen[f.batch.ID] {
+				seen[f.batch.ID] = true
+				rec.Donors = append(rec.Donors, f.batch.ID)
+			}
+		}
+		s.record(rec)
+	}
+
+	ndev := s.node.NumDevices()
+	primStreams, primLast := s.streamsFor(typ)
+	secStreams, secLast := s.streamsFor(otherClass(typ))
+
+	// Collectives rendezvous across the SPMD group: one per comm func.
+	colls0 := s.collectives(sub0)
+	colls1 := s.collectives(sub1)
+
+	var notify *gpusim.Event
+	endPrim := make([]*gpusim.Event, ndev)
+	endSec := make([]*gpusim.Event, ndev)
+	for d := 0; d < ndev; d++ {
+		ps := primStreams[d]
+		// Inter-stream half of the synchronization: this round must not
+		// start before the previous round's kernels on the other stream
+		// finished.
+		if ev := secLast[d]; ev != nil {
+			ps.Wait(ev)
+		}
+		for i, f := range sub0 {
+			if s.cfg.Sync == Hybrid && d == 0 && i == len(sub0)-1 {
+				// The pre-launch trigger: recorded before the subset's last
+				// kernel so the CPU schedules the next round while it runs,
+				// hiding the launch overhead (Fig. 8, bottom).
+				notify = ps.Record()
+			}
+			s.launchFunc(ps, f, colls0[i])
+		}
+		endPrim[d] = ps.Record()
+
+		ss := secStreams[d]
+		if ev := primLast[d]; ev != nil {
+			ss.Wait(ev)
+		}
+		for i, f := range sub1 {
+			s.launchFunc(ss, f, colls1[i])
+		}
+		endSec[d] = ss.Record()
+	}
+	// Remember this round's end events for the next round's waits.
+	for d := 0; d < ndev; d++ {
+		if typ == gpusim.Compute {
+			s.lastComputeEnd[d] = endPrim[d]
+			s.lastCommEnd[d] = endSec[d]
+		} else {
+			s.lastCommEnd[d] = endPrim[d]
+			s.lastComputeEnd[d] = endSec[d]
+		}
+	}
+
+	// Observe whether the secondary subset outlasted the primary — the
+	// §3.5 scheduling-failure signal — and adapt the online contention
+	// factor when enabled.
+	if len(sub1) > 0 {
+		ep, es := endPrim[0], endSec[0]
+		threshold := window / 50 // ignore sub-2% overruns: noise, not failures
+		es.Observe(func(now simclock.Time) {
+			if debugOverrunHook != nil {
+				if ep.Fired() {
+					debugOverrunHook(window, time.Duration(now-ep.FiredAt()))
+				} else {
+					debugOverrunHook(window, -1)
+				}
+			}
+			// If the primary's end event has not fired yet, the secondary
+			// finished first — the desired outcome. Overrun means the
+			// secondary ended meaningfully after the primary.
+			overran := ep.Fired() && es.FiredAt() > ep.FiredAt()+threshold
+			if overran {
+				s.stats.SecondaryOverruns++
+			}
+			if s.cfg.AdaptiveContention {
+				if overran {
+					s.dynFactor *= 1.01
+					if s.dynFactor > 1.5 {
+						s.dynFactor = 1.5
+					}
+				} else if s.dynFactor > 1.0 {
+					s.dynFactor *= 0.998
+					if s.dynFactor < 1.0 {
+						s.dynFactor = 1.0
+					}
+				}
+			}
+		})
+	}
+
+	next := func(t simclock.Time) {
+		s.roundPending = false
+		s.maybeStartRound(t)
+	}
+	switch s.cfg.Sync {
+	case Hybrid:
+		if notify == nil {
+			// Empty primary subset cannot happen (primary always has a
+			// head), but guard against a zero-length round.
+			s.node.Engine().After(0, next)
+			return
+		}
+		notify.OnHost(next)
+	case CPUGPU:
+		evs := make([]*gpusim.Event, 0, 2*ndev)
+		evs = append(evs, endPrim...)
+		evs = append(evs, endSec...)
+		s.node.HostBarrier(evs, next)
+	case InterStreamOnly:
+		// No CPU trigger at all: the next schedulable round launches
+		// immediately, everything gated by inter-stream events. The
+		// launch connections flood and late arrivals miss the windows.
+		s.node.Engine().After(0, next)
+	}
+}
+
+// streamsFor maps a kernel class to its stream set and the previous
+// round's end events on that set.
+func (s *Scheduler) streamsFor(typ gpusim.KernelClass) ([]*gpusim.Stream, []*gpusim.Event) {
+	if typ == gpusim.Comm {
+		return s.comm, s.lastCommEnd
+	}
+	return s.compute, s.lastComputeEnd
+}
+
+func otherClass(typ gpusim.KernelClass) gpusim.KernelClass {
+	if typ == gpusim.Comm {
+		return gpusim.Compute
+	}
+	return gpusim.Comm
+}
+
+// collectives allocates one rendezvous group per communication func in
+// a subset (index-aligned; nil for compute funcs).
+func (s *Scheduler) collectives(subset []Func) []*gpusim.Collective {
+	out := make([]*gpusim.Collective, len(subset))
+	for i, f := range subset {
+		if f.Desc.Collective {
+			out[i] = s.node.NewCollective(s.node.NumDevices())
+		}
+	}
+	return out
+}
+
+// launchFunc launches one func on one device's stream, wiring batch
+// completion accounting.
+func (s *Scheduler) launchFunc(st *gpusim.Stream, f Func, coll *gpusim.Collective) {
+	b := f.batch
+	if b.FirstLaunchAt == 0 {
+		b.FirstLaunchAt = s.node.Engine().Now()
+	}
+	b.kernelLaunched()
+	st.Launch(gpusim.KernelSpec{
+		Name:          f.Desc.Name,
+		Class:         f.Desc.Class,
+		Duration:      f.Desc.Duration,
+		ComputeDemand: f.Desc.ComputeDemand,
+		MemBWDemand:   f.Desc.MemBWDemand,
+		Coll:          coll,
+		Batch:         b.ID,
+		OnDone:        func(now simclock.Time) { b.kernelDone(now) },
+	})
+}

@@ -1,0 +1,162 @@
+// Package model describes the transformer large language models the
+// paper serves (Table 1: OPT-30B, OPT-66B, GLM-130B) as logical
+// per-layer operator graphs. The graphs are parallelism-agnostic: the
+// parallel package partitions them into per-device kernels, and the
+// costmodel package assigns durations.
+package model
+
+import (
+	"fmt"
+)
+
+// Spec is a decoder-only transformer configuration.
+type Spec struct {
+	Name   string
+	Layers int
+	Heads  int
+	Hidden int
+	// FFNMult is the feed-forward expansion factor (4 for all paper
+	// models); FFNDim overrides it when non-zero (LLaMA-style models use
+	// non-integer multiples).
+	FFNMult int
+	FFNDim  int
+	// Vocab is the vocabulary size, used for embedding/LM-head costs.
+	Vocab int
+	// KVHeads enables grouped-query attention when set below Heads
+	// (0 means Heads: classic multi-head attention, as in all Table 1
+	// models). GQA shrinks the K/V projections and the KV cache.
+	KVHeads int
+	// GatedFFN selects a SwiGLU-style gated feed-forward block: the
+	// up-projection doubles (gate and up matrices) and the activation
+	// combines them.
+	GatedFFN bool
+}
+
+// Validate reports configuration errors.
+func (s Spec) Validate() error {
+	switch {
+	case s.Layers <= 0 || s.Heads <= 0 || s.Hidden <= 0:
+		return fmt.Errorf("model: %q has non-positive dimensions", s.Name)
+	case s.Hidden%s.Heads != 0:
+		return fmt.Errorf("model: %q hidden %d not divisible by heads %d", s.Name, s.Hidden, s.Heads)
+	case s.FFNMult <= 0 && s.FFNDim <= 0:
+		return fmt.Errorf("model: %q needs an FFN size", s.Name)
+	case s.KVHeads < 0 || s.KVHeads > s.Heads:
+		return fmt.Errorf("model: %q KV heads %d outside [0, %d]", s.Name, s.KVHeads, s.Heads)
+	case s.KVHeads > 0 && s.Heads%s.KVHeads != 0:
+		return fmt.Errorf("model: %q heads %d not grouped evenly by %d KV heads", s.Name, s.Heads, s.KVHeads)
+	}
+	return nil
+}
+
+// HeadDim returns the per-head dimension.
+func (s Spec) HeadDim() int { return s.Hidden / s.Heads }
+
+// NumKVHeads returns the key/value head count (Heads unless GQA).
+func (s Spec) NumKVHeads() int {
+	if s.KVHeads > 0 {
+		return s.KVHeads
+	}
+	return s.Heads
+}
+
+// KVDim returns the width of each of the K and V projections.
+func (s Spec) KVDim() int { return s.NumKVHeads() * s.HeadDim() }
+
+// FFNHidden returns the feed-forward inner dimension.
+func (s Spec) FFNHidden() int {
+	if s.FFNDim > 0 {
+		return s.FFNDim
+	}
+	return s.FFNMult * s.Hidden
+}
+
+// ffnMatrices is 3 for gated (gate, up, down) and 2 otherwise.
+func (s Spec) ffnMatrices() int64 {
+	if s.GatedFFN {
+		return 3
+	}
+	return 2
+}
+
+// Params returns the approximate parameter count from the layer
+// dimensions plus the embedding table.
+func (s Spec) Params() int64 {
+	h := int64(s.Hidden)
+	f := int64(s.FFNHidden())
+	attn := h*h + 2*h*int64(s.KVDim()) + h*h // Q, K+V, output projection
+	perLayer := attn + s.ffnMatrices()*h*f
+	return int64(s.Layers)*perLayer + int64(s.Vocab)*h
+}
+
+// WeightBytes returns the FP16 model size in bytes.
+func (s Spec) WeightBytes() int64 { return 2 * s.Params() }
+
+// WithLayers returns a copy with a different layer count — the paper's
+// Fig. 3 trick of shrinking stacked identical layers so a model fits on
+// fewer devices without changing per-layer behaviour.
+func (s Spec) WithLayers(layers int) Spec {
+	s.Name = fmt.Sprintf("%s-l%d", s.Name, layers)
+	s.Layers = layers
+	return s
+}
+
+// OPT30B returns the OPT-30B configuration from Table 1
+// (48 layers, 56 heads, hidden 7168, FP16 ≈ 60 GB).
+func OPT30B() Spec {
+	return Spec{Name: "OPT-30B", Layers: 48, Heads: 56, Hidden: 7168, FFNMult: 4, Vocab: 50272}
+}
+
+// OPT66B returns the OPT-66B configuration from Table 1
+// (64 layers, 72 heads, hidden 9216, FP16 ≈ 132 GB).
+func OPT66B() Spec {
+	return Spec{Name: "OPT-66B", Layers: 64, Heads: 72, Hidden: 9216, FFNMult: 4, Vocab: 50272}
+}
+
+// GLM130B returns the GLM-130B configuration from Table 1
+// (70 layers, 96 heads, hidden 12288, FP16 ≈ 260 GB; same layer setup
+// as GPT-3).
+func GLM130B() Spec {
+	return Spec{Name: "GLM-130B", Layers: 70, Heads: 96, Hidden: 12288, FFNMult: 4, Vocab: 150528}
+}
+
+// GPT8B and GPT175B bound the Fig. 4 kernel-duration study (models from
+// 8 to 175 billion parameters).
+func GPT8B() Spec {
+	return Spec{Name: "GPT-8B", Layers: 32, Heads: 36, Hidden: 4608, FFNMult: 4, Vocab: 50272}
+}
+
+// GPT175B is the GPT-3 layer setup.
+func GPT175B() Spec {
+	return Spec{Name: "GPT-175B", Layers: 96, Heads: 96, Hidden: 12288, FFNMult: 4, Vocab: 50272}
+}
+
+// LLaMA70B returns a LLaMA-2-70B-style configuration: grouped-query
+// attention (8 KV heads) and a SwiGLU feed-forward block — an extension
+// beyond the paper's Table 1 showing the runtime handles modern
+// architectures.
+func LLaMA70B() Spec {
+	return Spec{
+		Name: "LLaMA-70B", Layers: 80, Heads: 64, Hidden: 8192,
+		FFNDim: 28672, FFNMult: 4, Vocab: 32000,
+		KVHeads: 8, GatedFFN: true,
+	}
+}
+
+// Tiny returns a small model for fast tests.
+func Tiny() Spec {
+	return Spec{Name: "tiny", Layers: 4, Heads: 8, Hidden: 512, FFNMult: 4, Vocab: 1024}
+}
+
+// Table1 returns the paper's evaluated models in presentation order.
+func Table1() []Spec { return []Spec{OPT30B(), OPT66B(), GLM130B()} }
+
+// ByName looks up any built-in model.
+func ByName(name string) (Spec, error) {
+	for _, s := range []Spec{OPT30B(), OPT66B(), GLM130B(), GPT8B(), GPT175B(), LLaMA70B(), Tiny()} {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("model: unknown model %q", name)
+}

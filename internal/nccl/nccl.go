@@ -1,0 +1,116 @@
+// Package nccl models the collective-communication library the paper
+// builds on. It provides cost models for ring all-reduce and
+// point-to-point transfers on a multi-GPU node, plus the channel/thread
+// resource configuration Liger manipulates through NCCL_MAX_NCHANNELS
+// and NCCL_NTHREADS to shrink the SM footprint of communication kernels
+// (§3.5).
+package nccl
+
+import (
+	"time"
+
+	"liger/internal/hw"
+)
+
+// BWHalfBytes is the message size at which an all-reduce achieves half
+// the peak bus bandwidth. NCCL's measured bandwidth ramps with message
+// size; the paper's activations (hundreds of KB to a few MB per
+// all-reduce) sit on the ramp, not at peak.
+const BWHalfBytes = 256 << 10
+
+// Config selects the communication-kernel resource footprint.
+type Config struct {
+	// ReducedChannels mirrors Liger's NCCL_MAX_NCHANNELS/NCCL_NTHREADS
+	// trimming: fewer CUDA blocks per collective, slightly lower peak
+	// bandwidth for huge messages but a far smaller SM footprint, which
+	// is what lets communication overlap compute without starving it.
+	ReducedChannels bool
+}
+
+// Comm is a communicator over all GPUs of a node.
+type Comm struct {
+	node hw.Node
+	cfg  Config
+}
+
+// New returns a communicator for the node.
+func New(node hw.Node, cfg Config) *Comm {
+	return &Comm{node: node, cfg: cfg}
+}
+
+// Ranks returns the communicator size.
+func (c *Comm) Ranks() int { return c.node.NumGPUs }
+
+// busBWGBs returns the effective all-reduce bus bandwidth for a message
+// of the given size.
+func (c *Comm) busBWGBs(bytes int64) float64 {
+	peak := c.node.Interconnect.AllReduceBusBWGBs
+	if c.cfg.ReducedChannels {
+		// Fewer channels cost a little peak bandwidth; §3.5 notes fewer
+		// blocks still saturate the link for the sizes that matter.
+		peak *= 0.97
+	}
+	b := float64(bytes)
+	return peak * b / (b + float64(BWHalfBytes))
+}
+
+// AllReduce returns the duration of an all-reduce of the given payload
+// across all ranks, once every rank has joined. Using the nccl-tests
+// convention, time = latency + bytes·2(n−1)/n / busBW.
+func (c *Comm) AllReduce(bytes int64) time.Duration {
+	n := float64(c.node.NumGPUs)
+	if n <= 1 || bytes <= 0 {
+		return 0
+	}
+	sec := float64(bytes) * 2 * (n - 1) / n / (c.busBWGBs(bytes) * 1e9)
+	return c.node.Interconnect.CollectiveLatency + time.Duration(sec*float64(time.Second))
+}
+
+// ChunkLatency is the incremental startup cost of one chunk of a
+// decomposed collective. Back-to-back chunks on the same stream
+// pipeline their rendezvous with the previous chunk's tail, so a chunk
+// costs far less than a standalone collective's full latency.
+const ChunkLatency = 3 * time.Microsecond
+
+// AllReduceChunk returns the duration of one chunk of a decomposed
+// all-reduce: the whole message's bandwidth term prorated by the chunk
+// size, plus the pipelined chunk startup cost. Liger's runtime kernel
+// decomposition (§3.6) splits all-reduces this way; the sum of all
+// chunks exceeds the original only by parts·ChunkLatency.
+func (c *Comm) AllReduceChunk(totalBytes, chunkBytes int64) time.Duration {
+	if totalBytes <= 0 || chunkBytes <= 0 || c.node.NumGPUs <= 1 {
+		return 0
+	}
+	whole := c.AllReduce(totalBytes) - c.node.Interconnect.CollectiveLatency
+	frac := float64(chunkBytes) / float64(totalBytes)
+	return ChunkLatency + time.Duration(float64(whole)*frac)
+}
+
+// P2P returns the duration of a point-to-point transfer between two
+// GPUs, as used by pipeline-stage boundaries.
+func (c *Comm) P2P(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	bw := c.node.Interconnect.P2PBWGBs * 1e9
+	sec := float64(bytes) / bw
+	return c.node.Interconnect.P2PLatency + time.Duration(sec*float64(time.Second))
+}
+
+// P2PComputeDemand returns the SM fraction of a point-to-point copy
+// kernel. P2P transfers ride the copy engines with a trivial SM
+// footprint regardless of channel configuration.
+func (c *Comm) P2PComputeDemand() float64 { return 0.04 }
+
+// ComputeDemand returns the SM fraction a collective kernel occupies
+// under the current channel configuration.
+func (c *Comm) ComputeDemand() float64 {
+	if c.cfg.ReducedChannels {
+		return c.node.Contention.CommComputeReduced
+	}
+	return c.node.Contention.CommComputeDefault
+}
+
+// MemBWDemand returns the HBM bandwidth fraction a collective kernel
+// uses while driving the interconnect.
+func (c *Comm) MemBWDemand() float64 { return c.node.Contention.CommMemBW }

@@ -1,0 +1,170 @@
+package nccl
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"liger/internal/hw"
+)
+
+func TestAllReduceZeroForSingleGPU(t *testing.T) {
+	c := New(hw.V100Node().WithGPUs(1), Config{})
+	if d := c.AllReduce(1 << 20); d != 0 {
+		t.Fatalf("single-GPU all-reduce = %v, want 0", d)
+	}
+}
+
+func TestAllReduceLatencyDominatesSmall(t *testing.T) {
+	node := hw.V100Node()
+	c := New(node, Config{})
+	d := c.AllReduce(64)
+	if d < node.Interconnect.CollectiveLatency {
+		t.Fatalf("tiny all-reduce %v below latency floor", d)
+	}
+	// The bandwidth ramp behaves like additional fixed latency for tiny
+	// messages; allow a few multiples of the base latency.
+	if d > 4*node.Interconnect.CollectiveLatency {
+		t.Fatalf("tiny all-reduce %v should be latency-bound", d)
+	}
+}
+
+func TestAllReduceApproachesPeakBandwidth(t *testing.T) {
+	node := hw.V100Node()
+	c := New(node, Config{})
+	bytes := int64(256 << 20) // large message: near-peak bus bandwidth
+	d := c.AllReduce(bytes)
+	// Effective bus bandwidth = bytes * 2(n-1)/n / (time - latency).
+	sec := (d - node.Interconnect.CollectiveLatency).Seconds()
+	busBW := float64(bytes) * 1.5 / sec / 1e9
+	if busBW < 0.95*32.75 || busBW > 32.75 {
+		t.Fatalf("large-message bus BW = %.2f GB/s, want near 32.75", busBW)
+	}
+}
+
+func TestAllReduceBandwidthRamp(t *testing.T) {
+	c := New(hw.A100Node(), Config{})
+	// Per-byte cost must fall as messages grow (NCCL ramp).
+	small := c.AllReduce(128 << 10)
+	big := c.AllReduce(4 << 20)
+	perByteSmall := float64(small) / float64(128<<10)
+	perByteBig := float64(big) / float64(4<<20)
+	if perByteBig >= perByteSmall {
+		t.Fatalf("per-byte cost did not fall: %.3g vs %.3g", perByteSmall, perByteBig)
+	}
+}
+
+func TestReducedChannelsShrinkSMFootprint(t *testing.T) {
+	node := hw.V100Node()
+	def := New(node, Config{})
+	red := New(node, Config{ReducedChannels: true})
+	if red.ComputeDemand() >= def.ComputeDemand() {
+		t.Fatalf("reduced channels demand %v not below default %v",
+			red.ComputeDemand(), def.ComputeDemand())
+	}
+	// Bandwidth cost of reduction is small (§3.5: fewer blocks still
+	// saturate the link).
+	d1 := def.AllReduce(2 << 20)
+	d2 := red.AllReduce(2 << 20)
+	if float64(d2) > 1.1*float64(d1) {
+		t.Fatalf("reduced channels slowed all-reduce too much: %v vs %v", d2, d1)
+	}
+}
+
+func TestP2P(t *testing.T) {
+	node := hw.V100Node()
+	c := New(node, Config{})
+	if d := c.P2P(0); d != 0 {
+		t.Fatalf("empty p2p = %v", d)
+	}
+	bytes := int64(44e9) // 44 GB at 44 GB/s ≈ 1 s + latency
+	d := c.P2P(bytes)
+	want := time.Second + node.Interconnect.P2PLatency
+	diff := d - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 50*time.Millisecond {
+		t.Fatalf("p2p = %v, want ≈ %v", d, want)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	if r := New(hw.A100Node(), Config{}).Ranks(); r != 4 {
+		t.Fatalf("Ranks = %d", r)
+	}
+}
+
+// Property: all-reduce duration is monotone in message size.
+func TestPropertyAllReduceMonotone(t *testing.T) {
+	c := New(hw.V100Node(), Config{ReducedChannels: true})
+	f := func(a, b uint32) bool {
+		x, y := int64(a%(64<<20)), int64(b%(64<<20))
+		if x > y {
+			x, y = y, x
+		}
+		return c.AllReduce(x) <= c.AllReduce(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: splitting an all-reduce in two always costs at least one
+// extra latency but conserves bytes-derived time within 3x.
+func TestPropertySplitCost(t *testing.T) {
+	c := New(hw.A100Node(), Config{ReducedChannels: true})
+	f := func(sz uint32) bool {
+		bytes := int64(sz%(8<<20)) + 4096
+		whole := c.AllReduce(bytes)
+		halves := c.AllReduce(bytes/2) + c.AllReduce(bytes-bytes/2)
+		return halves >= whole && halves < 3*whole
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceChunkEdges(t *testing.T) {
+	c := New(hw.V100Node(), Config{ReducedChannels: true})
+	if d := c.AllReduceChunk(0, 1024); d != 0 {
+		t.Fatalf("chunk of empty total = %v", d)
+	}
+	if d := c.AllReduceChunk(1024, 0); d != 0 {
+		t.Fatalf("empty chunk = %v", d)
+	}
+	single := New(hw.V100Node().WithGPUs(1), Config{})
+	if d := single.AllReduceChunk(1024, 512); d != 0 {
+		t.Fatalf("single-GPU chunk = %v", d)
+	}
+	// Chunks sum to the whole's bandwidth term plus per-chunk startup.
+	total := int64(4 << 20)
+	whole := c.AllReduce(total)
+	var sum time.Duration
+	for i := 0; i < 8; i++ {
+		sum += c.AllReduceChunk(total, total/8)
+	}
+	lat := hw.V100Node().Interconnect.CollectiveLatency
+	want := whole - lat + 8*ChunkLatency
+	diff := sum - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Microsecond {
+		t.Fatalf("8 chunks sum %v, want %v", sum, want)
+	}
+}
+
+func TestDefaultChannelDemand(t *testing.T) {
+	node := hw.A100Node()
+	def := New(node, Config{})
+	if def.ComputeDemand() != node.Contention.CommComputeDefault {
+		t.Fatal("default channels demand wrong")
+	}
+	if def.MemBWDemand() != node.Contention.CommMemBW {
+		t.Fatal("membw demand wrong")
+	}
+	if def.P2PComputeDemand() <= 0 || def.P2PComputeDemand() >= def.ComputeDemand() {
+		t.Fatal("p2p demand should be small but positive")
+	}
+}

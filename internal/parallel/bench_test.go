@@ -1,0 +1,47 @@
+package parallel
+
+import (
+	"testing"
+
+	"liger/internal/hw"
+	"liger/internal/model"
+	"liger/internal/nccl"
+)
+
+// BenchmarkCompileIntraOp measures full-model kernel compilation cost
+// (done once per arriving batch in the serving path).
+func BenchmarkCompileIntraOp(b *testing.B) {
+	c := NewCompiler(hw.V100Node(), nccl.Config{ReducedChannels: true})
+	w := model.Workload{Batch: 2, SeqLen: 64, Phase: model.Context}
+	spec := model.OPT30B()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.IntraOp(spec, 4, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSplitGEMM measures runtime decomposition cost (fired inside
+// the scheduling loop).
+func BenchmarkSplitGEMM(b *testing.B) {
+	c := NewCompiler(hw.V100Node(), nccl.Config{ReducedChannels: true})
+	ks, err := c.IntraOp(model.OPT30B().WithLayers(1), 4,
+		model.Workload{Batch: 2, SeqLen: 64, Phase: model.Context})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gemm KernelDesc
+	for _, k := range ks {
+		if k.CanSplit() && !k.Collective {
+			gemm = k
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := gemm.SplitPrefix(8, 3); !ok {
+			b.Fatal("split failed")
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package parallel
+
+import (
+	"fmt"
+	"time"
+
+	"liger/internal/costmodel"
+	"liger/internal/gpusim"
+	"liger/internal/hw"
+	"liger/internal/model"
+	"liger/internal/nccl"
+)
+
+// SplitStrategy selects how runtime decomposition divides GEMMs
+// (Fig. 9). Vertical (weight-column) division is Liger's choice;
+// Horizontal exists for the ablation that shows why.
+type SplitStrategy int
+
+const (
+	// SplitVertical divides the weight matrix's output columns.
+	SplitVertical SplitStrategy = iota
+	// SplitHorizontal divides the activation's rows, collapsing compute
+	// intensity for skinny activations.
+	SplitHorizontal
+)
+
+// Option customizes a Compiler.
+type Option func(*Compiler)
+
+// WithGEMMSplit overrides the GEMM decomposition strategy.
+func WithGEMMSplit(s SplitStrategy) Option {
+	return func(c *Compiler) { c.gemmSplit = s }
+}
+
+// Compiler turns logical operators into costed kernels for a specific
+// node and NCCL configuration.
+type Compiler struct {
+	node      hw.Node
+	cm        *costmodel.Model
+	comm      *nccl.Comm
+	gemmSplit SplitStrategy
+}
+
+// NewCompiler builds a compiler for the node. ncclCfg selects the
+// communication-kernel footprint (Liger reduces channels; the baselines
+// may keep NCCL defaults).
+func NewCompiler(node hw.Node, ncclCfg nccl.Config, opts ...Option) *Compiler {
+	c := &Compiler{
+		node: node,
+		cm:   costmodel.New(node.GPU),
+		comm: nccl.New(node, ncclCfg),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// CostModel exposes the kernel cost model (for profiling tools).
+func (c *Compiler) CostModel() *costmodel.Model { return c.cm }
+
+// Comm exposes the collective cost model.
+func (c *Compiler) Comm() *nccl.Comm { return c.comm }
+
+// Node returns the target hardware.
+func (c *Compiler) Node() hw.Node { return c.node }
+
+// gemmDesc builds a decomposable GEMM kernel. Runtime decomposition
+// splits the output columns (the vertical strategy of Fig. 9): each
+// piece is GEMM(m, n/parts, k), an equal-capability division whose
+// pieces are only mildly less efficient. The horizontal (row) strategy
+// is available separately for the ablation.
+func (c *Compiler) gemmDesc(name string, m, n, k int) KernelDesc {
+	cm := c.cm
+	cs := c.node.Contention
+	strategy := c.gemmSplit
+	d := KernelDesc{
+		Name:          name,
+		Class:         gpusim.Compute,
+		Duration:      cm.GEMM(m, n, k),
+		ComputeDemand: cs.GEMMCompute,
+		MemBWDemand:   cs.GEMMMemBW,
+	}
+	d.split = func(parts int) []KernelDesc {
+		out := make([]KernelDesc, parts)
+		splitDim := n
+		if strategy == SplitHorizontal {
+			splitDim = m
+		}
+		base := splitDim / parts
+		extra := splitDim % parts
+		for i := range out {
+			piece := base
+			if i < extra {
+				piece++
+			}
+			rows, cols := m, piece
+			if strategy == SplitHorizontal {
+				rows, cols = piece, n
+			}
+			out[i] = KernelDesc{
+				Name:          fmt.Sprintf("%s[%d/%d]", name, i+1, parts),
+				Class:         gpusim.Compute,
+				Duration:      cm.GEMM(rows, cols, k),
+				ComputeDemand: cs.GEMMCompute,
+				MemBWDemand:   cs.GEMMMemBW,
+			}
+		}
+		return out
+	}
+	return d
+}
+
+// auxDesc builds a memory-bound kernel (layernorm, GeLU, residual,
+// attention, embedding).
+func (c *Compiler) auxDesc(name string, dur time.Duration) KernelDesc {
+	cs := c.node.Contention
+	return KernelDesc{
+		Name:          name,
+		Class:         gpusim.Compute,
+		Duration:      dur,
+		ComputeDemand: cs.AuxCompute,
+		MemBWDemand:   cs.AuxMemBW,
+	}
+}
+
+// allReduceDesc builds a decomposable all-reduce kernel; decomposition
+// splits the payload into equal chunks, each paying the collective
+// latency again (§3.6's equal-division strategy).
+func (c *Compiler) allReduceDesc(name string, bytes int64) KernelDesc {
+	comm := c.comm
+	d := KernelDesc{
+		Name:          name,
+		Class:         gpusim.Comm,
+		Duration:      comm.AllReduce(bytes),
+		ComputeDemand: comm.ComputeDemand(),
+		MemBWDemand:   comm.MemBWDemand(),
+		Collective:    true,
+		Bytes:         bytes,
+	}
+	d.split = func(parts int) []KernelDesc {
+		out := make([]KernelDesc, parts)
+		base := bytes / int64(parts)
+		extra := bytes % int64(parts)
+		for i := range out {
+			b := base
+			if int64(i) < extra {
+				b++
+			}
+			out[i] = KernelDesc{
+				Name:          fmt.Sprintf("%s[%d/%d]", name, i+1, parts),
+				Class:         gpusim.Comm,
+				Duration:      comm.AllReduceChunk(bytes, b),
+				ComputeDemand: comm.ComputeDemand(),
+				MemBWDemand:   comm.MemBWDemand(),
+				Collective:    true,
+				Bytes:         b,
+			}
+		}
+		return out
+	}
+	return d
+}
+
+// p2pDesc builds a pipeline-boundary transfer. P2P copies use the copy
+// engines, so their SM footprint is tiny and they co-run with the
+// receiving stage's compute.
+func (c *Compiler) p2pDesc(name string, bytes int64) KernelDesc {
+	return KernelDesc{
+		Name:          name,
+		Class:         gpusim.Comm,
+		Duration:      c.comm.P2P(bytes),
+		ComputeDemand: c.comm.P2PComputeDemand(),
+		MemBWDemand:   c.comm.MemBWDemand(),
+		Collective:    true, // rendezvous between the two stage devices
+		Bytes:         bytes,
+	}
+}
+
+// compileOp lowers one logical op at tensor-parallel degree tp into the
+// kernels one rank executes, appending the Megatron all-reduce at
+// ReduceAfter points.
+func (c *Compiler) compileOp(prefix string, op model.Op, tp int, w model.Workload) []KernelDesc {
+	tokens := w.Tokens()
+	var out []KernelDesc
+	name := prefix + op.Name
+	switch op.Kind {
+	case model.OpGEMM:
+		n, k := op.N, op.K
+		switch op.Partition {
+		case model.PartCols:
+			n = ceilDiv(n, tp)
+		case model.PartRows:
+			k = ceilDiv(k, tp)
+		}
+		out = append(out, c.gemmDesc(name, op.M, n, k))
+	case model.OpAttention:
+		heads := ceilDiv(op.Heads, tp)
+		var dur time.Duration
+		if w.Phase == model.Decode {
+			// Decode streams the KV cache: with grouped-query attention
+			// only KVHeads worth of cache exists per device.
+			kvHeads := op.KVHeads
+			if kvHeads == 0 {
+				kvHeads = op.Heads
+			}
+			dur = c.cm.AttentionDecode(op.Batch, op.Ctx, ceilDiv(kvHeads, tp), op.HeadDim)
+		} else {
+			dur = c.cm.AttentionContext(op.Batch, op.Seq, heads, op.HeadDim)
+		}
+		out = append(out, c.auxDesc(name, dur))
+	case model.OpLayerNorm, model.OpResidual:
+		out = append(out, c.auxDesc(name, c.cm.Elementwise(op.Bytes, 1)))
+	case model.OpGeLU:
+		bytes := op.Bytes
+		if op.Partition == model.PartNone && tp > 1 {
+			// GeLU operates on FC1's partitioned output.
+			bytes /= int64(tp)
+		}
+		out = append(out, c.auxDesc(name, c.cm.Elementwise(bytes, 1)))
+	case model.OpEmbedding:
+		out = append(out, c.auxDesc(name, c.cm.Embedding(op.M, op.N)))
+	}
+	if op.ReduceAfter && tp > 1 {
+		bytes := int64(tokens) * int64(c.hidden(op)) * 2
+		out = append(out, c.allReduceDesc(name+"_ar", bytes))
+	}
+	return out
+}
+
+// hidden recovers the activation width after an op (the all-reduce
+// payload dimension).
+func (c *Compiler) hidden(op model.Op) int {
+	if op.Kind == model.OpGEMM {
+		return op.N
+	}
+	return 0
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// IntraOp compiles the full forward pass under tensor parallelism of
+// degree tp. The result is the SPMD kernel sequence every rank runs;
+// Collective kernels rendezvous across all tp ranks. With tp == 1 the
+// result is the plain single-device execution (no communication).
+func (c *Compiler) IntraOp(spec model.Spec, tp int, w model.Workload) ([]KernelDesc, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if tp < 1 {
+		return nil, fmt.Errorf("parallel: tensor-parallel degree %d", tp)
+	}
+	var out []KernelDesc
+	for _, op := range model.PreOps(spec, w) {
+		out = append(out, c.compileOp("", op, tp, w)...)
+	}
+	for l := 0; l < spec.Layers; l++ {
+		prefix := fmt.Sprintf("l%d.", l)
+		for _, op := range model.LayerOps(spec, w) {
+			out = append(out, c.compileOp(prefix, op, tp, w)...)
+		}
+	}
+	for _, op := range model.PostOps(spec, w) {
+		out = append(out, c.compileOp("", op, tp, w)...)
+	}
+	return out, nil
+}
+
+// Stage is one pipeline stage: the kernels one device runs for its
+// layer range, plus the boundary transfer to the next stage (empty for
+// the last stage).
+type Stage struct {
+	Device  int
+	Kernels []KernelDesc
+	// SendNext is the p2p transfer of activations to the next stage;
+	// zero-valued for the final stage.
+	SendNext KernelDesc
+	HasSend  bool
+}
+
+// InterOp compiles the pipeline-parallel execution: the model is split
+// into stages equal contiguous layer groups, each on its own device,
+// with a single point-to-point transfer between consecutive stages
+// (§2.2.2). Kernels inside a stage are the original full-size kernels.
+func (c *Compiler) InterOp(spec model.Spec, stages int, w model.Workload) ([]Stage, error) {
+	return c.interOp(spec, stages, w, 1)
+}
+
+// InterTh compiles the theoretical inter-operator baseline (§4.1): the
+// same pipeline, but each stage executes the *partitioned* kernels of
+// the intra-operator approach back to back (tp pieces sequentially on
+// one device). Fig. 10(j)(k) shows this can beat Inter-Op when the sum
+// of partitioned GEMMs is shorter than the original kernel.
+func (c *Compiler) InterTh(spec model.Spec, stages int, w model.Workload) ([]Stage, error) {
+	return c.interOp(spec, stages, w, stages)
+}
+
+func (c *Compiler) interOp(spec model.Spec, stages int, w model.Workload, tp int) ([]Stage, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if stages < 1 || stages > spec.Layers {
+		return nil, fmt.Errorf("parallel: %d stages for %d layers", stages, spec.Layers)
+	}
+	perStage := spec.Layers / stages
+	extra := spec.Layers % stages
+	actBytes := int64(w.Tokens()) * int64(spec.Hidden) * 2
+
+	var out []Stage
+	layer := 0
+	for st := 0; st < stages; st++ {
+		count := perStage
+		if st < extra {
+			count++
+		}
+		stage := Stage{Device: st}
+		if st == 0 {
+			for _, op := range model.PreOps(spec, w) {
+				stage.Kernels = append(stage.Kernels, c.compilePieces("", op, tp, w)...)
+			}
+		}
+		for i := 0; i < count; i++ {
+			prefix := fmt.Sprintf("l%d.", layer)
+			for _, op := range model.LayerOps(spec, w) {
+				stage.Kernels = append(stage.Kernels, c.compilePieces(prefix, op, tp, w)...)
+			}
+			layer++
+		}
+		if st == stages-1 {
+			for _, op := range model.PostOps(spec, w) {
+				stage.Kernels = append(stage.Kernels, c.compilePieces("", op, tp, w)...)
+			}
+		} else {
+			stage.SendNext = c.p2pDesc(fmt.Sprintf("s%d_send", st), actBytes)
+			stage.HasSend = true
+		}
+		out = append(out, stage)
+	}
+	return out, nil
+}
+
+// compilePieces lowers an op for a pipeline stage. With tp == 1 it is
+// the original kernel; with tp > 1 (Inter-Th) the op becomes its tp
+// partitioned pieces executed sequentially on the stage device, with no
+// all-reduce (a single device holds every piece).
+func (c *Compiler) compilePieces(prefix string, op model.Op, tp int, w model.Workload) []KernelDesc {
+	if tp == 1 {
+		op.ReduceAfter = false
+		return c.compileOp(prefix, op, 1, w)
+	}
+	op.ReduceAfter = false
+	switch op.Partition {
+	case model.PartCols, model.PartRows, model.PartHeads:
+		var out []KernelDesc
+		for p := 0; p < tp; p++ {
+			piece := c.compileOp(fmt.Sprintf("%sp%d.", prefix, p), op, tp, w)
+			out = append(out, piece...)
+		}
+		return out
+	default:
+		// Replicated ops run once per device in intra-op; a single stage
+		// device runs them once.
+		return c.compileOp(prefix, op, 1, w)
+	}
+}

@@ -1,0 +1,65 @@
+package parallel
+
+import (
+	"time"
+
+	"liger/internal/costmodel"
+)
+
+// This file provides the standalone GEMM decomposition analysis behind
+// Fig. 9: vertical decomposition (splitting the weight matrix B's
+// columns) keeps the activation matrix A intact and re-reads it per
+// piece, while horizontal decomposition (splitting A's rows) makes the
+// already-skinny activation skinnier, collapsing compute intensity.
+// Liger therefore decomposes GEMMs vertically at runtime (§3.6).
+
+// GEMMSplitVertical returns the piece durations of an m×n×k GEMM split
+// column-wise into parts pieces.
+func GEMMSplitVertical(cm *costmodel.Model, m, n, k, parts int) []time.Duration {
+	out := make([]time.Duration, 0, parts)
+	base, extra := n/parts, n%parts
+	for i := 0; i < parts; i++ {
+		cols := base
+		if i < extra {
+			cols++
+		}
+		out = append(out, cm.GEMM(m, cols, k))
+	}
+	return out
+}
+
+// GEMMSplitHorizontal returns the piece durations of an m×n×k GEMM
+// split row-wise into parts pieces.
+func GEMMSplitHorizontal(cm *costmodel.Model, m, n, k, parts int) []time.Duration {
+	out := make([]time.Duration, 0, parts)
+	base, extra := m/parts, m%parts
+	for i := 0; i < parts; i++ {
+		rows := base
+		if i < extra {
+			rows++
+		}
+		out = append(out, cm.GEMM(rows, n, k))
+	}
+	return out
+}
+
+// SumDurations adds up piece durations.
+func SumDurations(ds []time.Duration) time.Duration {
+	var t time.Duration
+	for _, d := range ds {
+		t += d
+	}
+	return t
+}
+
+// DecompositionOverhead returns the ratio of the accumulated piece
+// duration to the original kernel duration for a vertical split — how
+// much capability the equal division gives up (≥ 1).
+func DecompositionOverhead(cm *costmodel.Model, m, n, k, parts int) float64 {
+	orig := cm.GEMM(m, n, k)
+	sum := SumDurations(GEMMSplitVertical(cm, m, n, k, parts))
+	if orig == 0 {
+		return 1
+	}
+	return float64(sum) / float64(orig)
+}

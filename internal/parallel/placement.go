@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"fmt"
+
+	"liger/internal/hw"
+	"liger/internal/model"
+)
+
+// This file checks model placement against device memory — the
+// constraint that dictates the paper's testbed assignments ("Given the
+// memory constraint, we perform the OPT-30B model on the V100 node and
+// all models on the A100 node", §4.2). Both intra-operator partitioning
+// and pipeline stages divide the weights across all devices, so the
+// per-device footprint is weights/N plus activation workspace and the
+// KV cache share.
+
+// memSafety reserves headroom for the CUDA context and fragmentation.
+// It is deliberately thin: the paper's own V100 assignment (OPT-30B's
+// 60 GB of FP16 weights on 4×16 GB) leaves almost nothing spare.
+const memSafety = 0.97
+
+// PlacementReport describes the per-device memory footprint of serving
+// a model on a node.
+type PlacementReport struct {
+	WeightBytesPerDevice int64
+	// WorkspaceBytes is the activation workspace for the largest
+	// expected batch.
+	WorkspaceBytes int64
+	// KVBytesPerDevice is the KV-cache share for the expected resident
+	// requests (generative serving only).
+	KVBytesPerDevice int64
+	// DeviceBytes is the device capacity.
+	DeviceBytes int64
+}
+
+// Total returns the summed per-device requirement.
+func (r PlacementReport) Total() int64 {
+	return r.WeightBytesPerDevice + r.WorkspaceBytes + r.KVBytesPerDevice
+}
+
+// Fits reports whether the footprint fits under the safety margin.
+func (r PlacementReport) Fits() bool {
+	return float64(r.Total()) <= memSafety*float64(r.DeviceBytes)
+}
+
+// PlanPlacement computes the per-device footprint of serving spec on
+// node. maxBatch/maxSeq bound the activation workspace; kvRequests and
+// kvCtx bound the generative KV cache (zero for context-only serving).
+func PlanPlacement(node hw.Node, spec model.Spec, maxBatch, maxSeq, kvRequests, kvCtx int) PlacementReport {
+	devs := int64(node.NumGPUs)
+	if devs < 1 {
+		devs = 1
+	}
+	tokens := int64(maxBatch) * int64(maxSeq)
+	// Workspace: a few live activation tensors at the widest point
+	// (FC1's 4h output) plus double-buffering.
+	workspace := 3 * tokens * int64(spec.FFNHidden()) * 2
+	var kv int64
+	if kvRequests > 0 && kvCtx > 0 {
+		kv = int64(kvRequests) * spec.KVCacheBytes(kvCtx) / devs
+	}
+	return PlacementReport{
+		WeightBytesPerDevice: spec.WeightBytes() / devs,
+		WorkspaceBytes:       workspace,
+		KVBytesPerDevice:     kv,
+		DeviceBytes:          int64(node.GPU.MemGB * 1e9),
+	}
+}
+
+// CheckPlacement returns a descriptive error when the model cannot be
+// served on the node.
+func CheckPlacement(node hw.Node, spec model.Spec, maxBatch, maxSeq, kvRequests, kvCtx int) error {
+	r := PlanPlacement(node, spec, maxBatch, maxSeq, kvRequests, kvCtx)
+	if r.Fits() {
+		return nil
+	}
+	return fmt.Errorf("parallel: %s needs %.1f GB per device (weights %.1f + workspace %.1f + kv %.1f) but %s has %.1f GB",
+		spec.Name,
+		float64(r.Total())/1e9,
+		float64(r.WeightBytesPerDevice)/1e9,
+		float64(r.WorkspaceBytes)/1e9,
+		float64(r.KVBytesPerDevice)/1e9,
+		node.Name,
+		float64(r.DeviceBytes)/1e9)
+}

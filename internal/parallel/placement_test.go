@@ -1,0 +1,88 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+
+	"liger/internal/hw"
+	"liger/internal/model"
+)
+
+// TestPaperTestbedAssignment verifies the §4.2 memory constraint that
+// drives the paper's evaluation matrix: OPT-30B fits the V100 node;
+// OPT-66B and GLM-130B do not; everything fits the A100 node.
+func TestPaperTestbedAssignment(t *testing.T) {
+	v100, a100 := hw.V100Node(), hw.A100Node()
+	cases := []struct {
+		node hw.Node
+		spec model.Spec
+		fits bool
+	}{
+		{v100, model.OPT30B(), true},
+		{v100, model.OPT66B(), false},
+		{v100, model.GLM130B(), false},
+		{a100, model.OPT30B(), true},
+		{a100, model.OPT66B(), true},
+		{a100, model.GLM130B(), true},
+	}
+	for _, c := range cases {
+		err := CheckPlacement(c.node, c.spec, 8, 128, 0, 0)
+		if c.fits && err != nil {
+			t.Errorf("%s on %s should fit: %v", c.spec.Name, c.node.Name, err)
+		}
+		if !c.fits && err == nil {
+			t.Errorf("%s on %s should not fit", c.spec.Name, c.node.Name)
+		}
+	}
+}
+
+func TestPlacementReportComponents(t *testing.T) {
+	r := PlanPlacement(hw.A100Node(), model.OPT30B(), 8, 128, 0, 0)
+	if r.WeightBytesPerDevice != model.OPT30B().WeightBytes()/4 {
+		t.Fatalf("weights per device %d", r.WeightBytesPerDevice)
+	}
+	if r.WorkspaceBytes <= 0 {
+		t.Fatal("no workspace accounted")
+	}
+	if r.KVBytesPerDevice != 0 {
+		t.Fatal("kv bytes for context-only serving")
+	}
+	if r.Total() != r.WeightBytesPerDevice+r.WorkspaceBytes {
+		t.Fatal("Total mismatch")
+	}
+	if !r.Fits() {
+		t.Fatal("OPT-30B should fit A100")
+	}
+}
+
+func TestPlacementKVCacheCounts(t *testing.T) {
+	without := PlanPlacement(hw.A100Node(), model.GLM130B(), 32, 1, 0, 0)
+	with := PlanPlacement(hw.A100Node(), model.GLM130B(), 32, 1, 64, 2048)
+	if with.KVBytesPerDevice <= 0 || with.Total() <= without.Total() {
+		t.Fatal("KV cache not accounted")
+	}
+}
+
+func TestPlacementErrorIsDescriptive(t *testing.T) {
+	err := CheckPlacement(hw.V100Node(), model.GLM130B(), 8, 128, 0, 0)
+	if err == nil {
+		t.Fatal("no error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"GLM-130B", "weights", "GB"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestPlacementSingleDevice(t *testing.T) {
+	// Fig. 12 serves OPT-30B on a single 80 GB A100: 60 GB of weights
+	// fit on one device.
+	if err := CheckPlacement(hw.A100Node().WithGPUs(1), model.OPT30B(), 8, 128, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPlacement(hw.V100Node().WithGPUs(1), model.OPT30B(), 8, 128, 0, 0); err == nil {
+		t.Fatal("60 GB should not fit one 16 GB V100 (the paper reduces layers for Fig. 3)")
+	}
+}

@@ -1,0 +1,168 @@
+// Package plot renders simple SVG line charts from experiment sweeps,
+// so the benchmark harness can regenerate the paper's figures as
+// images, not only as tables. Pure stdlib; the output opens in any
+// browser.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Series is one line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a single-axis line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height in pixels; zero values get defaults.
+	Width, Height int
+	// VLineX draws a vertical marker (the paper's red line); NaN or 0
+	// disables it.
+	VLineX float64
+}
+
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"}
+
+const margin = 56.0
+
+// WriteSVG renders the chart.
+func (c Chart) WriteSVG(w io.Writer) error {
+	width, height := float64(c.Width), float64(c.Height)
+	if width <= 0 {
+		width = 560
+	}
+	if height <= 0 {
+		height = 360
+	}
+	minX, maxX, minY, maxY := bounds(c.Series)
+	if c.VLineX > 0 {
+		if c.VLineX < minX {
+			minX = c.VLineX
+		}
+		if c.VLineX > maxX {
+			maxX = c.VLineX
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	minY = 0 // charts here are latencies/throughputs: anchor at zero
+
+	sx := func(x float64) float64 { return margin + (x-minX)/(maxX-minX)*(width-2*margin) }
+	sy := func(y float64) float64 { return height - margin - (y-minY)/(maxY-minY)*(height-2*margin) }
+
+	p := &errWriter{w: w}
+	p.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	p.printf(`<rect width="100%%" height="100%%" fill="white"/>`)
+	p.printf(`<text x="%.0f" y="18" text-anchor="middle" font-size="13">%s</text>`+"\n", width/2, esc(c.Title))
+
+	// Axes.
+	p.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", margin, height-margin, width-margin, height-margin)
+	p.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", margin, margin/2+10, margin, height-margin)
+	p.printf(`<text x="%.0f" y="%.0f" text-anchor="middle">%s</text>`+"\n", width/2, height-12, esc(c.XLabel))
+	p.printf(`<text x="14" y="%.0f" text-anchor="middle" transform="rotate(-90 14 %.0f)">%s</text>`+"\n", height/2, height/2, esc(c.YLabel))
+
+	// Ticks.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		p.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", sx(fx), height-margin, sx(fx), height-margin+4)
+		p.printf(`<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n", sx(fx), height-margin+16, fmtTick(fx))
+		p.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n", margin-4, sy(fy), margin, sy(fy))
+		p.printf(`<text x="%.1f" y="%.1f" text-anchor="end">%s</text>`+"\n", margin-7, sy(fy)+4, fmtTick(fy))
+		p.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#e0e0e0"/>`+"\n", margin, sy(fy), width-margin, sy(fy))
+	}
+
+	// Red line marker.
+	if c.VLineX > 0 && !math.IsNaN(c.VLineX) {
+		p.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="red" stroke-dasharray="5,4"/>`+"\n",
+			sx(c.VLineX), margin/2+10, sx(c.VLineX), height-margin)
+	}
+
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		pts := ""
+		for j := range s.X {
+			pts += fmt.Sprintf("%.1f,%.1f ", sx(s.X[j]), sy(s.Y[j]))
+		}
+		p.printf(`<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n", color, pts)
+		for j := range s.X {
+			p.printf(`<circle cx="%.1f" cy="%.1f" r="2.4" fill="%s"/>`+"\n", sx(s.X[j]), sy(s.Y[j]), color)
+		}
+		// Legend.
+		lx, ly := width-margin-120, margin/2+14+float64(i)*15
+		p.printf(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n", lx, ly, lx+18, ly, color)
+		p.printf(`<text x="%.1f" y="%.1f">%s</text>`+"\n", lx+23, ly+4, esc(s.Name))
+	}
+	p.printf("</svg>\n")
+	return p.err
+}
+
+func bounds(series []Series) (minX, maxX, minY, maxY float64) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return 0, 1, 0, 1
+	}
+	return minX, maxX, minY, maxY
+}
+
+func fmtTick(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func esc(s string) string {
+	out := ""
+	for _, r := range s {
+		switch r {
+		case '<':
+			out += "&lt;"
+		case '>':
+			out += "&gt;"
+		case '&':
+			out += "&amp;"
+		default:
+			out += string(r)
+		}
+	}
+	return out
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,72 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoChart() Chart {
+	return Chart{
+		Title:  "latency vs rate",
+		XLabel: "rate (batch/s)",
+		YLabel: "latency (ms)",
+		Series: []Series{
+			{Name: "Liger", X: []float64{1, 2, 3}, Y: []float64{10, 12, 30}},
+			{Name: "Intra-Op", X: []float64{1, 2, 3}, Y: []float64{10, 25, 90}},
+		},
+		VLineX: 2.5,
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var sb strings.Builder
+	if err := demoChart().WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "latency vs rate", "Liger", "Intra-Op", "stroke-dasharray"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("%d polylines, want 2", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestWriteSVGEscapesLabels(t *testing.T) {
+	c := demoChart()
+	c.Title = "a < b & c"
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "a &lt; b &amp; c") {
+		t.Fatal("labels not escaped")
+	}
+}
+
+func TestWriteSVGEmptySeries(t *testing.T) {
+	var sb strings.Builder
+	c := Chart{Title: "empty"}
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "</svg>") {
+		t.Fatal("empty chart did not render")
+	}
+}
+
+func TestWriteSVGDegenerateRanges(t *testing.T) {
+	c := Chart{
+		Series: []Series{{Name: "flat", X: []float64{5, 5}, Y: []float64{3, 3}}},
+	}
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// No NaN coordinates may leak into the output.
+	if strings.Contains(sb.String(), "NaN") {
+		t.Fatal("NaN coordinates in SVG")
+	}
+}

@@ -1,0 +1,166 @@
+package runtimes
+
+import (
+	"liger/internal/gpusim"
+	"liger/internal/model"
+	"liger/internal/parallel"
+	"liger/internal/simclock"
+)
+
+// InterOp is the inter-operator (pipeline) parallelism baseline: the
+// model is split into equal contiguous stages, one per device, with a
+// single point-to-point transfer between consecutive stages; requests
+// flow through the pipeline so different devices work on different
+// batches concurrently (§2.2.2). High throughput, but each request is
+// processed by one device at a time so latency does not improve.
+//
+// With theoretical=true it becomes the Inter-Th baseline (§4.1): each
+// stage executes the intra-operator approach's partitioned kernels back
+// to back instead of the original kernels.
+type InterOp struct {
+	node        *gpusim.Node
+	compiler    *parallel.Compiler
+	spec        model.Spec
+	theoretical bool
+
+	// main per-device stream for stage compute + sends; a dedicated
+	// receive stream per device keeps the p2p rendezvous from blocking
+	// behind the previous batch's stage.
+	streams []*gpusim.Stream
+	recv    []*gpusim.Stream
+
+	busy   []bool
+	queues [][]*pipeJob
+
+	nextID int
+	onDone func(Completion)
+}
+
+type pipeJob struct {
+	id        int
+	w         model.Workload
+	submitted simclock.Time
+	stages    []parallel.Stage
+}
+
+// NewInterOp builds the pipeline baseline with one stage per device.
+func NewInterOp(node *gpusim.Node, compiler *parallel.Compiler, spec model.Spec, theoretical bool) (*InterOp, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r := &InterOp{node: node, compiler: compiler, spec: spec, theoretical: theoretical}
+	if err := allocWeights(node, spec); err != nil {
+		return nil, err
+	}
+	ndev := node.NumDevices()
+	for d := 0; d < ndev; d++ {
+		r.streams = append(r.streams, node.NewStream(d))
+		r.recv = append(r.recv, node.NewStream(d))
+	}
+	r.busy = make([]bool, ndev)
+	r.queues = make([][]*pipeJob, ndev)
+	return r, nil
+}
+
+// Name implements Runtime.
+func (r *InterOp) Name() string {
+	if r.theoretical {
+		return "Inter-Th"
+	}
+	return "Inter-Op"
+}
+
+// SetOnDone implements Runtime.
+func (r *InterOp) SetOnDone(fn func(Completion)) { r.onDone = fn }
+
+// Submit implements Runtime.
+func (r *InterOp) Submit(w model.Workload) error {
+	var stages []parallel.Stage
+	var err error
+	if r.theoretical {
+		stages, err = r.compiler.InterTh(r.spec, r.node.NumDevices(), w)
+	} else {
+		stages, err = r.compiler.InterOp(r.spec, r.node.NumDevices(), w)
+	}
+	if err != nil {
+		return err
+	}
+	job := &pipeJob{id: r.nextID, w: w, submitted: r.node.Engine().Now(), stages: stages}
+	r.nextID++
+	r.queues[0] = append(r.queues[0], job)
+	r.tryStage(0)
+	return nil
+}
+
+// tryStage starts the next queued job on stage d if the stage is free.
+func (r *InterOp) tryStage(d int) {
+	if r.busy[d] || len(r.queues[d]) == 0 {
+		return
+	}
+	r.busy[d] = true
+	job := r.queues[d][0]
+	r.queues[d] = r.queues[d][1:]
+	r.runStage(job, d)
+}
+
+// runStage launches a job's stage-d kernels; when they complete the
+// stage frees up, and (for non-final stages) the p2p transfer hands the
+// job to the next stage's queue.
+func (r *InterOp) runStage(job *pipeJob, d int) {
+	stage := job.stages[d]
+	// One stage processes one job at a time, so a single workspace per
+	// device suffices; the placement check guarantees it fits.
+	ws := workspaceBytes(r.spec, job.w)
+	if err := r.node.Device(d).Alloc(ws); err != nil {
+		panic(err)
+	}
+	st := r.streams[d]
+	last := len(stage.Kernels) - 1
+	for i, k := range stage.Kernels {
+		spec := gpusim.KernelSpec{
+			Name:          k.Name,
+			Class:         k.Class,
+			Duration:      k.Duration,
+			ComputeDemand: k.ComputeDemand,
+			MemBWDemand:   k.MemBWDemand,
+			Batch:         job.id,
+		}
+		if i == last && !stage.HasSend {
+			spec.OnDone = func(now simclock.Time) { r.finishStage(job, d, now) }
+		}
+		st.Launch(spec)
+	}
+	if stage.HasSend {
+		// Rendezvous pair: send on this stage's main stream (after its
+		// compute, in order), receive on the next device's dedicated
+		// stream.
+		coll := r.node.NewCollective(2)
+		k := stage.SendNext
+		st.Launch(gpusim.KernelSpec{
+			Name: k.Name, Class: k.Class, Duration: k.Duration,
+			ComputeDemand: k.ComputeDemand, MemBWDemand: k.MemBWDemand,
+			Coll: coll, Batch: job.id,
+			OnDone: func(now simclock.Time) { r.finishStage(job, d, now) },
+		})
+		r.recv[d+1].Launch(gpusim.KernelSpec{
+			Name: k.Name + "_recv", Class: k.Class, Duration: k.Duration,
+			ComputeDemand: k.ComputeDemand, MemBWDemand: k.MemBWDemand,
+			Coll: coll, Batch: job.id,
+			OnDone: func(now simclock.Time) {
+				r.queues[d+1] = append(r.queues[d+1], job)
+				r.tryStage(d + 1)
+			},
+		})
+	}
+}
+
+func (r *InterOp) finishStage(job *pipeJob, d int, now simclock.Time) {
+	r.node.Device(d).Free(workspaceBytes(r.spec, job.w))
+	r.busy[d] = false
+	if d == len(job.stages)-1 {
+		if r.onDone != nil {
+			r.onDone(Completion{ID: job.id, Workload: job.w, Submitted: job.submitted, Done: now})
+		}
+	}
+	r.tryStage(d)
+}

@@ -1,0 +1,123 @@
+package runtimes
+
+import (
+	"liger/internal/gpusim"
+	"liger/internal/model"
+	"liger/internal/parallel"
+	"liger/internal/simclock"
+)
+
+// IntraOp is the intra-operator parallelism baseline: every operator is
+// partitioned across all devices (Megatron-style) with two all-reduces
+// per transformer layer, and batches execute strictly one at a time
+// (§2.2.1). Low latency, but compute units idle during communication.
+type IntraOp struct {
+	node     *gpusim.Node
+	compiler *parallel.Compiler
+	spec     model.Spec
+
+	streams []*gpusim.Stream
+
+	queue  []*intraJob
+	busy   bool
+	nextID int
+	onDone func(Completion)
+}
+
+type intraJob struct {
+	id        int
+	w         model.Workload
+	submitted simclock.Time
+	kernels   []parallel.KernelDesc
+}
+
+// NewIntraOp builds the baseline over every device of the node.
+func NewIntraOp(node *gpusim.Node, compiler *parallel.Compiler, spec model.Spec) (*IntraOp, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r := &IntraOp{node: node, compiler: compiler, spec: spec}
+	if err := allocWeights(node, spec); err != nil {
+		return nil, err
+	}
+	for d := 0; d < node.NumDevices(); d++ {
+		r.streams = append(r.streams, node.NewStream(d))
+	}
+	return r, nil
+}
+
+// Name implements Runtime.
+func (r *IntraOp) Name() string { return "Intra-Op" }
+
+// SetOnDone implements Runtime.
+func (r *IntraOp) SetOnDone(fn func(Completion)) { r.onDone = fn }
+
+// Submit implements Runtime.
+func (r *IntraOp) Submit(w model.Workload) error {
+	kernels, err := r.compiler.IntraOp(r.spec, r.node.NumDevices(), w)
+	if err != nil {
+		return err
+	}
+	job := &intraJob{id: r.nextID, w: w, submitted: r.node.Engine().Now(), kernels: kernels}
+	r.nextID++
+	r.queue = append(r.queue, job)
+	r.maybeStart()
+	return nil
+}
+
+func (r *IntraOp) maybeStart() {
+	if r.busy || len(r.queue) == 0 {
+		return
+	}
+	r.busy = true
+	job := r.queue[0]
+	r.queue = r.queue[1:]
+	r.run(job)
+}
+
+// run launches the whole SPMD kernel sequence: identical in-order
+// streams on each device, collectives rendezvousing across all of them.
+func (r *IntraOp) run(job *intraJob) {
+	ndev := r.node.NumDevices()
+	ws := workspaceBytes(r.spec, job.w)
+	if err := r.node.AllocAll(ws); err != nil {
+		// One batch at a time: the placement check at engine build
+		// guarantees a single batch's workspace fits, so this is an
+		// accounting bug, not a load condition.
+		panic(err)
+	}
+	pending := len(job.kernels) * ndev
+	done := func(now simclock.Time) {
+		pending--
+		if pending > 0 {
+			return
+		}
+		r.node.FreeAll(ws)
+		if r.onDone != nil {
+			r.onDone(Completion{ID: job.id, Workload: job.w, Submitted: job.submitted, Done: now})
+		}
+		r.busy = false
+		r.maybeStart()
+	}
+	colls := make([]*gpusim.Collective, len(job.kernels))
+	for i, k := range job.kernels {
+		if k.Collective {
+			colls[i] = r.node.NewCollective(ndev)
+		}
+	}
+	for d := 0; d < ndev; d++ {
+		st := r.streams[d]
+		for i, k := range job.kernels {
+			st.Launch(gpusim.KernelSpec{
+				Name:          k.Name,
+				Class:         k.Class,
+				Duration:      k.Duration,
+				ComputeDemand: k.ComputeDemand,
+				MemBWDemand:   k.MemBWDemand,
+				Coll:          colls[i],
+				Batch:         job.id,
+				OnDone:        done,
+			})
+		}
+	}
+}

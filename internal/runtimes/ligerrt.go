@@ -1,0 +1,59 @@
+package runtimes
+
+import (
+	"liger/internal/gpusim"
+	"liger/internal/liger"
+	"liger/internal/model"
+	"liger/internal/parallel"
+	"liger/internal/simclock"
+)
+
+// Liger adapts the interleaved-parallelism scheduler (internal/liger)
+// to the Runtime interface: batches are assembled into FuncVecs and
+// submitted to the multi-GPU multi-stream scheduler.
+type Liger struct {
+	assembler *liger.Assembler
+	scheduler *liger.Scheduler
+	onDone    func(Completion)
+}
+
+// NewLiger builds the Liger runtime over the node.
+func NewLiger(node *gpusim.Node, compiler *parallel.Compiler, spec model.Spec, cfg liger.Config) (*Liger, error) {
+	asm, err := liger.NewAssembler(compiler, spec, node.NumDevices())
+	if err != nil {
+		return nil, err
+	}
+	if err := allocWeights(node, spec); err != nil {
+		return nil, err
+	}
+	sched, err := liger.NewScheduler(node, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &Liger{assembler: asm, scheduler: sched}
+	sched.SetOnBatchDone(func(b *liger.Batch, now simclock.Time) {
+		if r.onDone != nil {
+			r.onDone(Completion{ID: b.ID, Workload: b.Workload, Submitted: b.SubmittedAt, Done: now})
+		}
+	})
+	return r, nil
+}
+
+// Name implements Runtime.
+func (r *Liger) Name() string { return "Liger" }
+
+// SetOnDone implements Runtime.
+func (r *Liger) SetOnDone(fn func(Completion)) { r.onDone = fn }
+
+// Submit implements Runtime.
+func (r *Liger) Submit(w model.Workload) error {
+	b, err := r.assembler.Assemble(w)
+	if err != nil {
+		return err
+	}
+	r.scheduler.Submit(b)
+	return nil
+}
+
+// Scheduler exposes the underlying scheduler for stats inspection.
+func (r *Liger) Scheduler() *liger.Scheduler { return r.scheduler }

@@ -1,0 +1,31 @@
+package runtimes
+
+import (
+	"fmt"
+
+	"liger/internal/gpusim"
+	"liger/internal/model"
+)
+
+// Runtimes allocate real (simulated) device memory: the weight shards
+// once at construction, and an activation workspace per in-flight
+// batch. Over-admission then surfaces as allocation failure instead of
+// being ignored.
+
+// workspaceBytes estimates one batch's live activation footprint: a few
+// tensors at the widest point (the FFN expansion), double-buffered.
+// Must stay consistent with parallel.PlanPlacement's workspace term.
+func workspaceBytes(spec model.Spec, w model.Workload) int64 {
+	return 3 * int64(w.Tokens()) * int64(spec.FFNHidden()) * 2
+}
+
+// allocWeights reserves each device's weight shard (intra-operator and
+// interleaved partitioning spread weights evenly, as do equal pipeline
+// stages).
+func allocWeights(node *gpusim.Node, spec model.Spec) error {
+	shard := spec.WeightBytes() / int64(node.NumDevices())
+	if err := node.AllocAll(shard); err != nil {
+		return fmt.Errorf("runtimes: weights for %s do not fit: %w", spec.Name, err)
+	}
+	return nil
+}

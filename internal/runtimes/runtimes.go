@@ -1,0 +1,33 @@
+// Package runtimes provides the execution engines the paper compares
+// (§4.1): the intra-operator baseline (Megatron-style tensor
+// parallelism), the inter-operator baseline (GPipe-style pipeline), the
+// theoretical inter-operator variant, and an adapter exposing the Liger
+// scheduler behind the same interface. The serving layer drives any of
+// them interchangeably.
+package runtimes
+
+import (
+	"liger/internal/model"
+	"liger/internal/simclock"
+)
+
+// Completion reports one finished batch.
+type Completion struct {
+	ID        int
+	Workload  model.Workload
+	Submitted simclock.Time
+	Done      simclock.Time
+}
+
+// Latency is the batch's pending + execution time (the paper's latency
+// metric).
+func (c Completion) Latency() simclock.Time { return c.Done - c.Submitted }
+
+// Runtime executes batched inferences on a simulated node. Submit must
+// be called from inside the simulation (an engine callback): the batch
+// arrives at the current virtual time.
+type Runtime interface {
+	Name() string
+	Submit(w model.Workload) error
+	SetOnDone(func(Completion))
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"liger/internal/model"
+	"liger/internal/simclock"
+)
+
+// Request is one inference request arriving at the serving frontend,
+// before batching. The paper's workflow (Fig. 5) receives requests,
+// packs them into a batch, and hands the batch to the runtime.
+type Request struct {
+	ID        int
+	SeqLen    int
+	ArrivedAt simclock.Time
+}
+
+// Batcher packs individual requests into batches: a batch is emitted
+// when MaxBatch requests have accumulated or when the oldest pending
+// request has waited MaxWait. Requests in a batch are padded to the
+// longest sequence among them, as batched transformer inference
+// requires.
+type Batcher struct {
+	eng      *simclock.Engine
+	maxBatch int
+	maxWait  time.Duration
+	emit     func(w model.Workload, reqs []Request)
+
+	pending []Request
+	timer   simclock.Handle
+	armed   bool
+
+	// BatchesEmitted / RequestsBatched count activity.
+	BatchesEmitted  int
+	RequestsBatched int
+}
+
+// NewBatcher builds a batching frontend. emit is called from within the
+// simulation whenever a batch is formed.
+func NewBatcher(eng *simclock.Engine, maxBatch int, maxWait time.Duration, emit func(w model.Workload, reqs []Request)) (*Batcher, error) {
+	if maxBatch < 1 {
+		return nil, fmt.Errorf("serve: batcher max batch %d", maxBatch)
+	}
+	if maxWait <= 0 {
+		return nil, fmt.Errorf("serve: batcher max wait %v", maxWait)
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("serve: batcher needs an emit function")
+	}
+	return &Batcher{eng: eng, maxBatch: maxBatch, maxWait: maxWait, emit: emit}, nil
+}
+
+// Add enqueues a request; must be called from an engine callback.
+func (b *Batcher) Add(r Request) {
+	r.ArrivedAt = b.eng.Now()
+	b.pending = append(b.pending, r)
+	if len(b.pending) >= b.maxBatch {
+		b.flush()
+		return
+	}
+	if !b.armed {
+		b.armed = true
+		b.timer = b.eng.After(b.maxWait, func(simclock.Time) {
+			b.armed = false
+			b.flush()
+		})
+	}
+}
+
+// Flush emits any pending partial batch immediately (end of trace).
+func (b *Batcher) Flush() { b.flush() }
+
+// Pending reports requests waiting for a batch.
+func (b *Batcher) Pending() int { return len(b.pending) }
+
+func (b *Batcher) flush() {
+	if b.armed {
+		b.timer.Cancel()
+		b.armed = false
+	}
+	if len(b.pending) == 0 {
+		return
+	}
+	reqs := b.pending
+	b.pending = nil
+	maxSeq := 0
+	for _, r := range reqs {
+		if r.SeqLen > maxSeq {
+			maxSeq = r.SeqLen
+		}
+	}
+	b.BatchesEmitted++
+	b.RequestsBatched += len(reqs)
+	b.emit(model.Workload{Batch: len(reqs), SeqLen: maxSeq, Phase: model.Context}, reqs)
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"liger/internal/model"
+	"liger/internal/simclock"
+)
+
+type emitted struct {
+	w    model.Workload
+	reqs []Request
+	at   simclock.Time
+}
+
+func collectBatches(t *testing.T, maxBatch int, maxWait time.Duration) (*simclock.Engine, *Batcher, *[]emitted) {
+	t.Helper()
+	eng := simclock.New()
+	var out []emitted
+	b, err := NewBatcher(eng, maxBatch, maxWait, func(w model.Workload, reqs []Request) {
+		out = append(out, emitted{w: w, reqs: reqs, at: eng.Now()})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, b, &out
+}
+
+func TestBatcherFillsToMaxBatch(t *testing.T) {
+	eng, b, out := collectBatches(t, 4, time.Second)
+	eng.After(0, func(simclock.Time) {
+		for i := 0; i < 8; i++ {
+			b.Add(Request{ID: i, SeqLen: 16 + i})
+		}
+	})
+	eng.Run()
+	if len(*out) != 2 {
+		t.Fatalf("emitted %d batches, want 2", len(*out))
+	}
+	for _, e := range *out {
+		if e.w.Batch != 4 {
+			t.Fatalf("batch size %d", e.w.Batch)
+		}
+	}
+	// Full batches flush immediately, not after the timeout.
+	if (*out)[0].at != 0 {
+		t.Fatalf("full batch flushed at %v, want immediately", (*out)[0].at)
+	}
+}
+
+func TestBatcherTimeoutFlushesPartial(t *testing.T) {
+	eng, b, out := collectBatches(t, 8, 5*time.Millisecond)
+	eng.After(0, func(simclock.Time) {
+		b.Add(Request{ID: 0, SeqLen: 32})
+		b.Add(Request{ID: 1, SeqLen: 64})
+	})
+	eng.Run()
+	if len(*out) != 1 {
+		t.Fatalf("emitted %d batches", len(*out))
+	}
+	e := (*out)[0]
+	if e.at != simclock.Time(5*time.Millisecond) {
+		t.Fatalf("partial batch flushed at %v, want 5ms", e.at)
+	}
+	if e.w.Batch != 2 {
+		t.Fatalf("batch size %d", e.w.Batch)
+	}
+}
+
+func TestBatcherPadsToLongestSequence(t *testing.T) {
+	eng, b, out := collectBatches(t, 3, time.Millisecond)
+	eng.After(0, func(simclock.Time) {
+		b.Add(Request{ID: 0, SeqLen: 16})
+		b.Add(Request{ID: 1, SeqLen: 128})
+		b.Add(Request{ID: 2, SeqLen: 64})
+	})
+	eng.Run()
+	if (*out)[0].w.SeqLen != 128 {
+		t.Fatalf("padded seq %d, want 128", (*out)[0].w.SeqLen)
+	}
+}
+
+func TestBatcherTimerResetAfterFlush(t *testing.T) {
+	eng, b, out := collectBatches(t, 2, 5*time.Millisecond)
+	eng.After(0, func(simclock.Time) { b.Add(Request{ID: 0, SeqLen: 16}) })
+	// Second request arrives late and alone: its own timeout applies.
+	eng.At(simclock.Time(20*time.Millisecond), func(simclock.Time) { b.Add(Request{ID: 1, SeqLen: 16}) })
+	eng.Run()
+	if len(*out) != 2 {
+		t.Fatalf("emitted %d batches", len(*out))
+	}
+	if (*out)[0].at != simclock.Time(5*time.Millisecond) || (*out)[1].at != simclock.Time(25*time.Millisecond) {
+		t.Fatalf("flush times %v / %v", (*out)[0].at, (*out)[1].at)
+	}
+}
+
+func TestBatcherManualFlush(t *testing.T) {
+	eng, b, out := collectBatches(t, 10, time.Hour)
+	eng.After(0, func(simclock.Time) {
+		b.Add(Request{ID: 0, SeqLen: 16})
+		b.Flush()
+	})
+	eng.Run()
+	if len(*out) != 1 || b.Pending() != 0 {
+		t.Fatalf("manual flush failed: %d batches, %d pending", len(*out), b.Pending())
+	}
+	if b.BatchesEmitted != 1 || b.RequestsBatched != 1 {
+		t.Fatalf("counters %d/%d", b.BatchesEmitted, b.RequestsBatched)
+	}
+}
+
+func TestBatcherEmptyFlushNoop(t *testing.T) {
+	_, b, out := collectBatches(t, 4, time.Millisecond)
+	b.Flush()
+	if len(*out) != 0 {
+		t.Fatal("empty flush emitted a batch")
+	}
+}
+
+func TestBatcherValidation(t *testing.T) {
+	eng := simclock.New()
+	emit := func(model.Workload, []Request) {}
+	if _, err := NewBatcher(eng, 0, time.Millisecond, emit); err == nil {
+		t.Error("maxBatch 0 accepted")
+	}
+	if _, err := NewBatcher(eng, 4, 0, emit); err == nil {
+		t.Error("maxWait 0 accepted")
+	}
+	if _, err := NewBatcher(eng, 4, time.Millisecond, nil); err == nil {
+		t.Error("nil emit accepted")
+	}
+}

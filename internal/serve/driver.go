@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"liger/internal/runtimes"
+	"liger/internal/simclock"
+	"liger/internal/stats"
+)
+
+// Result summarizes one serving run.
+type Result struct {
+	Runtime string
+	// Completed is the number of finished batches.
+	Completed int
+	// Requests is batches × batch size.
+	Requests int
+	// AvgLatency is the mean pending + execution latency per batch.
+	AvgLatency time.Duration
+	// P50/P95/P99 latency percentiles.
+	P50, P95, P99 time.Duration
+	// Makespan is first arrival to last completion.
+	Makespan time.Duration
+	// Latencies holds every batch latency, completion-ordered.
+	Latencies []time.Duration
+}
+
+// ThroughputBatches returns completed batches per second.
+func (r Result) ThroughputBatches() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Makespan.Seconds()
+}
+
+// ThroughputRequests returns completed requests per second (the paper's
+// throughput metric).
+func (r Result) ThroughputRequests() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Makespan.Seconds()
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%-9s  avgLat=%-12v p99=%-12v throughput=%.2f req/s",
+		r.Runtime, r.AvgLatency.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+		r.ThroughputRequests())
+}
+
+// Run drives a runtime with the arrival trace on the given engine and
+// collects metrics once every batch completes.
+func Run(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival) (Result, error) {
+	res := Result{Runtime: rt.Name()}
+	if len(arrivals) == 0 {
+		return res, fmt.Errorf("serve: empty trace")
+	}
+	var submitErr error
+	var lastDone simclock.Time
+	rt.SetOnDone(func(c runtimes.Completion) {
+		res.Completed++
+		res.Requests += c.Workload.Batch
+		res.Latencies = append(res.Latencies, time.Duration(c.Latency()))
+		if c.Done > lastDone {
+			lastDone = c.Done
+		}
+	})
+	for _, a := range arrivals {
+		w := a.Workload
+		eng.At(a.At, func(simclock.Time) {
+			if err := rt.Submit(w); err != nil && submitErr == nil {
+				submitErr = err
+			}
+		})
+	}
+	eng.Run()
+	if submitErr != nil {
+		return res, submitErr
+	}
+	if res.Completed != len(arrivals) {
+		return res, fmt.Errorf("serve: %d of %d batches completed", res.Completed, len(arrivals))
+	}
+	res.AvgLatency = stats.Mean(res.Latencies)
+	res.P50 = stats.Percentile(res.Latencies, 50)
+	res.P95 = stats.Percentile(res.Latencies, 95)
+	res.P99 = stats.Percentile(res.Latencies, 99)
+	res.Makespan = time.Duration(lastDone - arrivals[0].At)
+	return res, nil
+}

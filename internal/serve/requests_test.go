@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"liger/internal/simclock"
+)
+
+func TestGenerateRequestsShape(t *testing.T) {
+	reqs, err := GenerateRequests(RequestTraceConfig{
+		Requests: 40, RatePerSec: 100, MinSeq: 16, MaxSeq: 128, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 40 {
+		t.Fatalf("%d requests", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.Request.ID != i {
+			t.Fatalf("request %d has ID %d", i, r.Request.ID)
+		}
+		if r.Request.SeqLen < 16 || r.Request.SeqLen > 128 {
+			t.Fatalf("seq %d", r.Request.SeqLen)
+		}
+	}
+}
+
+func TestGenerateRequestsValidation(t *testing.T) {
+	if _, err := GenerateRequests(RequestTraceConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestRunRequestsEndToEnd(t *testing.T) {
+	eng := simclock.New()
+	rt := &fakeRuntime{eng: eng, service: 5 * time.Millisecond}
+	reqs, err := GenerateRequests(RequestTraceConfig{
+		Requests: 20, RatePerSec: 1000, MinSeq: 16, MaxSeq: 64, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// maxWait comfortably above 3 inter-arrival gaps: batches fill to 4.
+	res, err := RunRequests(eng, rt, reqs, 4, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 20 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	if res.Batches != 5 {
+		t.Fatalf("batches %d, want 5 (20 requests / maxBatch 4)", res.Batches)
+	}
+	// Request latency includes the batching delay.
+	if res.AvgLatency < res.AvgBatchingDelay {
+		t.Fatalf("latency %v below batching delay %v", res.AvgLatency, res.AvgBatchingDelay)
+	}
+	if res.AvgLatency < 5*time.Millisecond {
+		t.Fatalf("latency %v below service time", res.AvgLatency)
+	}
+}
+
+func TestRunRequestsPartialFinalBatch(t *testing.T) {
+	eng := simclock.New()
+	rt := &fakeRuntime{eng: eng, service: time.Millisecond}
+	reqs, err := GenerateRequests(RequestTraceConfig{
+		Requests: 7, RatePerSec: 1000, MinSeq: 16, MaxSeq: 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunRequests(eng, rt, reqs, 4, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 7 {
+		t.Fatalf("completed %d of 7 (straggler batch lost?)", res.Completed)
+	}
+	if res.Batches != 2 {
+		t.Fatalf("batches %d, want 2 (4 + 3)", res.Batches)
+	}
+}
+
+func TestRunRequestsEmpty(t *testing.T) {
+	eng := simclock.New()
+	rt := &fakeRuntime{eng: eng, service: time.Millisecond}
+	if _, err := RunRequests(eng, rt, nil, 4, time.Millisecond); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestResultString(t *testing.T) {
+	r := Result{
+		Runtime:    "Liger",
+		Completed:  10,
+		Requests:   20,
+		AvgLatency: 42 * time.Millisecond,
+		P99:        99 * time.Millisecond,
+		Makespan:   time.Second,
+	}
+	s := r.String()
+	for _, want := range []string{"Liger", "42ms", "99ms", "20.00 req/s"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Result.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestThroughputZeroMakespan(t *testing.T) {
+	r := Result{Completed: 5, Requests: 10}
+	if r.ThroughputBatches() != 0 || r.ThroughputRequests() != 0 {
+		t.Fatal("zero makespan should give zero throughput, not a division by zero")
+	}
+}

@@ -1,0 +1,36 @@
+package serve
+
+import "time"
+
+// SLO metrics over a serving result: production deployments care about
+// deadline attainment, not just means.
+
+// DeadlineMissRate returns the fraction of batches whose latency
+// exceeded the deadline.
+func (r Result) DeadlineMissRate(deadline time.Duration) float64 {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	missed := 0
+	for _, l := range r.Latencies {
+		if l > deadline {
+			missed++
+		}
+	}
+	return float64(missed) / float64(len(r.Latencies))
+}
+
+// Goodput returns the throughput of batches that met the deadline
+// (batches/second).
+func (r Result) Goodput(deadline time.Duration) float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	met := 0
+	for _, l := range r.Latencies {
+		if l <= deadline {
+			met++
+		}
+	}
+	return float64(met) / r.Makespan.Seconds()
+}

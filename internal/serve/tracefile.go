@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"liger/internal/model"
+	"liger/internal/simclock"
+)
+
+// Trace files let experiments replay identical workloads across tools
+// and runs (and let users feed their own production-derived traces).
+// The format is a JSON document with one entry per batch arrival.
+
+// traceEntry is the serialized form of one arrival.
+type traceEntry struct {
+	AtNS   int64  `json:"at_ns"`
+	Batch  int    `json:"batch"`
+	SeqLen int    `json:"seq_len,omitempty"`
+	CtxLen int    `json:"ctx_len,omitempty"`
+	Phase  string `json:"phase"`
+}
+
+// traceDoc is the file layout.
+type traceDoc struct {
+	Version  int          `json:"version"`
+	Arrivals []traceEntry `json:"arrivals"`
+}
+
+// SaveTrace serializes arrivals as JSON.
+func SaveTrace(w io.Writer, arrivals []Arrival) error {
+	doc := traceDoc{Version: 1}
+	for _, a := range arrivals {
+		e := traceEntry{
+			AtNS:  int64(a.At),
+			Batch: a.Workload.Batch,
+			Phase: a.Workload.Phase.String(),
+		}
+		if a.Workload.Phase == model.Decode {
+			e.CtxLen = a.Workload.CtxLen
+		} else {
+			e.SeqLen = a.Workload.SeqLen
+		}
+		doc.Arrivals = append(doc.Arrivals, e)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// LoadTrace parses a trace file, validating every entry.
+func LoadTrace(r io.Reader) ([]Arrival, error) {
+	var doc traceDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("serve: bad trace file: %w", err)
+	}
+	if doc.Version != 1 {
+		return nil, fmt.Errorf("serve: unsupported trace version %d", doc.Version)
+	}
+	var out []Arrival
+	var last simclock.Time
+	for i, e := range doc.Arrivals {
+		w := model.Workload{Batch: e.Batch}
+		switch e.Phase {
+		case "decode":
+			w.Phase = model.Decode
+			w.CtxLen = e.CtxLen
+		case "context", "":
+			w.Phase = model.Context
+			w.SeqLen = e.SeqLen
+		default:
+			return nil, fmt.Errorf("serve: entry %d has unknown phase %q", i, e.Phase)
+		}
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: entry %d: %w", i, err)
+		}
+		at := simclock.Time(e.AtNS)
+		if at < last {
+			return nil, fmt.Errorf("serve: entry %d arrives at %v before its predecessor", i, time.Duration(at))
+		}
+		last = at
+		out = append(out, Arrival{At: at, Workload: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("serve: trace file has no arrivals")
+	}
+	return out, nil
+}

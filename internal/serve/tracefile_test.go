@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"liger/internal/model"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig, err := Generate(baseTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(orig) {
+		t.Fatalf("%d arrivals after round trip, want %d", len(loaded), len(orig))
+	}
+	for i := range orig {
+		if loaded[i] != orig[i] {
+			t.Fatalf("entry %d changed: %+v vs %+v", i, loaded[i], orig[i])
+		}
+	}
+}
+
+func TestTraceRoundTripDecode(t *testing.T) {
+	tc := baseTrace()
+	tc.Phase = model.Decode
+	tc.CtxLen = 16
+	orig, err := Generate(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded[0].Workload.Phase != model.Decode || loaded[0].Workload.CtxLen != 16 {
+		t.Fatalf("decode workload lost: %+v", loaded[0].Workload)
+	}
+}
+
+func TestLoadTraceRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"bad version":   `{"version":2,"arrivals":[]}`,
+		"empty":         `{"version":1,"arrivals":[]}`,
+		"bad phase":     `{"version":1,"arrivals":[{"at_ns":0,"batch":2,"seq_len":16,"phase":"prefill"}]}`,
+		"bad workload":  `{"version":1,"arrivals":[{"at_ns":0,"batch":0,"seq_len":16,"phase":"context"}]}`,
+		"out of order":  `{"version":1,"arrivals":[{"at_ns":100,"batch":1,"seq_len":16,"phase":"context"},{"at_ns":50,"batch":1,"seq_len":16,"phase":"context"}]}`,
+		"decode no ctx": `{"version":1,"arrivals":[{"at_ns":0,"batch":2,"phase":"decode"}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := LoadTrace(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSLOMetrics(t *testing.T) {
+	r := Result{
+		Latencies: []time.Duration{
+			5 * time.Millisecond, 15 * time.Millisecond, 25 * time.Millisecond, 35 * time.Millisecond,
+		},
+		Makespan: 2 * time.Second,
+	}
+	if got := r.DeadlineMissRate(20 * time.Millisecond); got != 0.5 {
+		t.Fatalf("miss rate %v, want 0.5", got)
+	}
+	if got := r.Goodput(20 * time.Millisecond); got != 1.0 {
+		t.Fatalf("goodput %v, want 1.0 (2 met / 2s)", got)
+	}
+	empty := Result{}
+	if empty.DeadlineMissRate(time.Second) != 0 {
+		t.Fatal("empty result miss rate")
+	}
+	if empty.Goodput(time.Second) != 0 {
+		t.Fatal("empty result goodput")
+	}
+}

@@ -1,0 +1,122 @@
+// Package serve is the serving layer: it generates request traces,
+// drives a runtime with timed batch arrivals on the simulation clock,
+// and collects the paper's metrics — average latency (pending +
+// execution) and throughput — over a run of many requests (§4.1 uses
+// 2000 requests per data point).
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"liger/internal/model"
+	"liger/internal/simclock"
+)
+
+// Arrival is one batch arriving at a virtual instant.
+type Arrival struct {
+	At       simclock.Time
+	Workload model.Workload
+}
+
+// TraceConfig describes a synthetic request trace. The paper's general
+// evaluation (§4.2) uses a constant batch arrival rate with sequence
+// lengths drawn uniformly from 16–128.
+type TraceConfig struct {
+	// Batches is the number of batch arrivals to generate.
+	Batches int
+	// BatchSize is the number of requests packed per batch.
+	BatchSize int
+	// RatePerSec is the batch arrival rate. The paper uses a constant
+	// rate; Poisson and bursty processes are available as extensions.
+	RatePerSec float64
+	// MinSeq and MaxSeq bound the per-batch sequence length (uniform).
+	MinSeq, MaxSeq int
+	// Phase selects the execution regime; Decode uses CtxLen instead of
+	// a sampled sequence length.
+	Phase model.Phase
+	// CtxLen is the KV-cache length for Decode traces (§4.3 starts at
+	// 16).
+	CtxLen int
+	// Process selects the arrival process.
+	Process ArrivalProcess
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+// ArrivalProcess selects how inter-arrival gaps are drawn.
+type ArrivalProcess int
+
+const (
+	// ConstantRate spaces arrivals exactly 1/rate apart (the paper's
+	// setting: "we use a constant request rate instead of a fluctuated
+	// request rate").
+	ConstantRate ArrivalProcess = iota
+	// Poisson draws exponential inter-arrival gaps at the same mean
+	// rate.
+	Poisson
+	// Bursty alternates dense bursts with quiet gaps at the same mean
+	// rate.
+	Bursty
+)
+
+func (p ArrivalProcess) String() string {
+	switch p {
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	default:
+		return "constant"
+	}
+}
+
+// Validate reports bad trace configurations.
+func (c TraceConfig) Validate() error {
+	switch {
+	case c.Batches <= 0:
+		return fmt.Errorf("serve: trace needs a positive batch count")
+	case c.BatchSize <= 0:
+		return fmt.Errorf("serve: batch size %d", c.BatchSize)
+	case c.RatePerSec <= 0:
+		return fmt.Errorf("serve: arrival rate %v", c.RatePerSec)
+	case c.Phase == model.Context && (c.MinSeq <= 0 || c.MaxSeq < c.MinSeq):
+		return fmt.Errorf("serve: bad sequence range [%d, %d]", c.MinSeq, c.MaxSeq)
+	case c.Phase == model.Decode && c.CtxLen <= 0:
+		return fmt.Errorf("serve: decode trace needs a context length")
+	}
+	return nil
+}
+
+// Generate produces the deterministic arrival trace.
+func Generate(c TraceConfig) ([]Arrival, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	gap := time.Duration(float64(time.Second) / c.RatePerSec)
+	out := make([]Arrival, 0, c.Batches)
+	var at simclock.Time
+	for i := 0; i < c.Batches; i++ {
+		w := model.Workload{Batch: c.BatchSize, Phase: c.Phase}
+		if c.Phase == model.Decode {
+			w.CtxLen = c.CtxLen
+		} else {
+			w.SeqLen = c.MinSeq + rng.Intn(c.MaxSeq-c.MinSeq+1)
+		}
+		out = append(out, Arrival{At: at, Workload: w})
+		switch c.Process {
+		case Poisson:
+			at += time.Duration(rng.ExpFloat64() * float64(gap))
+		case Bursty:
+			// Groups of 4 back-to-back, then a 4x gap: same mean rate.
+			if (i+1)%4 == 0 {
+				at += 4 * gap
+			}
+		default:
+			at += gap
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+// Package simclock provides the discrete-event simulation engine on which
+// the whole multi-GPU node model is built.
+//
+// The engine keeps a virtual clock and a priority queue of timed events.
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-breaking), which makes every simulation fully
+// deterministic: two runs with the same inputs produce identical traces.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an instant on the virtual clock, expressed as a duration since
+// the start of the simulation. Using time.Duration (int64 nanoseconds)
+// keeps arithmetic exact; kernel durations in this domain are in the
+// microsecond-to-millisecond range, far from overflow.
+type Time = time.Duration
+
+// Event is a callback scheduled to fire at a virtual instant.
+type Event func(now Time)
+
+// item is a heap entry. seq breaks ties between events at the same instant.
+type item struct {
+	at  Time
+	seq uint64
+	fn  Event
+	// cancelled events stay in the heap but are skipped when popped;
+	// this is cheaper than heap removal and keeps Cancel O(1).
+	cancelled bool
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ it *item }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.it != nil {
+		h.it.cancelled = true
+	}
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// ready; use New.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// New returns an engine with the clock at zero and no pending events.
+func New() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far; useful for
+// instrumentation and run-away detection in tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// placeholders not yet drained).
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in
+// the past panics: it always indicates a simulator bug, and silently
+// clamping would hide causality violations.
+func (e *Engine) At(at Time, fn Event) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("simclock: schedule at %v before now %v", at, e.now))
+	}
+	it := &item{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, it)
+	return Handle{it}
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d time.Duration, fn Event) Handle {
+	return e.At(e.now+d, fn)
+}
+
+// Step fires the earliest pending event. It reports whether an event
+// fired (false when the queue is empty).
+func (e *Engine) Step() bool {
+	for e.events.Len() > 0 {
+		it := heap.Pop(&e.events).(*item)
+		if it.cancelled {
+			continue
+		}
+		e.now = it.at
+		e.fired++
+		it.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled at exactly the deadline fire.
+func (e *Engine) RunUntil(deadline Time) {
+	for {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor is RunUntil(Now()+d).
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+// peek returns the timestamp of the next live event.
+func (e *Engine) peek() (Time, bool) {
+	for e.events.Len() > 0 {
+		it := e.events[0]
+		if it.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		return it.at, true
+	}
+	return 0, false
+}
+
+// NextEventAt reports the timestamp of the next pending event, if any.
+func (e *Engine) NextEventAt() (Time, bool) { return e.peek() }

@@ -1,0 +1,242 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyEngine(t *testing.T) {
+	e := New()
+	if e.Now() != 0 {
+		t.Fatalf("fresh engine Now = %v, want 0", e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine reported an event")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(30*time.Microsecond, func(Time) { got = append(got, 3) })
+	e.At(10*time.Microsecond, func(Time) { got = append(got, 1) })
+	e.At(20*time.Microsecond, func(Time) { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Microsecond {
+		t.Fatalf("Now = %v, want 30µs", e.Now())
+	}
+}
+
+func TestFIFOTieBreaking(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5*time.Microsecond, func(Time) { got = append(got, i) })
+	}
+	e.Run()
+	if len(got) != 100 {
+		t.Fatalf("fired %d events, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: got[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := New()
+	var at Time
+	e.At(time.Millisecond, func(now Time) {
+		e.After(time.Millisecond, func(now2 Time) { at = now2 })
+	})
+	e.Run()
+	if at != 2*time.Millisecond {
+		t.Fatalf("nested After fired at %v, want 2ms", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(time.Millisecond, func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(time.Microsecond, func(Time) {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	h := e.At(time.Millisecond, func(Time) { fired = true })
+	h.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double cancel is harmless.
+	h.Cancel()
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := New()
+	var got []int
+	var handles []Handle
+	for i := 0; i < 10; i++ {
+		i := i
+		handles = append(handles, e.At(Time(i)*time.Microsecond, func(Time) { got = append(got, i) }))
+	}
+	handles[4].Cancel()
+	handles[7].Cancel()
+	e.Run()
+	if len(got) != 8 {
+		t.Fatalf("fired %d, want 8", len(got))
+	}
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		e.At(d*time.Millisecond, func(now Time) { got = append(got, now) })
+	}
+	e.RunUntil(3 * time.Millisecond)
+	if len(got) != 3 {
+		t.Fatalf("fired %d events by 3ms, want 3 (deadline inclusive)", len(got))
+	}
+	if e.Now() != 3*time.Millisecond {
+		t.Fatalf("Now = %v, want 3ms", e.Now())
+	}
+	e.Run()
+	if len(got) != 5 {
+		t.Fatalf("fired %d total, want 5", len(got))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New()
+	e.RunUntil(7 * time.Millisecond)
+	if e.Now() != 7*time.Millisecond {
+		t.Fatalf("Now = %v, want 7ms", e.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := New()
+	e.RunFor(time.Second)
+	e.RunFor(time.Second)
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", e.Now())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 17; i++ {
+		e.At(Time(i), func(Time) {})
+	}
+	e.Run()
+	if e.Fired() != 17 {
+		t.Fatalf("Fired = %d, want 17", e.Fired())
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	e := New()
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("NextEventAt reported an event on an empty engine")
+	}
+	h := e.At(9*time.Microsecond, func(Time) {})
+	e.At(11*time.Microsecond, func(Time) {})
+	if at, ok := e.NextEventAt(); !ok || at != 9*time.Microsecond {
+		t.Fatalf("NextEventAt = %v,%v; want 9µs,true", at, ok)
+	}
+	h.Cancel()
+	if at, ok := e.NextEventAt(); !ok || at != 11*time.Microsecond {
+		t.Fatalf("after cancel NextEventAt = %v,%v; want 11µs,true", at, ok)
+	}
+}
+
+// Property: for any set of non-negative offsets, events fire in
+// nondecreasing time order and the engine visits every one exactly once.
+func TestPropertyFiringOrderSorted(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := New()
+		var fired []Time
+		for _, off := range offsets {
+			e.At(Time(off)*time.Microsecond, func(now Time) { fired = append(fired, now) })
+		}
+		e.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		// The multiset of firing times must equal the multiset of offsets.
+		want := make([]Time, len(offsets))
+		for i, off := range offsets {
+			want[i] = Time(off) * time.Microsecond
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fired[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving scheduling and stepping never lets the clock go
+// backwards.
+func TestPropertyClockMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	e := New()
+	last := Time(0)
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(2) == 0 {
+			e.At(e.Now()+Time(rng.Intn(1000))*time.Nanosecond, func(Time) {})
+		} else {
+			e.Step()
+		}
+		if e.Now() < last {
+			t.Fatalf("clock went backwards: %v -> %v", last, e.Now())
+		}
+		last = e.Now()
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			e.At(Time(j%97)*time.Microsecond, func(Time) {})
+		}
+		e.Run()
+	}
+}

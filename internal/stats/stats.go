@@ -1,0 +1,149 @@
+// Package stats provides the small statistical toolkit used by the
+// serving metrics and the experiment reports: means, percentiles, and
+// normalized-duration summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Mean returns the arithmetic mean of ds (0 for empty input).
+func Mean(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank on a sorted copy.
+func Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(ds []time.Duration) time.Duration {
+	var m time.Duration
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Min returns the minimum (0 for empty input).
+func Min(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	m := ds[0]
+	for _, d := range ds[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Normalize maps durations onto [0, 1] relative to the maximum — the
+// presentation of Fig. 4's kernel-duration distributions.
+func Normalize(ds []time.Duration) []float64 {
+	max := Max(ds)
+	out := make([]float64, len(ds))
+	if max == 0 {
+		return out
+	}
+	for i, d := range ds {
+		out[i] = float64(d) / float64(max)
+	}
+	return out
+}
+
+// CoefficientOfVariation returns stddev/mean of the durations — the
+// "variance in kernel duration" measure behind Fig. 4 (larger models
+// have more widely varied kernels).
+func CoefficientOfVariation(ds []time.Duration) float64 {
+	if len(ds) < 2 {
+		return 0
+	}
+	mean := float64(Mean(ds))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, d := range ds {
+		diff := float64(d) - mean
+		ss += diff * diff
+	}
+	return math.Sqrt(ss/float64(len(ds))) / mean
+}
+
+// Histogram buckets values into n equal-width bins over [0, max].
+type Histogram struct {
+	BinWidth time.Duration
+	Counts   []int
+}
+
+// NewHistogram builds an n-bin histogram of the durations.
+func NewHistogram(ds []time.Duration, n int) Histogram {
+	if n < 1 {
+		n = 1
+	}
+	h := Histogram{Counts: make([]int, n)}
+	max := Max(ds)
+	if max == 0 {
+		return h
+	}
+	h.BinWidth = max/time.Duration(n) + 1
+	for _, d := range ds {
+		idx := int(d / h.BinWidth)
+		if idx >= n {
+			idx = n - 1
+		}
+		h.Counts[idx]++
+	}
+	return h
+}
+
+// String renders the histogram as an ASCII bar chart.
+func (h Histogram) String() string {
+	out := ""
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	for i, c := range h.Counts {
+		bar := ""
+		if total > 0 {
+			for j := 0; j < 40*c/total; j++ {
+				bar += "#"
+			}
+		}
+		out += fmt.Sprintf("%12v %5d %s\n", time.Duration(i)*h.BinWidth, c, bar)
+	}
+	return out
+}

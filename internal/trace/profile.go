@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"time"
+
+	"liger/internal/gpusim"
+	"liger/internal/hw"
+	"liger/internal/parallel"
+	"liger/internal/simclock"
+)
+
+// SoloProfile measures each kernel's duration by executing it alone on
+// a fresh simulated node — the offline procedure that populates the
+// function wrappers' duration fields (Fig. 5's "Runtime Trace"). The
+// result excludes launch latency: it is the span from kernel start to
+// kernel end.
+func SoloProfile(node hw.Node, kernels []parallel.KernelDesc) ([]time.Duration, error) {
+	out := make([]time.Duration, len(kernels))
+	for i, k := range kernels {
+		eng := simclock.New()
+		n, err := gpusim.New(eng, node)
+		if err != nil {
+			return nil, err
+		}
+		rec := NewRecorder()
+		n.SetTracer(rec)
+		if k.Collective {
+			coll := n.NewCollective(n.NumDevices())
+			for d := 0; d < n.NumDevices(); d++ {
+				n.NewStream(d).Launch(specOf(k, coll))
+			}
+		} else {
+			n.NewStream(0).Launch(specOf(k, nil))
+		}
+		eng.Run()
+		var longest time.Duration
+		for _, s := range rec.Spans() {
+			if d := time.Duration(s.End - s.Start); d > longest {
+				longest = d
+			}
+		}
+		out[i] = longest
+	}
+	return out, nil
+}
+
+// ContentionReport holds the concurrent-profiling results of §3.5.
+type ContentionReport struct {
+	// MaxFactor is the largest observed slowdown of any kernel when a
+	// compute and a communication kernel execute concurrently — the
+	// contention factor the scheduler uses.
+	MaxFactor float64
+	// ComputeFactor / CommFactor are the per-class maxima.
+	ComputeFactor float64
+	CommFactor    float64
+	// Pairs is the number of concurrent pairs profiled.
+	Pairs int
+}
+
+// MeasureContention runs every (compute, comm) kernel pair concurrently
+// on a simulated node and compares against solo durations. Only lengthy
+// compute kernels matter (§3.5 profiles "lengthy computation kernels
+// with intensive computation and communication kernels"); callers
+// should pass representative GEMMs and all-reduces.
+func MeasureContention(node hw.Node, computeKs, commKs []parallel.KernelDesc) (ContentionReport, error) {
+	rep := ContentionReport{MaxFactor: 1, ComputeFactor: 1, CommFactor: 1}
+	soloCompute, err := SoloProfile(node, computeKs)
+	if err != nil {
+		return rep, err
+	}
+	soloComm, err := SoloProfile(node, commKs)
+	if err != nil {
+		return rep, err
+	}
+	for ci, ck := range computeKs {
+		for mi, mk := range commKs {
+			compDur, commDur, err := runPair(node, ck, mk)
+			if err != nil {
+				return rep, err
+			}
+			rep.Pairs++
+			if soloCompute[ci] > 0 {
+				f := float64(compDur) / float64(soloCompute[ci])
+				if f > rep.ComputeFactor {
+					rep.ComputeFactor = f
+				}
+			}
+			if soloComm[mi] > 0 {
+				f := float64(commDur) / float64(soloComm[mi])
+				if f > rep.CommFactor {
+					rep.CommFactor = f
+				}
+			}
+		}
+	}
+	if rep.ComputeFactor > rep.MaxFactor {
+		rep.MaxFactor = rep.ComputeFactor
+	}
+	if rep.CommFactor > rep.MaxFactor {
+		rep.MaxFactor = rep.CommFactor
+	}
+	return rep, nil
+}
+
+// runPair executes one compute kernel concurrently with one collective
+// on every device and returns the overlapped durations. The compute
+// kernel is launched on a second stream of each device so both classes
+// are resident together, as in the §3.5 profiling method.
+func runPair(node hw.Node, ck, mk parallel.KernelDesc) (computeDur, commDur time.Duration, err error) {
+	eng := simclock.New()
+	n, e := gpusim.New(eng, node)
+	if e != nil {
+		return 0, 0, e
+	}
+	rec := NewRecorder()
+	n.SetTracer(rec)
+	var coll *gpusim.Collective
+	if mk.Collective {
+		coll = n.NewCollective(n.NumDevices())
+	}
+	for d := 0; d < n.NumDevices(); d++ {
+		n.NewStreamOnConnection(d, 0).Launch(specOf(ck, nil))
+		conn := 1 % node.Host.MaxConnections
+		n.NewStreamOnConnection(d, conn).Launch(specOf(mk, coll))
+	}
+	eng.Run()
+	for _, s := range rec.Spans() {
+		d := time.Duration(s.End - s.Start)
+		if s.Class == gpusim.Comm {
+			if d > commDur {
+				commDur = d
+			}
+		} else if d > computeDur {
+			computeDur = d
+		}
+	}
+	return computeDur, commDur, nil
+}
+
+func specOf(k parallel.KernelDesc, coll *gpusim.Collective) gpusim.KernelSpec {
+	return gpusim.KernelSpec{
+		Name:          k.Name,
+		Class:         k.Class,
+		Duration:      k.Duration,
+		ComputeDemand: k.ComputeDemand,
+		MemBWDemand:   k.MemBWDemand,
+		Coll:          coll,
+	}
+}

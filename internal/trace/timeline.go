@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"liger/internal/gpusim"
+	"liger/internal/simclock"
+)
+
+// Timeline renders recorded spans as an ASCII chart: one compute row
+// ('#') and one communication row ('=') per device, sampled into
+// fixed-width columns. It makes the Fig. 6 interleaving visible in a
+// terminal:
+//
+//	gpu0 comp |####....####....|
+//	gpu0 comm |....====....====|
+type Timeline struct {
+	rec   *Recorder
+	width int
+}
+
+// NewTimeline builds a renderer of the given character width.
+func NewTimeline(rec *Recorder, width int) *Timeline {
+	if width < 8 {
+		width = 8
+	}
+	return &Timeline{rec: rec, width: width}
+}
+
+// Render writes the chart for the given window; a zero until renders
+// through the last recorded span.
+func (tl *Timeline) Render(w io.Writer, from, until simclock.Time) error {
+	if until == 0 {
+		for _, s := range tl.rec.Spans() {
+			if s.End > until {
+				until = s.End
+			}
+		}
+	}
+	if until <= from {
+		_, err := fmt.Fprintln(w, "(empty timeline)")
+		return err
+	}
+	span := until - from
+	devices := 0
+	for _, s := range tl.rec.Spans() {
+		if s.Device >= devices {
+			devices = s.Device + 1
+		}
+	}
+	for d := 0; d < devices; d++ {
+		comp := make([]byte, tl.width)
+		comm := make([]byte, tl.width)
+		for i := range comp {
+			comp[i], comm[i] = '.', '.'
+		}
+		for _, s := range tl.rec.Spans() {
+			if s.Device != d || s.End <= from || s.Start >= until {
+				continue
+			}
+			lo := int(int64(s.Start-from) * int64(tl.width) / int64(span))
+			hi := int(int64(s.End-from) * int64(tl.width) / int64(span))
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= tl.width {
+				hi = tl.width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				if s.Class == gpusim.Comm {
+					comm[i] = '='
+				} else {
+					comp[i] = '#'
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, "gpu%d comp |%s|\n", d, comp); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "gpu%d comm |%s|\n", d, comm); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s window: %v .. %v\n", strings.Repeat(" ", 4), from, until)
+	return err
+}

@@ -1,0 +1,123 @@
+// Package trace provides the offline preprocessing tools of Liger's
+// workflow (Fig. 5): a kernel profiler that measures solo durations by
+// running kernels on the simulated node, a concurrent-pair profiler
+// that derives the contention factors of §3.5, and a Chrome-trace
+// recorder for visualizing interleaved execution.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"liger/internal/gpusim"
+	"liger/internal/simclock"
+)
+
+// Span is one recorded kernel execution.
+type Span struct {
+	Device int
+	Name   string
+	Class  gpusim.KernelClass
+	Start  simclock.Time
+	End    simclock.Time
+}
+
+// Recorder collects kernel spans; it implements gpusim.Tracer.
+type Recorder struct {
+	spans []Span
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// KernelStart implements gpusim.Tracer.
+func (r *Recorder) KernelStart(int, string, gpusim.KernelClass, simclock.Time) {}
+
+// KernelEnd implements gpusim.Tracer.
+func (r *Recorder) KernelEnd(dev int, name string, class gpusim.KernelClass, start, end simclock.Time) {
+	r.spans = append(r.spans, Span{Device: dev, Name: name, Class: class, Start: start, End: end})
+}
+
+// Spans returns the recorded spans in completion order.
+func (r *Recorder) Spans() []Span { return r.spans }
+
+// Reset drops recorded spans.
+func (r *Recorder) Reset() { r.spans = nil }
+
+// chromeEvent is one entry of the Chrome tracing JSON array format
+// (chrome://tracing / Perfetto compatible).
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`  // microseconds
+	Dur   float64           `json:"dur"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace serializes the spans as a Chrome trace. Devices map
+// to processes; the compute/comm kernel classes map to two tracks per
+// device.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(r.spans))
+	for _, s := range r.spans {
+		tid := 0
+		if s.Class == gpusim.Comm {
+			tid = 1
+		}
+		events = append(events, chromeEvent{
+			Name:  s.Name,
+			Cat:   s.Class.String(),
+			Phase: "X",
+			TS:    float64(s.Start) / 1e3,
+			Dur:   float64(s.End-s.Start) / 1e3,
+			PID:   s.Device,
+			TID:   tid,
+		})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// OverlapTime returns, per device, the total time during which a
+// compute span and a comm span overlap — a direct measure of the
+// interleaving Liger creates.
+func (r *Recorder) OverlapTime(dev int) simclock.Time {
+	type edge struct {
+		at    simclock.Time
+		class gpusim.KernelClass
+		delta int
+	}
+	var edges []edge
+	for _, s := range r.spans {
+		if s.Device != dev {
+			continue
+		}
+		edges = append(edges, edge{s.Start, s.Class, +1}, edge{s.End, s.Class, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta < edges[j].delta // ends before starts at ties
+	})
+	var comp, comm int
+	var last simclock.Time
+	var total simclock.Time
+	for _, e := range edges {
+		if comp > 0 && comm > 0 {
+			total += e.at - last
+		}
+		last = e.at
+		if e.class == gpusim.Comm {
+			comm += e.delta
+		} else {
+			comp += e.delta
+		}
+	}
+	return total
+}

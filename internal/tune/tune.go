@@ -1,0 +1,174 @@
+// Package tune finds the operating envelope of a deployment — the
+// paper's Appendix D notes that "since nodes vary in computation and
+// communication ability, it is necessary to specify the arrival rate
+// for your node and there exists an arrival rate range where Liger
+// performs better than both intra- and inter-operator parallelism
+// approaches". This package measures that range by simulation: it
+// locates each runtime's saturation throughput and sweeps the rate axis
+// for the window where Liger wins on both latency and throughput.
+package tune
+
+import (
+	"fmt"
+	"time"
+
+	"liger/internal/core"
+	"liger/internal/hw"
+	"liger/internal/model"
+	"liger/internal/serve"
+)
+
+// Config bounds the search.
+type Config struct {
+	Node  hw.Node
+	Model model.Spec
+	// BatchSize and sequence range shape the trace (paper defaults).
+	BatchSize      int
+	MinSeq, MaxSeq int
+	// Batches per probe point; more is slower but steadier.
+	Batches int
+	// Points is the resolution of the rate sweep.
+	Points int
+	Seed   int64
+}
+
+// DefaultConfig returns a reasonable search setup.
+func DefaultConfig(node hw.Node, spec model.Spec) Config {
+	return Config{
+		Node: node, Model: spec,
+		BatchSize: 2, MinSeq: 16, MaxSeq: 128,
+		Batches: 100, Points: 9, Seed: 1,
+	}
+}
+
+// Probe is one measured operating point.
+type Probe struct {
+	Rate       float64
+	Latency    time.Duration
+	Throughput float64
+}
+
+// Report is the tuner's output.
+type Report struct {
+	// Saturation throughput per runtime (batches/s).
+	LigerSat, IntraSat, InterSat float64
+	// AdvantageLo/Hi bound the arrival-rate window in which Liger's
+	// average latency beats both baselines while sustaining the offered
+	// rate. Zero window means no measured advantage region.
+	AdvantageLo, AdvantageHi float64
+	// Sweep holds the probe points per runtime.
+	Sweep map[core.RuntimeKind][]Probe
+}
+
+// HasWindow reports whether an advantage window was found.
+func (r Report) HasWindow() bool { return r.AdvantageHi > r.AdvantageLo }
+
+// String renders a one-paragraph summary.
+func (r Report) String() string {
+	s := fmt.Sprintf("saturation: Liger %.2f, Intra-Op %.2f, Inter-Op %.2f batches/s",
+		r.LigerSat, r.IntraSat, r.InterSat)
+	if r.HasWindow() {
+		s += fmt.Sprintf("; Liger advantage window: %.2f–%.2f batches/s", r.AdvantageLo, r.AdvantageHi)
+	} else {
+		s += "; no strict advantage window found"
+	}
+	return s
+}
+
+// measure serves one probe point.
+func measure(cfg Config, kind core.RuntimeKind, rate float64) (Probe, error) {
+	eng, err := core.NewEngine(core.Options{Node: cfg.Node, Model: cfg.Model, Runtime: kind})
+	if err != nil {
+		return Probe{}, err
+	}
+	tr, err := serve.Generate(serve.TraceConfig{
+		Batches: cfg.Batches, BatchSize: cfg.BatchSize, RatePerSec: rate,
+		MinSeq: cfg.MinSeq, MaxSeq: cfg.MaxSeq, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return Probe{}, err
+	}
+	res, err := eng.Serve(tr)
+	if err != nil {
+		return Probe{}, err
+	}
+	return Probe{Rate: rate, Latency: res.AvgLatency, Throughput: res.ThroughputBatches()}, nil
+}
+
+// saturation probes a runtime at a rate far beyond capacity.
+func saturation(cfg Config, kind core.RuntimeKind, overload float64) (float64, error) {
+	p, err := measure(cfg, kind, overload)
+	if err != nil {
+		return 0, err
+	}
+	return p.Throughput, nil
+}
+
+// Run executes the search.
+func Run(cfg Config) (Report, error) {
+	if cfg.Points < 3 {
+		cfg.Points = 3
+	}
+	if cfg.Batches < 10 {
+		cfg.Batches = 10
+	}
+	rep := Report{Sweep: map[core.RuntimeKind][]Probe{}}
+
+	// Rough capacity estimate to size the overload probe: serve a burst
+	// and take the throughput.
+	warm, err := measure(cfg, core.KindIntraOp, 1e6)
+	if err != nil {
+		return rep, err
+	}
+	overload := 3 * warm.Throughput
+
+	if rep.IntraSat, err = saturation(cfg, core.KindIntraOp, overload); err != nil {
+		return rep, err
+	}
+	if rep.LigerSat, err = saturation(cfg, core.KindLiger, overload); err != nil {
+		return rep, err
+	}
+	if rep.InterSat, err = saturation(cfg, core.KindInterOp, overload); err != nil {
+		return rep, err
+	}
+
+	// Sweep from well below intra saturation to just past Liger's.
+	lo := 0.3 * rep.IntraSat
+	hi := 1.05 * rep.LigerSat
+	kinds := []core.RuntimeKind{core.KindLiger, core.KindIntraOp, core.KindInterOp}
+	for i := 0; i < cfg.Points; i++ {
+		rate := lo + (hi-lo)*float64(i)/float64(cfg.Points-1)
+		for _, k := range kinds {
+			p, err := measure(cfg, k, rate)
+			if err != nil {
+				return rep, err
+			}
+			rep.Sweep[k] = append(rep.Sweep[k], p)
+		}
+	}
+
+	// The advantage window: rates where Liger keeps up with the offered
+	// load (throughput ≥ 97% of rate) and has the lowest average latency
+	// of the three runtimes.
+	inWindow := func(i int) bool {
+		lg := rep.Sweep[core.KindLiger][i]
+		if lg.Throughput < 0.97*lg.Rate {
+			return false
+		}
+		for _, k := range kinds[1:] {
+			if rep.Sweep[k][i].Latency <= lg.Latency {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < cfg.Points; i++ {
+		if inWindow(i) {
+			if rep.AdvantageLo == 0 {
+				rep.AdvantageLo = rep.Sweep[core.KindLiger][i].Rate
+			}
+			rep.AdvantageHi = rep.Sweep[core.KindLiger][i].Rate
+		}
+	}
+	return rep, nil
+}

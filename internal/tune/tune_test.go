@@ -1,0 +1,100 @@
+package tune
+
+import (
+	"strings"
+	"testing"
+
+	"liger/internal/core"
+	"liger/internal/hw"
+	"liger/internal/model"
+)
+
+func fastCfg() Config {
+	cfg := DefaultConfig(hw.A100Node(), model.OPT30B().WithLayers(8))
+	cfg.Batches = 40
+	cfg.Points = 5
+	return cfg
+}
+
+func TestRunFindsSaturations(t *testing.T) {
+	rep, err := Run(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IntraSat <= 0 || rep.LigerSat <= 0 || rep.InterSat <= 0 {
+		t.Fatalf("missing saturation: %+v", rep)
+	}
+	// On the PCIe node Liger must out-saturate Intra-Op; the pure
+	// pipeline out-saturates both (it gives up latency for it).
+	if rep.LigerSat <= rep.IntraSat {
+		t.Fatalf("Liger saturation %.2f not above Intra-Op %.2f", rep.LigerSat, rep.IntraSat)
+	}
+	if rep.InterSat <= rep.IntraSat {
+		t.Fatalf("Inter-Op saturation %.2f not above Intra-Op %.2f", rep.InterSat, rep.IntraSat)
+	}
+}
+
+func TestRunFindsAdvantageWindow(t *testing.T) {
+	rep, err := Run(fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasWindow() {
+		t.Fatalf("no advantage window found: %s", rep)
+	}
+	// The window must sit between Intra-Op's comfort zone and Liger's
+	// saturation.
+	if rep.AdvantageHi > 1.05*rep.LigerSat {
+		t.Fatalf("window upper bound %.2f above Liger saturation %.2f", rep.AdvantageHi, rep.LigerSat)
+	}
+	if rep.AdvantageLo <= 0 {
+		t.Fatalf("degenerate window lower bound: %s", rep)
+	}
+}
+
+func TestSweepShapes(t *testing.T) {
+	cfg := fastCfg()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []core.RuntimeKind{core.KindLiger, core.KindIntraOp, core.KindInterOp} {
+		pts := rep.Sweep[kind]
+		if len(pts) != cfg.Points {
+			t.Fatalf("%v has %d probe points, want %d", kind, len(pts), cfg.Points)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Rate <= pts[i-1].Rate {
+				t.Fatalf("%v rates not increasing", kind)
+			}
+			if pts[i].Latency < pts[i-1].Latency/2 {
+				t.Fatalf("%v latency implausibly dropped with load", kind)
+			}
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{LigerSat: 10, IntraSat: 8, InterSat: 12, AdvantageLo: 8, AdvantageHi: 10}
+	s := rep.String()
+	if !strings.Contains(s, "advantage window") {
+		t.Fatalf("summary %q missing window", s)
+	}
+	none := Report{LigerSat: 10, IntraSat: 8, InterSat: 12}
+	if !strings.Contains(none.String(), "no strict advantage window") {
+		t.Fatalf("summary %q missing no-window note", none.String())
+	}
+}
+
+func TestConfigClamps(t *testing.T) {
+	cfg := fastCfg()
+	cfg.Points = 1
+	cfg.Batches = 1
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sweep[core.KindLiger]) < 3 {
+		t.Fatal("Points not clamped to a usable minimum")
+	}
+}
