@@ -1,0 +1,30 @@
+# Standard developer entry points. `make check` is the gate every
+# change must pass; `go run ./tools/ci` runs the same sequence on
+# hosts without make.
+
+GO ?= go
+
+.PHONY: check build test race vet fmt bench
+
+check: ## full gate: gofmt + vet + build + race pass + full tests
+	$(GO) run ./tools/ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-bearing packages (parallel sweep executor, event
+# engine) get a dedicated -race pass.
+race:
+	$(GO) test -race ./internal/runner ./internal/simclock
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/simclock ./internal/gpusim ./internal/bench

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"liger/internal/bench"
+	"liger/internal/runner"
 )
 
 func main() {
@@ -21,10 +22,12 @@ func main() {
 	log.SetPrefix("ligerbench: ")
 
 	var (
-		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		batches = flag.Int("batches", 150, "batch arrivals per data point (paper: 2000)")
-		quick   = flag.Bool("quick", false, "trim sweeps to a few points")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		batches  = flag.Int("batches", 150, "batch arrivals per data point (paper: 2000)")
+		quick    = flag.Bool("quick", false, "trim sweeps to a few points")
+		parallel = flag.Int("parallel", runner.DefaultWorkers(),
+			"sweep executor workers (0 = serial); output is identical at any value")
 		seed    = flag.Int64("seed", 1, "trace random seed")
 		csvDir  = flag.String("csv", "", "also write per-panel CSV sweep data into this directory")
 		plotDir = flag.String("plots", "", "also render per-panel SVG charts into this directory")
@@ -38,7 +41,8 @@ func main() {
 		return
 	}
 
-	cfg := bench.RunConfig{Batches: *batches, Quick: *quick, Seed: *seed, CSVDir: *csvDir, PlotDir: *plotDir}
+	cfg := bench.RunConfig{Batches: *batches, Quick: *quick, Parallel: *parallel,
+		Seed: *seed, CSVDir: *csvDir, PlotDir: *plotDir}
 	var exps []bench.Experiment
 	if *exp == "all" {
 		exps = bench.Experiments()

@@ -16,6 +16,7 @@ import (
 	"liger/internal/model"
 	"liger/internal/nccl"
 	"liger/internal/parallel"
+	"liger/internal/runner"
 	"liger/internal/serve"
 )
 
@@ -28,6 +29,12 @@ type RunConfig struct {
 	// Quick trims sweeps to a handful of points (used by the Go
 	// benchmarks).
 	Quick bool
+	// Parallel is the worker count of the sweep executor: every
+	// (panel, runtime, rate) simulation point is independent, so sweeps
+	// fan across Parallel goroutines and collect results by stable job
+	// index — output is byte-identical to a serial run. 0 or 1 runs
+	// serially; runner.DefaultWorkers() uses every core.
+	Parallel int
 	// Seed drives trace generation.
 	Seed int64
 	// CSVDir, when set, receives machine-readable sweep data for the
@@ -133,19 +140,57 @@ type point struct {
 	res  serve.Result
 }
 
-// runPanel serves the panel's trace at each rate with each runtime.
-func runPanel(p panel, rates []float64, kinds []core.RuntimeKind, cfg RunConfig) (map[core.RuntimeKind][]point, error) {
-	out := make(map[core.RuntimeKind][]point)
-	for _, kind := range kinds {
-		for _, rate := range rates {
-			res, err := runPoint(p, rate, kind, cfg, nil)
-			if err != nil {
-				return nil, err
+// panelSweep is one panel's sweep request: every (kind, rate) pair is an
+// independent simulation point.
+type panelSweep struct {
+	p     panel
+	rates []float64
+	kinds []core.RuntimeKind
+}
+
+// runSweeps executes every point of every sweep through the parallel
+// executor and returns one result map per sweep, in input order. The job
+// list is flattened in deterministic (sweep, kind, rate) order and
+// results are collected by index, so the assembled maps are identical to
+// the serial nested loops they replace.
+func runSweeps(sweeps []panelSweep, cfg RunConfig) ([]map[core.RuntimeKind][]point, error) {
+	type job struct {
+		sweep int
+		kind  core.RuntimeKind
+		rate  float64
+	}
+	var jobs []job
+	for si, sw := range sweeps {
+		for _, kind := range sw.kinds {
+			for _, rate := range sw.rates {
+				jobs = append(jobs, job{sweep: si, kind: kind, rate: rate})
 			}
-			out[kind] = append(out[kind], point{rate: rate, res: res})
 		}
 	}
+	results, err := runner.Map(cfg.Parallel, len(jobs), func(i int) (serve.Result, error) {
+		j := jobs[i]
+		return runPoint(sweeps[j.sweep].p, j.rate, j.kind, cfg, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[core.RuntimeKind][]point, len(sweeps))
+	for si := range sweeps {
+		out[si] = make(map[core.RuntimeKind][]point)
+	}
+	for i, j := range jobs {
+		out[j.sweep][j.kind] = append(out[j.sweep][j.kind], point{rate: j.rate, res: results[i]})
+	}
 	return out, nil
+}
+
+// runPanel serves the panel's trace at each rate with each runtime.
+func runPanel(p panel, rates []float64, kinds []core.RuntimeKind, cfg RunConfig) (map[core.RuntimeKind][]point, error) {
+	maps, err := runSweeps([]panelSweep{{p: p, rates: rates, kinds: kinds}}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return maps[0], nil
 }
 
 // runPoint serves one (panel, rate, runtime) configuration. ligerCfg

@@ -11,6 +11,8 @@ import (
 	"liger/internal/model"
 	"liger/internal/nccl"
 	"liger/internal/parallel"
+	"liger/internal/runner"
+	"liger/internal/serve"
 	"liger/internal/trace"
 )
 
@@ -65,15 +67,19 @@ func RunContention(cfg RunConfig, w io.Writer) error {
 	fmt.Fprintln(w, "\nablation: Liger with and without contention anticipation (OPT-30B, V100, batch 2)")
 	p := panel{nodeKey: "v100", node: hw.V100Node(), spec: model.OPT30B(), batch: 2, phase: model.Context}
 	rate := 1.05 * intraCapacity(p)
+	factors := []float64{1.0, 1.1}
+	results, err := runner.Map(cfg.Parallel, len(factors), func(i int) (serve.Result, error) {
+		lcfg := liger.DefaultConfig(p.nodeKey)
+		lcfg.ContentionFactor = factors[i]
+		return runPoint(p, rate, core.KindLiger, cfg, &lcfg)
+	})
+	if err != nil {
+		return err
+	}
 	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "contention factor\tavg lat\tp99 lat\tthroughput")
-	for _, cf := range []float64{1.0, 1.1} {
-		lcfg := liger.DefaultConfig(p.nodeKey)
-		lcfg.ContentionFactor = cf
-		res, err := runPoint(p, rate, core.KindLiger, cfg, &lcfg)
-		if err != nil {
-			return err
-		}
+	for i, cf := range factors {
+		res := results[i]
 		fmt.Fprintf(tw, "%.2f\t%s\t%s\t%.2f\n", cf, fmtDur(res.AvgLatency), fmtDur(res.P99), res.ThroughputBatches())
 	}
 	return tw.Flush()
@@ -86,25 +92,28 @@ func RunContention(cfg RunConfig, w io.Writer) error {
 func RunChannels(cfg RunConfig, w io.Writer) error {
 	p := panel{nodeKey: "a100", node: hw.A100Node(), spec: model.OPT30B(), batch: 2, phase: model.Context}
 	rate := 1.2 * intraCapacity(p)
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "NCCL channels\tavg lat\tthroughput")
-	for _, reduced := range []bool{false, true} {
-		opts := core.Options{
+	variants := []bool{false, true}
+	results, err := runner.Map(cfg.Parallel, len(variants), func(i int) (serve.Result, error) {
+		eng, err := core.NewEngine(core.Options{
 			Node: p.node, Model: p.spec, Runtime: core.KindLiger,
-			NCCL: nccl.Config{ReducedChannels: reduced}, NCCLSet: true,
-		}
-		eng, err := core.NewEngine(opts)
+			NCCL: nccl.Config{ReducedChannels: variants[i]}, NCCLSet: true,
+		})
 		if err != nil {
-			return err
+			return serve.Result{}, err
 		}
 		trace, err := genTrace(p, rate, cfg)
 		if err != nil {
-			return err
+			return serve.Result{}, err
 		}
-		res, err := eng.Serve(trace)
-		if err != nil {
-			return err
-		}
+		return eng.Serve(trace)
+	})
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NCCL channels\tavg lat\tthroughput")
+	for i, reduced := range variants {
+		res := results[i]
 		name := "default (redundant)"
 		if reduced {
 			name = "reduced (NCCL_MAX_NCHANNELS/NCCL_NTHREADS)"

@@ -10,6 +10,7 @@ import (
 	"liger/internal/liger"
 	"liger/internal/model"
 	"liger/internal/parallel"
+	"liger/internal/runner"
 	"liger/internal/serve"
 )
 
@@ -68,25 +69,30 @@ func RunRobustness(cfg RunConfig, w io.Writer) error {
 	p := panel{nodeKey: "a100", node: hw.A100Node(), spec: model.OPT30B(), batch: 2, phase: model.Context}
 	rate := 0.95 * intraCapacity(p)
 	kinds := []core.RuntimeKind{core.KindLiger, core.KindIntraOp, core.KindInterOp}
+	procs := []serve.ArrivalProcess{serve.ConstantRate, serve.Poisson, serve.Bursty}
+	results, err := runner.Map(cfg.Parallel, len(procs)*len(kinds), func(i int) (serve.Result, error) {
+		proc, kind := procs[i/len(kinds)], kinds[i%len(kinds)]
+		eng, err := core.NewEngine(core.Options{Node: p.node, Model: p.spec, Runtime: kind})
+		if err != nil {
+			return serve.Result{}, err
+		}
+		trace, err := serve.Generate(serve.TraceConfig{
+			Batches: cfg.Batches, BatchSize: p.batch, RatePerSec: rate,
+			MinSeq: 16, MaxSeq: 128, Process: proc, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return serve.Result{}, err
+		}
+		return eng.Serve(trace)
+	})
+	if err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "arrival process\truntime\tavg lat\tp99 lat\tthroughput")
-	for _, proc := range []serve.ArrivalProcess{serve.ConstantRate, serve.Poisson, serve.Bursty} {
-		for _, kind := range kinds {
-			eng, err := core.NewEngine(core.Options{Node: p.node, Model: p.spec, Runtime: kind})
-			if err != nil {
-				return err
-			}
-			trace, err := serve.Generate(serve.TraceConfig{
-				Batches: cfg.Batches, BatchSize: p.batch, RatePerSec: rate,
-				MinSeq: 16, MaxSeq: 128, Process: proc, Seed: cfg.Seed,
-			})
-			if err != nil {
-				return err
-			}
-			res, err := eng.Serve(trace)
-			if err != nil {
-				return err
-			}
+	for pi, proc := range procs {
+		for ki, kind := range kinds {
+			res := results[pi*len(kinds)+ki]
 			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.2f\n",
 				proc, kind, fmtDur(res.AvgLatency), fmtDur(res.P99), res.ThroughputBatches())
 		}
@@ -98,44 +104,58 @@ func RunRobustness(cfg RunConfig, w io.Writer) error {
 // online adaptive extension: the adaptive scheduler should converge to
 // a similar factor without offline profiling.
 func RunAdaptive(cfg RunConfig, w io.Writer) error {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "node\tmode\tavg lat\tthroughput\tfinal factor\toverruns")
-	for _, nodeKey := range []string{"v100", "a100"} {
+	nodeKeys := []string{"v100", "a100"}
+	modes := []bool{false, true}
+	type adaptiveCell struct {
+		mode     string
+		res      serve.Result
+		factor   float64
+		overruns int
+	}
+	results, err := runner.Map(cfg.Parallel, len(nodeKeys)*len(modes), func(i int) (adaptiveCell, error) {
+		nodeKey, adaptive := nodeKeys[i/len(modes)], modes[i%len(modes)]
 		node, err := hw.Preset(nodeKey)
 		if err != nil {
-			return err
+			return adaptiveCell{}, err
 		}
 		p := panel{nodeKey: nodeKey, node: node, spec: model.OPT30B(), batch: 2, phase: model.Context}
 		rate := 1.2 * intraCapacity(p)
-		for _, adaptive := range []bool{false, true} {
-			lcfg := liger.DefaultConfig(nodeKey)
-			lcfg.AdaptiveContention = adaptive
-			eng, err := core.NewEngine(core.Options{Node: node, Model: p.spec, Runtime: core.KindLiger,
-				Liger: lcfg, LigerSet: true})
-			if err != nil {
-				return err
-			}
-			trace, err := genTrace(p, rate, cfg)
-			if err != nil {
-				return err
-			}
-			res, err := eng.Serve(trace)
-			if err != nil {
-				return err
-			}
-			mode := fmt.Sprintf("profiled %.2f", lcfg.ContentionFactor)
-			if adaptive {
-				mode = "adaptive"
-			}
-			var factor float64
-			var overruns int
-			if sg, ok := eng.Runtime().(interface{ Scheduler() *liger.Scheduler }); ok {
-				st := sg.Scheduler().Stats()
-				factor = st.AdaptedFactor
-				overruns = st.SecondaryOverruns
-			}
+		lcfg := liger.DefaultConfig(nodeKey)
+		lcfg.AdaptiveContention = adaptive
+		eng, err := core.NewEngine(core.Options{Node: node, Model: p.spec, Runtime: core.KindLiger,
+			Liger: lcfg, LigerSet: true})
+		if err != nil {
+			return adaptiveCell{}, err
+		}
+		trace, err := genTrace(p, rate, cfg)
+		if err != nil {
+			return adaptiveCell{}, err
+		}
+		res, err := eng.Serve(trace)
+		if err != nil {
+			return adaptiveCell{}, err
+		}
+		cell := adaptiveCell{mode: fmt.Sprintf("profiled %.2f", lcfg.ContentionFactor), res: res}
+		if adaptive {
+			cell.mode = "adaptive"
+		}
+		if sg, ok := eng.Runtime().(interface{ Scheduler() *liger.Scheduler }); ok {
+			st := sg.Scheduler().Stats()
+			cell.factor = st.AdaptedFactor
+			cell.overruns = st.SecondaryOverruns
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "node\tmode\tavg lat\tthroughput\tfinal factor\toverruns")
+	for ni, nodeKey := range nodeKeys {
+		for mi := range modes {
+			c := results[ni*len(modes)+mi]
 			fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%.3f\t%d\n",
-				nodeKey, mode, fmtDur(res.AvgLatency), res.ThroughputBatches(), factor, overruns)
+				nodeKey, c.mode, fmtDur(c.res.AvgLatency), c.res.ThroughputBatches(), c.factor, c.overruns)
 		}
 	}
 	return tw.Flush()

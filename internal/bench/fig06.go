@@ -22,8 +22,15 @@ import (
 func RunFig06(cfg RunConfig, w io.Writer) error {
 	node := hw.A100Node()
 	spec := model.OPT30B().WithLayers(6)
+	// The timeline renders only the first 6 ms, so the demo caps the
+	// configured batch count at 8; smaller cfg.Batches (quick test
+	// configs) propagate through.
+	batches := cfg.Batches
+	if batches > 8 {
+		batches = 8
+	}
 	tr, err := serve.Generate(serve.TraceConfig{
-		Batches:    8,
+		Batches:    batches,
 		BatchSize:  2,
 		RatePerSec: 400, // dense burst so batches queue and interleave
 		MinSeq:     64,

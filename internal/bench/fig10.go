@@ -53,23 +53,30 @@ func fig10Panels(quick bool) []panel {
 // saturated throughput (the paper's red line).
 func RunFig10(cfg RunConfig, w io.Writer) error {
 	kinds := core.Kinds()
+	var sweeps []panelSweep
 	for _, p := range fig10Panels(cfg.Quick) {
 		cap := intraCapacity(p)
 		var rates []float64
 		for _, f := range rateFractions(cfg.Quick) {
 			rates = append(rates, f*cap)
 		}
-		results, err := runPanel(p, rates, kinds, cfg)
-		if err != nil {
+		sweeps = append(sweeps, panelSweep{p: p, rates: rates, kinds: kinds})
+	}
+	// Every point of every panel fans out together; printing happens
+	// after collection, so output order is independent of worker count.
+	maps, err := runSweeps(sweeps, cfg)
+	if err != nil {
+		return err
+	}
+	for i, sw := range sweeps {
+		results := maps[i]
+		if err := printPanel(w, sw.p, sw.rates, results); err != nil {
 			return err
 		}
-		if err := printPanel(w, p, rates, results); err != nil {
+		if err := writePanelCSV(cfg, "fig10", sw.p, sw.rates, results); err != nil {
 			return err
 		}
-		if err := writePanelCSV(cfg, "fig10", p, rates, results); err != nil {
-			return err
-		}
-		if err := writePanelSVG(cfg, "fig10", p, rates, results); err != nil {
+		if err := writePanelSVG(cfg, "fig10", sw.p, sw.rates, results); err != nil {
 			return err
 		}
 	}

@@ -31,6 +31,7 @@ func RunFig11(cfg RunConfig, w io.Writer) error {
 		columns = columns[:1]
 	}
 	kinds := core.Kinds()
+	var sweeps []panelSweep
 	for _, c := range columns {
 		p := panel{
 			label:   fmt.Sprintf("%s on %s, decode batch 32 ctx 16", c.spec.Name, c.node.Name),
@@ -46,17 +47,21 @@ func RunFig11(cfg RunConfig, w io.Writer) error {
 		for _, f := range rateFractions(cfg.Quick) {
 			rates = append(rates, f*cap)
 		}
-		results, err := runPanel(p, rates, kinds, cfg)
-		if err != nil {
+		sweeps = append(sweeps, panelSweep{p: p, rates: rates, kinds: kinds})
+	}
+	maps, err := runSweeps(sweeps, cfg)
+	if err != nil {
+		return err
+	}
+	for i, sw := range sweeps {
+		results := maps[i]
+		if err := printPanel(w, sw.p, sw.rates, results); err != nil {
 			return err
 		}
-		if err := printPanel(w, p, rates, results); err != nil {
+		if err := writePanelCSV(cfg, "fig11", sw.p, sw.rates, results); err != nil {
 			return err
 		}
-		if err := writePanelCSV(cfg, "fig11", p, rates, results); err != nil {
-			return err
-		}
-		if err := writePanelSVG(cfg, "fig11", p, rates, results); err != nil {
+		if err := writePanelSVG(cfg, "fig11", sw.p, sw.rates, results); err != nil {
 			return err
 		}
 	}

@@ -19,6 +19,7 @@ func RunFig12(cfg RunConfig, w io.Writer) error {
 	if cfg.Quick {
 		devCounts = []int{1, 4}
 	}
+	var sweeps []panelSweep
 	for _, devs := range devCounts {
 		node := hw.A100Node()
 		if devs != node.NumGPUs {
@@ -43,17 +44,21 @@ func RunFig12(cfg RunConfig, w io.Writer) error {
 		for _, f := range rateFractions(cfg.Quick) {
 			rates = append(rates, f*cap)
 		}
-		results, err := runPanel(p, rates, useKinds, cfg)
-		if err != nil {
+		sweeps = append(sweeps, panelSweep{p: p, rates: rates, kinds: useKinds})
+	}
+	maps, err := runSweeps(sweeps, cfg)
+	if err != nil {
+		return err
+	}
+	for i, sw := range sweeps {
+		results := maps[i]
+		if err := printPanel(w, sw.p, sw.rates, results); err != nil {
 			return err
 		}
-		if err := printPanel(w, p, rates, results); err != nil {
+		if err := writePanelCSV(cfg, "fig12", sw.p, sw.rates, results); err != nil {
 			return err
 		}
-		if err := writePanelCSV(cfg, "fig12", p, rates, results); err != nil {
-			return err
-		}
-		if err := writePanelSVG(cfg, "fig12", p, rates, results); err != nil {
+		if err := writePanelSVG(cfg, "fig12", sw.p, sw.rates, results); err != nil {
 			return err
 		}
 	}

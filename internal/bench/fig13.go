@@ -9,6 +9,8 @@ import (
 	"liger/internal/hw"
 	"liger/internal/liger"
 	"liger/internal/model"
+	"liger/internal/runner"
+	"liger/internal/serve"
 )
 
 // RunFig13 reproduces Fig. 13: Liger with the hybrid synchronization
@@ -45,16 +47,21 @@ func RunFig13(cfg RunConfig, w io.Writer) error {
 		lat string
 		thr float64
 	}
-	table := map[string]map[float64]cell{}
-	for _, m := range modes {
+	// One independent simulation per (sync mode, rate), fanned across the
+	// sweep executor.
+	results, err := runner.Map(cfg.Parallel, len(modes)*len(rates), func(i int) (serve.Result, error) {
 		lcfg := liger.DefaultConfig(p.nodeKey)
-		lcfg.Sync = m.sync
+		lcfg.Sync = modes[i/len(rates)].sync
+		return runPoint(p, rates[i%len(rates)], core.KindLiger, cfg, &lcfg)
+	})
+	if err != nil {
+		return err
+	}
+	table := map[string]map[float64]cell{}
+	for mi, m := range modes {
 		table[m.name] = map[float64]cell{}
-		for _, rate := range rates {
-			res, err := runPoint(p, rate, core.KindLiger, cfg, &lcfg)
-			if err != nil {
-				return err
-			}
+		for ri, rate := range rates {
+			res := results[mi*len(rates)+ri]
 			table[m.name][rate] = cell{lat: fmtDur(res.AvgLatency), thr: res.ThroughputBatches()}
 		}
 	}

@@ -9,6 +9,8 @@ import (
 	"liger/internal/hw"
 	"liger/internal/liger"
 	"liger/internal/model"
+	"liger/internal/runner"
+	"liger/internal/serve"
 )
 
 // RunFig14 reproduces Fig. 14: the impact of the runtime kernel
@@ -32,16 +34,19 @@ func RunFig14(cfg RunConfig, w io.Writer) error {
 	}
 	// Operate near Liger's saturation, where matching quality matters.
 	rates := []float64{0.95 * cap, 1.15 * cap}
+	results, err := runner.Map(cfg.Parallel, len(factors)*len(rates), func(i int) (serve.Result, error) {
+		lcfg := liger.DefaultConfig(p.nodeKey)
+		lcfg.DivisionFactor = factors[i/len(rates)]
+		return runPoint(p, rates[i%len(rates)], core.KindLiger, cfg, &lcfg)
+	})
+	if err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "division factor\trate (batch/s)\tavg lat\tthroughput\tdecompositions")
-	for _, d := range factors {
-		lcfg := liger.DefaultConfig(p.nodeKey)
-		lcfg.DivisionFactor = d
-		for _, rate := range rates {
-			res, err := runPoint(p, rate, core.KindLiger, cfg, &lcfg)
-			if err != nil {
-				return err
-			}
+	for fi, d := range factors {
+		for ri, rate := range rates {
+			res := results[fi*len(rates)+ri]
 			fmt.Fprintf(tw, "%d\t%.2f\t%s\t%.2f\t\n", d, rate, fmtDur(res.AvgLatency), res.ThroughputBatches())
 		}
 	}

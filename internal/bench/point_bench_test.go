@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"testing"
+
+	"liger/internal/core"
+)
+
+// BenchmarkFig10Point measures one (panel, rate, runtime) simulation —
+// the unit of work the parallel sweep executor fans out. Serial hot-path
+// work (event pooling, admission ordering, rate recompute) shows up
+// directly here.
+func BenchmarkFig10Point(b *testing.B) {
+	p := fig10Panels(true)[0]
+	cfg := RunConfig{Batches: 40, Quick: true, Seed: 1}
+	rate := intraCapacity(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runPoint(p, rate, core.KindLiger, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"liger/internal/core"
 	"liger/internal/hw"
 	"liger/internal/model"
+	"liger/internal/runner"
+	"liger/internal/serve"
 )
 
 // RunStraggler is a failure-injection extension: one GPU of the node
@@ -19,26 +21,31 @@ func RunStraggler(cfg RunConfig, w io.Writer) error {
 	p := panel{nodeKey: "a100", node: hw.A100Node(), spec: model.OPT30B(), batch: 2, phase: model.Context}
 	rate := 0.85 * intraCapacity(p)
 	kinds := []core.RuntimeKind{core.KindLiger, core.KindIntraOp, core.KindInterOp}
+	speeds := []float64{1.0, 0.8, 0.6}
 
+	results, err := runner.Map(cfg.Parallel, len(speeds)*len(kinds), func(i int) (serve.Result, error) {
+		speed, kind := speeds[i/len(kinds)], kinds[i%len(kinds)]
+		eng, err := core.NewEngine(core.Options{Node: p.node, Model: p.spec, Runtime: kind})
+		if err != nil {
+			return serve.Result{}, err
+		}
+		if speed < 1 {
+			eng.SimNode().Device(2).SetSpeed(speed)
+		}
+		trace, err := genTrace(p, rate, cfg)
+		if err != nil {
+			return serve.Result{}, err
+		}
+		return eng.Serve(trace)
+	})
+	if err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "gpu2 speed\truntime\tavg lat\tp99 lat\tthroughput")
-	for _, speed := range []float64{1.0, 0.8, 0.6} {
-		for _, kind := range kinds {
-			eng, err := core.NewEngine(core.Options{Node: p.node, Model: p.spec, Runtime: kind})
-			if err != nil {
-				return err
-			}
-			if speed < 1 {
-				eng.SimNode().Device(2).SetSpeed(speed)
-			}
-			trace, err := genTrace(p, rate, cfg)
-			if err != nil {
-				return err
-			}
-			res, err := eng.Serve(trace)
-			if err != nil {
-				return err
-			}
+	for si, speed := range speeds {
+		for ki, kind := range kinds {
+			res := results[si*len(kinds)+ki]
 			fmt.Fprintf(tw, "%.0f%%\t%s\t%s\t%s\t%.2f\n",
 				100*speed, kind, fmtDur(res.AvgLatency), fmtDur(res.P99), res.ThroughputBatches())
 		}

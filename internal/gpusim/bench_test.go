@@ -51,3 +51,36 @@ func BenchmarkContentionRecompute(b *testing.B) {
 	b.ResetTimer()
 	eng.Run()
 }
+
+// BenchmarkDeviceRecompute measures the contention-refresh path with a
+// realistic mixed running set: local compute kernels plus several
+// collectives (whose dedup used to be O(n²) in the running-set size).
+func BenchmarkDeviceRecompute(b *testing.B) {
+	eng, n := testNode(b, 2)
+	d := n.devices[0]
+	// 12 long local kernels resident on device 0.
+	for i := 0; i < 12; i++ {
+		s := n.NewStream(0)
+		s.Launch(KernelSpec{Name: "gemm", Class: Compute, Duration: time.Second,
+			ComputeDemand: 0.05, MemBWDemand: 0.1})
+	}
+	// 4 collectives with members on both devices.
+	for i := 0; i < 4; i++ {
+		coll := n.NewCollective(2)
+		for dev := 0; dev < 2; dev++ {
+			s := n.NewStream(dev)
+			s.Launch(KernelSpec{Name: "ar", Class: Comm, Duration: time.Second,
+				ComputeDemand: 0.02, MemBWDemand: 0.1, Coll: coll})
+		}
+	}
+	// Let every launch deliver and admit.
+	eng.RunFor(time.Millisecond)
+	if got := d.RunningKernels(); got != 16 {
+		b.Fatalf("running kernels on device 0 = %d, want 16", got)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.recompute(eng.Now())
+	}
+}

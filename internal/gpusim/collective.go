@@ -30,6 +30,11 @@ type Collective struct {
 	rate        float64
 	lastUpdate  simclock.Time
 	completion  simclock.Handle
+	// completionFn is the reusable completion callback, allocated once.
+	completionFn func(simclock.Time)
+	// scanEpoch marks the last Device.recompute pass that gathered this
+	// collective (the epoch-mark dedup).
+	scanEpoch uint64
 }
 
 // Size returns the expected member count.
@@ -99,8 +104,11 @@ func (c *Collective) refreshRate(now simclock.Time) {
 	}
 	c.rate = rate
 	c.completion.Cancel()
+	if c.completionFn == nil {
+		c.completionFn = func(t simclock.Time) { c.finish(t) }
+	}
 	delay := completionDelay(c.remainingNS, rate)
-	c.completion = c.node.eng.After(delay, func(t simclock.Time) { c.finish(t) })
+	c.completion = c.node.eng.After(delay, c.completionFn)
 }
 
 func (c *Collective) finish(now simclock.Time) {

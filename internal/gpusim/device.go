@@ -47,8 +47,13 @@ type Device struct {
 	membwFactor float64
 
 	// pendingAdmission holds streams whose head kernel was delivered but
-	// did not fit under the left-over policy.
+	// did not fit under the left-over policy, kept sorted in admission
+	// order (priority, then head delivery time, then stream id).
 	pendingAdmission []*Stream
+
+	// collScratch is reused by recompute to gather the distinct
+	// collectives of the running set without allocating.
+	collScratch []*Collective
 
 	connRR int
 
@@ -173,15 +178,37 @@ func (d *Device) tryAdmit(s *Stream, k *kernelInstance, now simclock.Time) bool 
 	return true
 }
 
+// admitBefore is the deterministic admission order of blocked streams:
+// priority, then head-kernel delivery time, then stream id. Both keys
+// are fixed while a stream is queued (the head command cannot change
+// until it is admitted, and priorities are set at stream creation), so
+// insertion order equals re-sort order.
+func admitBefore(a, b *Stream) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	ha, hb := a.headKernelDelivery(), b.headKernelDelivery()
+	if ha != hb {
+		return ha < hb
+	}
+	return a.id < b.id
+}
+
 // queueForAdmission registers a stream whose head kernel is blocked on
-// capacity.
+// capacity, keeping the pending list sorted (sorted insert replaces the
+// former full re-sort on every kernel finish).
 func (d *Device) queueForAdmission(s *Stream) {
 	for _, q := range d.pendingAdmission {
 		if q == s {
 			return
 		}
 	}
-	d.pendingAdmission = append(d.pendingAdmission, s)
+	i := sort.Search(len(d.pendingAdmission), func(i int) bool {
+		return admitBefore(s, d.pendingAdmission[i])
+	})
+	d.pendingAdmission = append(d.pendingAdmission, nil)
+	copy(d.pendingAdmission[i+1:], d.pendingAdmission[i:])
+	d.pendingAdmission[i] = s
 }
 
 // admitPending retries blocked streams in deterministic order (delivery
@@ -191,18 +218,7 @@ func (d *Device) admitPending(now simclock.Time) {
 	if len(d.pendingAdmission) == 0 {
 		return
 	}
-	sort.Slice(d.pendingAdmission, func(i, j int) bool {
-		a, b := d.pendingAdmission[i], d.pendingAdmission[j]
-		if a.priority != b.priority {
-			return a.priority > b.priority
-		}
-		ha, hb := a.headKernelDelivery(), b.headKernelDelivery()
-		if ha != hb {
-			return ha < hb
-		}
-		return a.id < b.id
-	})
-	var still []*Stream
+	still := d.pendingAdmission[:0]
 	for _, s := range d.pendingAdmission {
 		cmd := s.head()
 		if cmd == nil || cmd.kind != cmdKernel || cmd.kernel.state != kQueued {
@@ -212,6 +228,9 @@ func (d *Device) admitPending(now simclock.Time) {
 			continue
 		}
 		still = append(still, s)
+	}
+	for i := len(still); i < len(d.pendingAdmission); i++ {
+		d.pendingAdmission[i] = nil
 	}
 	d.pendingAdmission = still
 }
@@ -265,18 +284,18 @@ func (d *Device) recompute(now simclock.Time) {
 	}
 	d.membwFactor = factor
 
-	var colls []*Collective
+	// Epoch-mark dedup of the running set's collectives: each recompute
+	// pass gets a fresh node-wide epoch, and a collective is gathered the
+	// first time the pass sees it — O(n) instead of the former O(n²)
+	// membership scan.
+	d.node.collEpoch++
+	epoch := d.node.collEpoch
+	colls := d.collScratch[:0]
 	for _, k := range d.running {
-		if k.spec.Coll != nil {
-			found := false
-			for _, c := range colls {
-				if c == k.spec.Coll {
-					found = true
-					break
-				}
-			}
-			if !found {
-				colls = append(colls, k.spec.Coll)
+		if c := k.spec.Coll; c != nil {
+			if c.scanEpoch != epoch {
+				c.scanEpoch = epoch
+				colls = append(colls, c)
 			}
 			continue
 		}
@@ -289,6 +308,10 @@ func (d *Device) recompute(now simclock.Time) {
 	for _, c := range colls {
 		c.refreshRate(now)
 	}
+	for i := range colls {
+		colls[i] = nil
+	}
+	d.collScratch = colls[:0]
 }
 
 // classFactor returns the slowdown applied to a kernel class under the
@@ -313,9 +336,14 @@ func (d *Device) setKernelRate(k *kernelInstance, rate float64, now simclock.Tim
 	}
 	k.rate = rate
 	k.completion.Cancel()
+	if k.completionFn == nil {
+		// One closure per kernel instance, reused across every rate
+		// change instead of a fresh allocation per re-time.
+		k.completionFn = func(t simclock.Time) {
+			k.updateProgress(t)
+			d.finish(k, t)
+		}
+	}
 	delay := completionDelay(k.remainingNS, rate)
-	k.completion = d.node.eng.After(delay, func(t simclock.Time) {
-		k.updateProgress(t)
-		d.finish(k, t)
-	})
+	k.completion = d.node.eng.After(delay, k.completionFn)
 }

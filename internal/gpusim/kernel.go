@@ -78,6 +78,9 @@ type kernelInstance struct {
 	rate        float64
 	lastUpdate  simclock.Time
 	completion  simclock.Handle
+	// completionFn is the reusable completion callback; allocated once
+	// on the kernel's first rate assignment.
+	completionFn func(simclock.Time)
 
 	admittedAt simclock.Time
 	startedAt  simclock.Time // for collectives: when progress began

@@ -45,6 +45,14 @@ type Node struct {
 	nextStreamID int
 	nextCollID   int
 
+	// collEpoch numbers Device.recompute passes node-wide; collectives
+	// stamp it to dedup membership scans in O(1).
+	collEpoch uint64
+
+	// cmdFree recycles stream commands (and their delivery closures);
+	// see Stream.pop.
+	cmdFree []*command
+
 	tracer Tracer
 }
 
@@ -84,6 +92,39 @@ func (n *Node) Device(i int) *Device { return n.devices[i] }
 
 // SetTracer installs a kernel lifecycle tracer (nil to disable).
 func (n *Node) SetTracer(t Tracer) { n.tracer = t }
+
+// newCommand takes a command from the free list (or allocates one) and
+// binds it to stream s. The delivery callback is allocated once per
+// pooled object: it survives recycling, so steady-state issuing does not
+// allocate.
+func (n *Node) newCommand(s *Stream) *command {
+	if l := len(n.cmdFree); l > 0 {
+		cmd := n.cmdFree[l-1]
+		n.cmdFree[l-1] = nil
+		n.cmdFree = n.cmdFree[:l-1]
+		cmd.stream = s
+		return cmd
+	}
+	cmd := &command{stream: s}
+	cmd.deliverFn = func(t simclock.Time) {
+		cmd.delivered = true
+		cmd.stream.advance(t)
+	}
+	return cmd
+}
+
+// recycleCommand resets a popped command and returns it to the free
+// list. Must only be called once no queue references the command.
+func (n *Node) recycleCommand(cmd *command) {
+	cmd.kind = 0
+	cmd.kernel = nil
+	cmd.event = nil
+	cmd.stream = nil
+	cmd.deliveredAt = 0
+	cmd.delivered = false
+	cmd.waitRegistered = false
+	n.cmdFree = append(n.cmdFree, cmd)
+}
 
 // NewStream creates a stream on device dev. Streams are assigned to
 // host→device connections round-robin, mirroring how CUDA maps streams

@@ -12,11 +12,16 @@ const (
 	cmdWait
 )
 
-// command is one entry in a stream's FIFO.
+// command is one entry in a stream's FIFO. Commands are recycled through
+// a node-level free list once popped; deliverFn is allocated once per
+// pooled object and reused for every delivery, so issuing a command does
+// not allocate a fresh closure.
 type command struct {
 	kind           cmdKind
 	kernel         *kernelInstance
 	event          *Event
+	stream         *Stream
+	deliverFn      simclock.Event
 	deliveredAt    simclock.Time
 	delivered      bool
 	waitRegistered bool
@@ -115,10 +120,7 @@ func (s *Stream) issue(cmd *command) {
 	now := s.node.eng.Now()
 	cmd.deliveredAt = s.dev.deliver(s.conn, now)
 	s.queue = append(s.queue, cmd)
-	s.node.eng.At(cmd.deliveredAt, func(t simclock.Time) {
-		cmd.delivered = true
-		s.advance(t)
-	})
+	s.node.eng.At(cmd.deliveredAt, cmd.deliverFn)
 }
 
 // Launch enqueues a kernel. The call returns immediately (asynchronous
@@ -129,20 +131,29 @@ func (s *Stream) Launch(spec KernelSpec) {
 		panic("gpusim: negative kernel demand or duration")
 	}
 	k := &kernelInstance{spec: spec, stream: s}
-	s.issue(&command{kind: cmdKernel, kernel: k})
+	cmd := s.node.newCommand(s)
+	cmd.kind = cmdKernel
+	cmd.kernel = k
+	s.issue(cmd)
 }
 
 // Record enqueues an event-record command and returns the event.
 func (s *Stream) Record() *Event {
 	ev := &Event{node: s.node}
-	s.issue(&command{kind: cmdRecord, event: ev})
+	cmd := s.node.newCommand(s)
+	cmd.kind = cmdRecord
+	cmd.event = ev
+	s.issue(cmd)
 	return ev
 }
 
 // Wait enqueues a wait: subsequent commands on s do not execute until ev
 // fires. This is pure inter-stream synchronization — no CPU round trip.
 func (s *Stream) Wait(ev *Event) {
-	s.issue(&command{kind: cmdWait, event: ev})
+	cmd := s.node.newCommand(s)
+	cmd.kind = cmdWait
+	cmd.event = ev
+	s.issue(cmd)
 }
 
 // head returns the oldest incomplete command, or nil.
@@ -161,7 +172,14 @@ func (s *Stream) headKernelDelivery() simclock.Time {
 	return 0
 }
 
-func (s *Stream) pop() { s.queue = s.queue[1:] }
+// pop removes the head command and recycles it. Callers must copy any
+// command fields they still need (e.g. the record event) before popping.
+func (s *Stream) pop() {
+	cmd := s.queue[0]
+	s.queue[0] = nil
+	s.queue = s.queue[1:]
+	s.node.recycleCommand(cmd)
+}
 
 // completeHead is called by the device when the head kernel finishes.
 func (s *Stream) completeHead(now simclock.Time) {
@@ -180,8 +198,9 @@ func (s *Stream) advance(now simclock.Time) {
 		}
 		switch cmd.kind {
 		case cmdRecord:
+			ev := cmd.event
 			s.pop()
-			cmd.event.fire(now)
+			ev.fire(now)
 		case cmdWait:
 			if cmd.event.fired {
 				s.pop()

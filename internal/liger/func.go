@@ -77,6 +77,10 @@ type Batch struct {
 	completed      bool
 
 	onDone func(b *Batch, now simclock.Time)
+	// kernelDoneFn is the reusable per-batch completion callback wired
+	// into every launched kernel's OnDone (one closure per batch instead
+	// of one per launch).
+	kernelDoneFn func(now simclock.Time)
 }
 
 // NewBatch wraps a compiled kernel sequence as a schedulable batch.

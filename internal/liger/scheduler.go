@@ -479,6 +479,9 @@ func (s *Scheduler) launchFunc(st *gpusim.Stream, f Func, coll *gpusim.Collectiv
 		b.FirstLaunchAt = s.node.Engine().Now()
 	}
 	b.kernelLaunched()
+	if b.kernelDoneFn == nil {
+		b.kernelDoneFn = func(now simclock.Time) { b.kernelDone(now) }
+	}
 	st.Launch(gpusim.KernelSpec{
 		Name:          f.Desc.Name,
 		Class:         f.Desc.Class,
@@ -487,6 +490,6 @@ func (s *Scheduler) launchFunc(st *gpusim.Stream, f Func, coll *gpusim.Collectiv
 		MemBWDemand:   f.Desc.MemBWDemand,
 		Coll:          coll,
 		Batch:         b.ID,
-		OnDone:        func(now simclock.Time) { b.kernelDone(now) },
+		OnDone:        b.kernelDoneFn,
 	})
 }

@@ -1,0 +1,97 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+
+	"liger/internal/core"
+	"liger/internal/hw"
+	"liger/internal/model"
+	"liger/internal/serve"
+)
+
+// sweepOutcome captures everything a simulation run can leak through:
+// the served metrics and the exact number of discrete events fired.
+type sweepOutcome struct {
+	res   serve.Result
+	fired uint64
+}
+
+// runOnce builds a fresh engine + trace for one (runtime, rate) point
+// and serves it. This is the executor's unit of work; it must be a pure
+// function of its arguments.
+func runOnce(t *testing.T, kind core.RuntimeKind, rate float64) sweepOutcome {
+	t.Helper()
+	eng, err := core.NewEngine(core.Options{
+		Node:    hw.V100Node(),
+		Model:   model.OPT30B(),
+		Runtime: kind,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := serve.Generate(serve.TraceConfig{
+		Batches: 20, BatchSize: 2, RatePerSec: rate,
+		MinSeq: 16, MaxSeq: 128, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Serve(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sweepOutcome{res: res, fired: eng.Clock().Fired()}
+}
+
+// TestConcurrentSweepsIdentical is the engine-isolation contract test:
+// many simulations running concurrently (several full sweeps at once,
+// under -race in CI) must produce results identical to the serial
+// reference — metric for metric, and event count for event count. Any
+// package-level mutable state shared between engines (a costmodel
+// cache, a profiler table, an RNG) shows up here as a race report or a
+// diverging result.
+func TestConcurrentSweepsIdentical(t *testing.T) {
+	kinds := core.Kinds()
+	rates := []float64{2, 4, 8}
+
+	type job struct {
+		kind core.RuntimeKind
+		rate float64
+	}
+	var jobs []job
+	for _, k := range kinds {
+		for _, r := range rates {
+			jobs = append(jobs, job{k, r})
+		}
+	}
+
+	// Serial reference.
+	want := make([]sweepOutcome, len(jobs))
+	for i, j := range jobs {
+		want[i] = runOnce(t, j.kind, j.rate)
+	}
+
+	// Two full sweeps concurrently: every job of both sweeps in flight
+	// together on 8 workers.
+	const sweeps = 2
+	got, err := Map(8, sweeps*len(jobs), func(i int) (sweepOutcome, error) {
+		j := jobs[i%len(jobs)]
+		return runOnce(t, j.kind, j.rate), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		j := jobs[i%len(jobs)]
+		w := want[i%len(jobs)]
+		if g.fired != w.fired {
+			t.Errorf("%s @ %.0f: fired %d events concurrently, %d serially",
+				j.kind, j.rate, g.fired, w.fired)
+		}
+		if !reflect.DeepEqual(g.res, w.res) {
+			t.Errorf("%s @ %.0f: concurrent result diverged from serial:\n got %+v\nwant %+v",
+				j.kind, j.rate, g.res, w.res)
+		}
+	}
+}

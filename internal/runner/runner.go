@@ -1,0 +1,79 @@
+// Package runner is the parallel sweep executor: it fans independent
+// simulation jobs across a bounded pool of goroutines and collects
+// results by stable job index, so a parallel sweep produces output
+// byte-identical to the serial run.
+//
+// The executor relies on the engine-isolation property of the simulator
+// stack: a core.Engine (and everything under it — simclock, gpusim,
+// costmodel, trace generation) shares no mutable state with other
+// instances, so one engine per goroutine needs no locking. Package-level
+// state anywhere below core must stay immutable after init; the race
+// test in this package enforces the contract.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when the caller asks for "all
+// cores": the process's GOMAXPROCS at call time.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(i) for every i in [0, n) and returns the results in index
+// order. workers bounds the number of concurrent jobs; values <= 1 run
+// every job serially on the calling goroutine, in index order — the
+// reference behaviour parallel runs must reproduce.
+//
+// The returned error is the failure with the smallest job index
+// (wrapped with that index), so error reporting is as deterministic as
+// the results: the serial path stops at the first failure, the parallel
+// path lets started jobs run to completion and then reports the
+// lowest-index one — identical under the executor's contract that jobs
+// are independent. fn must be safe for concurrent invocation when
+// workers > 1: jobs must not share mutable state.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, fmt.Errorf("runner: job %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runner: job %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

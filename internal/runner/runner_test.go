@@ -1,0 +1,86 @@
+package runner
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results, want 100", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map[int](4, 0, func(int) (int, error) { t.Fatal("job ran"); return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(_, 0) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMapRunsEveryJobOnce(t *testing.T) {
+	var ran [257]atomic.Int32
+	_, err := Map(7, len(ran), func(i int) (struct{}, error) {
+		ran[i].Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if n := ran[i].Load(); n != 1 {
+			t.Fatalf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapSurfacesLowestIndexError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		_, err := Map(workers, 50, func(i int) (int, error) {
+			if i == 13 || i == 31 {
+				return 0, sentinel
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error surfaced", workers)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: error %v does not wrap sentinel", workers, err)
+		}
+		if !strings.Contains(err.Error(), "job 13") {
+			t.Fatalf("workers=%d: error %q does not name the lowest failing index", workers, err)
+		}
+	}
+}
+
+func TestMapSerialStopsAtFirstError(t *testing.T) {
+	var calls int
+	_, err := Map(1, 10, func(i int) (int, error) {
+		calls++
+		if i == 3 {
+			return 0, errors.New("stop")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if calls != 4 {
+		t.Fatalf("serial path ran %d jobs after an error, want 4", calls)
+	}
+}

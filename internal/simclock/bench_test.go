@@ -1,0 +1,49 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineStep measures the steady-state cost of one
+// fire→reschedule cycle: every fired event schedules its successor, so
+// the queue population stays constant. This is the dominant pattern in
+// the GPU simulator (kernel completions re-arming completions) and the
+// benchmark that guards the free-list: allocs/op should be zero once
+// fired items are recycled.
+func BenchmarkEngineStep(b *testing.B) {
+	e := New()
+	var fn Event
+	fn = func(now Time) {
+		e.At(now+time.Microsecond, fn)
+	}
+	for i := 0; i < 64; i++ {
+		e.At(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineCancelReschedule mimics Device.setKernelRate: a
+// standing population of events is repeatedly cancelled and re-timed.
+// It exercises both the free-list (cancelled items must be reclaimed)
+// and heap compaction (cancelled entries may briefly dominate the
+// queue).
+func BenchmarkEngineCancelReschedule(b *testing.B) {
+	e := New()
+	const population = 128
+	handles := make([]Handle, population)
+	for i := range handles {
+		handles[i] = e.At(Time(1000+i)*time.Microsecond, func(Time) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % population
+		handles[j].Cancel()
+		handles[j] = e.At(Time(2000+i%1000)*time.Microsecond, func(Time) {})
+	}
+}

@@ -5,6 +5,16 @@
 // Events scheduled for the same instant fire in the order they were
 // scheduled (FIFO tie-breaking), which makes every simulation fully
 // deterministic: two runs with the same inputs produce identical traces.
+//
+// An Engine is single-goroutine state: it shares nothing with other
+// Engine instances, so independent simulations can run concurrently on
+// separate goroutines (one engine per goroutine) without synchronization.
+//
+// Hot-path notes: fired and cancelled heap entries are recycled through a
+// per-engine free list, so steady-state stepping allocates nothing, and
+// the heap is compacted when cancelled placeholders outnumber live
+// events (frequent re-timing — e.g. kernel rate changes — would
+// otherwise grow it without bound).
 package simclock
 
 import (
@@ -22,24 +32,38 @@ type Time = time.Duration
 // Event is a callback scheduled to fire at a virtual instant.
 type Event func(now Time)
 
-// item is a heap entry. seq breaks ties between events at the same instant.
+// item is a heap entry. seq breaks ties between events at the same
+// instant. gen is bumped every time the item returns to the free list so
+// stale Handles to a recycled item become no-ops.
 type item struct {
 	at  Time
 	seq uint64
 	fn  Event
+	gen uint64
 	// cancelled events stay in the heap but are skipped when popped;
-	// this is cheaper than heap removal and keeps Cancel O(1).
+	// this is cheaper than heap removal and keeps Cancel O(1). The
+	// engine compacts the heap when they pile up.
 	cancelled bool
 }
 
 // Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ it *item }
+type Handle struct {
+	eng *Engine
+	it  *item
+	gen uint64
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (h Handle) Cancel() {
-	if h.it != nil {
-		h.it.cancelled = true
+	if h.it == nil || h.it.gen != h.gen || h.it.cancelled {
+		return
+	}
+	h.it.cancelled = true
+	h.it.fn = nil // release the closure immediately
+	if h.eng != nil {
+		h.eng.cancelled++
+		h.eng.maybeCompact()
 	}
 }
 
@@ -63,6 +87,10 @@ func (h *eventHeap) Pop() interface{} {
 	return it
 }
 
+// compactMinLen is the heap size below which compaction is never
+// worthwhile (the walk costs more than the memory it reclaims).
+const compactMinLen = 64
+
 // Engine is a discrete-event simulation engine. The zero value is not
 // ready; use New.
 type Engine struct {
@@ -70,6 +98,11 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	fired  uint64
+	// cancelled counts cancelled placeholders still in the heap.
+	cancelled int
+	// free recycles fired/cancelled items; At pops from it before
+	// allocating.
+	free []*item
 }
 
 // New returns an engine with the clock at zero and no pending events.
@@ -87,8 +120,57 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events still queued (including cancelled
-// placeholders not yet drained).
+// placeholders not yet drained or compacted away).
 func (e *Engine) Pending() int { return e.events.Len() }
+
+// newItem takes an item from the free list (or allocates one) and arms it.
+func (e *Engine) newItem(at Time, fn Event) *item {
+	var it *item
+	if n := len(e.free); n > 0 {
+		it = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		it = &item{}
+	}
+	it.at = at
+	it.seq = e.seq
+	it.fn = fn
+	it.cancelled = false
+	e.seq++
+	return it
+}
+
+// recycle returns an item no longer in the heap to the free list,
+// invalidating outstanding Handles to it.
+func (e *Engine) recycle(it *item) {
+	it.gen++
+	it.fn = nil
+	e.free = append(e.free, it)
+}
+
+// maybeCompact rebuilds the heap without cancelled placeholders once they
+// exceed half the queue. Heap order is a total order on (at, seq), so the
+// rebuild cannot change the pop sequence of live events.
+func (e *Engine) maybeCompact() {
+	if len(e.events) < compactMinLen || e.cancelled*2 <= len(e.events) {
+		return
+	}
+	live := e.events[:0]
+	for _, it := range e.events {
+		if it.cancelled {
+			e.recycle(it)
+		} else {
+			live = append(live, it)
+		}
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	e.cancelled = 0
+	heap.Init(&e.events)
+}
 
 // At schedules fn to run at the absolute virtual time at. Scheduling in
 // the past panics: it always indicates a simulator bug, and silently
@@ -97,10 +179,9 @@ func (e *Engine) At(at Time, fn Event) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("simclock: schedule at %v before now %v", at, e.now))
 	}
-	it := &item{at: at, seq: e.seq, fn: fn}
-	e.seq++
+	it := e.newItem(at, fn)
 	heap.Push(&e.events, it)
-	return Handle{it}
+	return Handle{eng: e, it: it, gen: it.gen}
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -114,11 +195,15 @@ func (e *Engine) Step() bool {
 	for e.events.Len() > 0 {
 		it := heap.Pop(&e.events).(*item)
 		if it.cancelled {
+			e.cancelled--
+			e.recycle(it)
 			continue
 		}
 		e.now = it.at
 		e.fired++
-		it.fn(e.now)
+		fn := it.fn
+		e.recycle(it)
+		fn(e.now)
 		return true
 	}
 	return false
@@ -154,6 +239,8 @@ func (e *Engine) peek() (Time, bool) {
 		it := e.events[0]
 		if it.cancelled {
 			heap.Pop(&e.events)
+			e.cancelled--
+			e.recycle(it)
 			continue
 		}
 		return it.at, true

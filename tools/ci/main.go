@@ -1,0 +1,66 @@
+// Command ci runs the repository's full check gate — the same sequence
+// the Makefile's `check` target runs, packaged as a Go program so the
+// gate works on hosts without make:
+//
+//	go run ./tools/ci
+//
+// Steps, in order (the run stops at the first failure):
+//  1. gofmt -l on tracked Go files (fails if any file needs formatting)
+//  2. go vet ./...
+//  3. go build ./...
+//  4. go test -race ./internal/runner ./internal/simclock
+//     (the concurrency-bearing packages get a dedicated race pass)
+//  5. go test ./... (full suite)
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+type step struct {
+	name string
+	args []string
+}
+
+func main() {
+	steps := []step{
+		{"go vet", []string{"go", "vet", "./..."}},
+		{"go build", []string{"go", "build", "./..."}},
+		{"race (runner, simclock)", []string{"go", "test", "-race", "./internal/runner", "./internal/simclock"}},
+		{"go test", []string{"go", "test", "./..."}},
+	}
+	if err := gofmtCheck(); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL gofmt: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("ok   gofmt")
+	for _, s := range steps {
+		start := time.Now()
+		cmd := exec.Command(s.args[0], s.args[1:]...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", s.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("ok   %s (%v)\n", s.name, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("all checks passed")
+}
+
+// gofmtCheck fails when any Go source file under the repo is not
+// gofmt-formatted, listing the offenders.
+func gofmtCheck() error {
+	out, err := exec.Command("gofmt", "-l", ".").CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("%v: %s", err, out)
+	}
+	if files := strings.TrimSpace(string(out)); files != "" {
+		return fmt.Errorf("files need gofmt:\n%s", files)
+	}
+	return nil
+}
