@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench
+.PHONY: check build test race vet fmt bench chaos
 
 check: ## full gate: gofmt + vet + build + race pass + full tests
 	$(GO) run ./tools/ci
@@ -16,9 +16,10 @@ test:
 	$(GO) test ./...
 
 # The concurrency-bearing packages (parallel sweep executor, event
-# engine) get a dedicated -race pass.
+# engine) plus the fault-injection and deadline/retry layers get a
+# dedicated -race pass.
 race:
-	$(GO) test -race ./internal/runner ./internal/simclock
+	$(GO) test -race ./internal/runner ./internal/simclock ./internal/faults ./internal/serve
 
 vet:
 	$(GO) vet ./...
@@ -28,3 +29,8 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/simclock ./internal/gpusim ./internal/bench
+
+# Full-fidelity chaos sweep: every fault scenario x runtime under the
+# deadline/retry policy (seeded, byte-reproducible).
+chaos:
+	$(GO) run ./cmd/ligerbench -exp chaos

@@ -28,7 +28,10 @@ func main() {
 		quick    = flag.Bool("quick", false, "trim sweeps to a few points")
 		parallel = flag.Int("parallel", runner.DefaultWorkers(),
 			"sweep executor workers (0 = serial); output is identical at any value")
-		seed    = flag.Int64("seed", 1, "trace random seed")
+		seed = flag.Int64("seed", 1,
+			"random seed for traces and fault schedules; one seed reproduces a chaos run exactly")
+		stragglerDev = flag.Int("straggler-dev", 2,
+			"device index the straggler experiment slows (bounds-checked against the node)")
 		csvDir  = flag.String("csv", "", "also write per-panel CSV sweep data into this directory")
 		plotDir = flag.String("plots", "", "also render per-panel SVG charts into this directory")
 	)
@@ -42,7 +45,7 @@ func main() {
 	}
 
 	cfg := bench.RunConfig{Batches: *batches, Quick: *quick, Parallel: *parallel,
-		Seed: *seed, CSVDir: *csvDir, PlotDir: *plotDir}
+		Seed: *seed, StragglerDevice: *stragglerDev, CSVDir: *csvDir, PlotDir: *plotDir}
 	var exps []bench.Experiment
 	if *exp == "all" {
 		exps = bench.Experiments()

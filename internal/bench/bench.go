@@ -35,8 +35,14 @@ type RunConfig struct {
 	// index — output is byte-identical to a serial run. 0 or 1 runs
 	// serially; runner.DefaultWorkers() uses every core.
 	Parallel int
-	// Seed drives trace generation.
+	// Seed drives trace generation and fault-schedule construction (the
+	// straggler and chaos experiments): one seed pins both the arrival
+	// process and every fault window, so a seeded run is reproducible
+	// end to end.
 	Seed int64
+	// StragglerDevice is the device index the straggler experiment slows
+	// down (bounds-checked against the node size at run time).
+	StragglerDevice int
 	// CSVDir, when set, receives machine-readable sweep data for the
 	// Fig. 10/11/12 panels in addition to the printed tables.
 	CSVDir string
@@ -46,7 +52,7 @@ type RunConfig struct {
 }
 
 // DefaultRunConfig returns the standard fidelity.
-func DefaultRunConfig() RunConfig { return RunConfig{Batches: 150, Seed: 1} }
+func DefaultRunConfig() RunConfig { return RunConfig{Batches: 150, Seed: 1, StragglerDevice: 2} }
 
 // Experiment regenerates one paper table or figure.
 type Experiment struct {
@@ -74,6 +80,7 @@ func Experiments() []Experiment {
 		{"robustness", "extension: constant vs Poisson vs bursty arrivals", RunRobustness},
 		{"adaptive", "extension: online adaptive contention factor", RunAdaptive},
 		{"straggler", "extension: failure injection — one slow GPU", RunStraggler},
+		{"chaos", "extension: deterministic fault scenarios with deadline/retry serving", RunChaos},
 	}
 }
 

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"liger/internal/core"
+	"liger/internal/faults"
+)
+
+// TestChaosOutputSerialParallelIdentical pins the chaos experiment's
+// headline promise: a seeded run is byte-identical across invocations
+// and across sweep-executor worker counts — fault windows included.
+func TestChaosOutputSerialParallelIdentical(t *testing.T) {
+	cfg := RunConfig{Batches: 25, Quick: true, Seed: 5, Parallel: 0, StragglerDevice: 2}
+	var first, again, par bytes.Buffer
+	if err := RunChaos(cfg, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunChaos(cfg, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), again.Bytes()) {
+		t.Fatal("two seeded chaos runs differ")
+	}
+	cfg.Parallel = 4
+	if err := RunChaos(cfg, &par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), par.Bytes()) {
+		t.Fatalf("chaos output differs between -parallel 0 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			first.String(), par.String())
+	}
+	// The report must cover the fault-free baseline plus every preset
+	// fault scenario.
+	out := first.String()
+	want := []string{"none"}
+	for _, sc := range faults.Scenarios() {
+		want = append(want, sc.Name)
+	}
+	if len(want) < 4 {
+		t.Fatalf("only %d scenarios; need a baseline plus at least 3 fault scenarios", len(want))
+	}
+	for _, name := range want {
+		if !strings.Contains(out, name) {
+			t.Errorf("scenario %q missing from the report", name)
+		}
+	}
+}
+
+// TestChaosLigerDegradesNoWorseThanIntraOp is the robustness acceptance
+// check: under the transient-straggler scenario, Liger's goodput must
+// not degrade below the intra-operator baseline's — interleaving plus
+// degradation-aware re-planning has to at least match plain tensor
+// parallelism when a device throttles.
+func TestChaosLigerDegradesNoWorseThanIntraOp(t *testing.T) {
+	cfg := RunConfig{Batches: 40, Seed: 1, StragglerDevice: 2}
+	s := newChaosSetup(cfg)
+	sc, err := faults.ScenarioByName("transient-straggler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lig, err := runChaosPoint(s, sc, core.KindLiger, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, err := runChaosPoint(s, sc, core.KindIntraOp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lig.PolicyGoodput() < intra.PolicyGoodput() {
+		t.Fatalf("Liger goodput %.2f below Intra-Op %.2f under transient-straggler",
+			lig.PolicyGoodput(), intra.PolicyGoodput())
+	}
+}
+
+// TestStragglerDeviceBoundsChecked pins the parameterized straggler
+// index: out-of-range devices are rejected, not silently clamped.
+func TestStragglerDeviceBoundsChecked(t *testing.T) {
+	for _, dev := range []int{-1, 4, 99} {
+		cfg := RunConfig{Batches: 5, Quick: true, Seed: 1, StragglerDevice: dev}
+		var buf bytes.Buffer
+		if err := RunStraggler(cfg, &buf); err == nil {
+			t.Errorf("straggler device %d accepted on a 4-GPU node", dev)
+		}
+	}
+}
+
+// TestStragglerDeviceParameterized runs the experiment on a
+// non-default device and checks the report names it.
+func TestStragglerDeviceParameterized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full straggler sweep; skipped with -short")
+	}
+	cfg := RunConfig{Batches: 10, Quick: true, Seed: 1, StragglerDevice: 1}
+	var buf bytes.Buffer
+	if err := RunStraggler(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "gpu1 speed") {
+		t.Fatalf("report does not name the straggler device:\n%s", buf.String())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"liger/internal/core"
+	"liger/internal/faults"
 	"liger/internal/hw"
 	"liger/internal/model"
 	"liger/internal/runner"
@@ -13,24 +14,33 @@ import (
 )
 
 // RunStraggler is a failure-injection extension: one GPU of the node
-// runs at reduced speed (thermal throttling, a flaky link) and we
-// measure how each runtime degrades. Tensor-parallel execution
-// (Intra-Op, Liger) is gated by the slowest rank at every collective;
-// the pipeline only slows in proportion to the straggler's stage.
+// (RunConfig.StragglerDevice) runs at reduced speed (thermal
+// throttling, a flaky link) and we measure how each runtime degrades.
+// Tensor-parallel execution (Intra-Op, Liger) is gated by the slowest
+// rank at every collective; the pipeline only slows in proportion to
+// the straggler's stage. The slowdown is expressed as a degenerate
+// fault schedule — a single persistent Slowdown event — so the
+// straggler is just the static corner of the chaos experiment.
 func RunStraggler(cfg RunConfig, w io.Writer) error {
 	p := panel{nodeKey: "a100", node: hw.A100Node(), spec: model.OPT30B(), batch: 2, phase: model.Context}
+	dev := cfg.StragglerDevice
+	if dev < 0 || dev >= p.node.NumGPUs {
+		return fmt.Errorf("bench: straggler device %d outside node devices [0, %d)", dev, p.node.NumGPUs)
+	}
 	rate := 0.85 * intraCapacity(p)
 	kinds := []core.RuntimeKind{core.KindLiger, core.KindIntraOp, core.KindInterOp}
 	speeds := []float64{1.0, 0.8, 0.6}
 
 	results, err := runner.Map(cfg.Parallel, len(speeds)*len(kinds), func(i int) (serve.Result, error) {
 		speed, kind := speeds[i/len(kinds)], kinds[i%len(kinds)]
-		eng, err := core.NewEngine(core.Options{Node: p.node, Model: p.spec, Runtime: kind})
+		opts := core.Options{Node: p.node, Model: p.spec, Runtime: kind}
+		if speed < 1 {
+			sched := faults.Static(dev, speed)
+			opts.Faults = &sched
+		}
+		eng, err := core.NewEngine(opts)
 		if err != nil {
 			return serve.Result{}, err
-		}
-		if speed < 1 {
-			eng.SimNode().Device(2).SetSpeed(speed)
 		}
 		trace, err := genTrace(p, rate, cfg)
 		if err != nil {
@@ -42,7 +52,7 @@ func RunStraggler(cfg RunConfig, w io.Writer) error {
 		return err
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "gpu2 speed\truntime\tavg lat\tp99 lat\tthroughput")
+	fmt.Fprintf(tw, "gpu%d speed\truntime\tavg lat\tp99 lat\tthroughput\n", dev)
 	for si, speed := range speeds {
 		for ki, kind := range kinds {
 			res := results[si*len(kinds)+ki]

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 
+	"liger/internal/faults"
 	"liger/internal/gpusim"
 	"liger/internal/hw"
 	"liger/internal/liger"
@@ -101,6 +102,12 @@ type Options struct {
 	IgnoreMemory bool
 	// Tracer, if non-nil, receives every kernel start/end.
 	Tracer gpusim.Tracer
+	// Faults, if non-nil, is a deterministic fault schedule injected
+	// into the simulated node as timed events before serving starts
+	// (see internal/faults): device slowdowns, link degradation windows,
+	// collective stalls, and device drops, plus the collective watchdog
+	// timeout.
+	Faults *faults.Schedule
 	// CompilerOptions customize kernel compilation (e.g. the GEMM
 	// decomposition strategy ablation).
 	CompilerOptions []parallel.Option
@@ -142,6 +149,11 @@ func NewEngine(opts Options) (*Engine, error) {
 	if opts.Tracer != nil {
 		node.SetTracer(opts.Tracer)
 	}
+	if opts.Faults != nil {
+		if err := faults.Inject(node, *opts.Faults); err != nil {
+			return nil, err
+		}
+	}
 	compiler := parallel.NewCompiler(opts.Node, ncclCfg, opts.CompilerOptions...)
 
 	var rt runtimes.Runtime
@@ -171,6 +183,15 @@ func NewEngine(opts Options) (*Engine, error) {
 // An Engine is single-shot: build a fresh one per run.
 func (e *Engine) Serve(trace []serve.Arrival) (serve.Result, error) {
 	return serve.Run(e.eng, e.rt, trace)
+}
+
+// ServePolicy runs the arrival trace under a deadline/retry policy:
+// failed batches (aborted collectives under fault injection) are
+// resubmitted with capped exponential backoff, and the result carries
+// goodput and SLO accounting. An Engine is single-shot: build a fresh
+// one per run.
+func (e *Engine) ServePolicy(trace []serve.Arrival, pol serve.Policy) (serve.Result, error) {
+	return serve.RunPolicy(e.eng, e.rt, trace, pol)
 }
 
 // Clock returns the simulation engine (for custom event scheduling).

@@ -1,0 +1,219 @@
+// Package faults is the deterministic fault-injection subsystem: it
+// models time-varying node degradation — transient device slowdowns,
+// link-bandwidth degradation windows, collective stalls, device drops
+// with restore — as a seeded schedule of timed events injected into the
+// simulation, rather than as pre-run mutations.
+//
+// A Schedule is a plain value (buildable by hand, from a scenario
+// preset, or from a seeded generator) and Inject arms it on a gpusim
+// node as simclock events: every fault applies and reverts at its sim
+// time, so in-flight kernels and collectives re-time mid-run exactly as
+// a real GPU re-clocks. Simulators like Frontier and LLMServingSim
+// treat time-varying failure and recovery as first-class inputs; this
+// package gives the Liger reproduction the same testbed so the
+// robustness question the paper leaves open — how gracefully does
+// interleaved scheduling degrade when the node misbehaves mid-flight —
+// becomes measurable.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"liger/internal/gpusim"
+)
+
+// Kind classifies one fault event.
+type Kind int
+
+const (
+	// Slowdown throttles a device's overall progress rate to Factor for
+	// the window (thermal throttling, a noisy neighbour).
+	Slowdown Kind = iota
+	// LinkDegrade throttles only the device's communication rate to
+	// Factor for the window (a flaky NVLink/PCIe link). Collectives
+	// advance at their slowest member, so one bad link gates the group.
+	LinkDegrade
+	// DeviceDrop freezes the device almost entirely for the window,
+	// restoring it afterwards (an Xid-style fall-off-the-bus event).
+	// Factor is ignored. Pair with a collective timeout so hung
+	// rendezvous abort instead of waiting out the window.
+	DeviceDrop
+	// CollStall freezes the device's communication rate for the window
+	// (a hung collective: NCCL kernels spin, no bytes move). Factor is
+	// ignored. Pair with a collective timeout to model abort + retry.
+	CollStall
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Slowdown:
+		return "slowdown"
+	case LinkDegrade:
+		return "link-degrade"
+	case DeviceDrop:
+		return "device-drop"
+	case CollStall:
+		return "coll-stall"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// freezeFactor is the rate multiplier used by DeviceDrop and CollStall:
+// near-total freeze, but positive so completion events stay finite and
+// a schedule without a watchdog still terminates.
+const freezeFactor = 1e-6
+
+// Event is one fault: a window [Start, Start+Duration) during which a
+// device's speed or link rate is scaled by Factor.
+type Event struct {
+	Kind   Kind
+	Device int
+	// Start is the window's opening sim time.
+	Start time.Duration
+	// Duration is the window length; <= 0 means the fault persists to
+	// the end of the run (the degenerate static-straggler shape).
+	Duration time.Duration
+	// Factor is the rate multiplier in (0, 1] while the window is open.
+	// DeviceDrop and CollStall ignore it (they pin a freeze factor).
+	Factor float64
+}
+
+// factor returns the effective rate multiplier of the event.
+func (e Event) factor() float64 {
+	if e.Kind == DeviceDrop || e.Kind == CollStall {
+		return freezeFactor
+	}
+	return e.Factor
+}
+
+// onSpeed reports whether the event scales the device's overall speed
+// (true) or only its communication rate (false).
+func (e Event) onSpeed() bool { return e.Kind == Slowdown || e.Kind == DeviceDrop }
+
+// String renders the event for logs and experiment headers.
+func (e Event) String() string {
+	end := "end"
+	if e.Duration > 0 {
+		end = (e.Start + e.Duration).String()
+	}
+	return fmt.Sprintf("%s dev%d [%v, %s) x%.3g", e.Kind, e.Device, e.Start, end, e.factor())
+}
+
+// Schedule is a full fault plan for one run.
+type Schedule struct {
+	Events []Event
+	// CollTimeout, when positive, arms the node-wide collective
+	// watchdog: a collective that has not completed within this span of
+	// its first member's arrival aborts (and the owning batch fails, so
+	// the serving layer can retry it).
+	CollTimeout time.Duration
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s Schedule) Empty() bool { return len(s.Events) == 0 && s.CollTimeout == 0 }
+
+// Validate bounds-checks the schedule against a node size.
+func (s Schedule) Validate(numDevices int) error {
+	if s.CollTimeout < 0 {
+		return fmt.Errorf("faults: negative collective timeout %v", s.CollTimeout)
+	}
+	for i, e := range s.Events {
+		switch {
+		case e.Device < 0 || e.Device >= numDevices:
+			return fmt.Errorf("faults: event %d (%s) targets device %d of a %d-GPU node",
+				i, e.Kind, e.Device, numDevices)
+		case e.Start < 0:
+			return fmt.Errorf("faults: event %d (%s) starts at negative time %v", i, e.Kind, e.Start)
+		case e.Kind == Slowdown || e.Kind == LinkDegrade:
+			if e.Factor <= 0 || e.Factor > 1 {
+				return fmt.Errorf("faults: event %d (%s) factor %v outside (0, 1]", i, e.Kind, e.Factor)
+			}
+		case e.Kind == DeviceDrop || e.Kind == CollStall:
+			// Factor ignored; nothing to check.
+		default:
+			return fmt.Errorf("faults: event %d has unknown kind %d", i, int(e.Kind))
+		}
+	}
+	return nil
+}
+
+// Static returns the degenerate schedule of the former SetSpeed-style
+// injection: one device pinned to a speed for the whole run.
+func Static(device int, speed float64) Schedule {
+	return Schedule{Events: []Event{{Kind: Slowdown, Device: device, Factor: speed}}}
+}
+
+// Inject validates the schedule against the node and arms every fault
+// as timed simulation events. Overlapping windows on the same device
+// compose multiplicatively; each transition re-times in-flight kernels
+// and collectives at its exact sim instant. Must be called before the
+// simulation runs.
+func Inject(node *gpusim.Node, s Schedule) error {
+	if err := s.Validate(node.NumDevices()); err != nil {
+		return err
+	}
+	if s.CollTimeout > 0 {
+		node.SetCollectiveTimeout(s.CollTimeout)
+	}
+	eng := node.Engine()
+	// Fold the events of each (device, channel) into a piecewise-constant
+	// factor timeline and arm one engine event per transition. The factor
+	// at each transition is recomputed as the product over open windows
+	// (in event order), so overlapping windows compose deterministically
+	// and reverts restore the exact surrounding value.
+	type channel struct {
+		device int
+		speed  bool
+	}
+	byChannel := make(map[channel][]Event)
+	for _, e := range s.Events {
+		ch := channel{device: e.Device, speed: e.onSpeed()}
+		byChannel[ch] = append(byChannel[ch], e)
+	}
+	// Deterministic channel order (map iteration is randomized).
+	chans := make([]channel, 0, len(byChannel))
+	for ch := range byChannel {
+		chans = append(chans, ch)
+	}
+	sort.Slice(chans, func(i, j int) bool {
+		if chans[i].device != chans[j].device {
+			return chans[i].device < chans[j].device
+		}
+		return chans[i].speed && !chans[j].speed
+	})
+	for _, ch := range chans {
+		evs := byChannel[ch]
+		cuts := make(map[time.Duration]bool)
+		for _, e := range evs {
+			cuts[e.Start] = true
+			if e.Duration > 0 {
+				cuts[e.Start+e.Duration] = true
+			}
+		}
+		times := make([]time.Duration, 0, len(cuts))
+		for t := range cuts {
+			times = append(times, t)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		dev := node.Device(ch.device)
+		apply := dev.SetSpeed
+		if !ch.speed {
+			apply = dev.SetLinkFactor
+		}
+		for _, t := range times {
+			f := 1.0
+			for _, e := range evs {
+				if e.Start <= t && (e.Duration <= 0 || t < e.Start+e.Duration) {
+					f *= e.factor()
+				}
+			}
+			factor := f
+			eng.At(t, func(simTime time.Duration) { apply(factor) })
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Profile parameterizes scenario construction for one concrete run.
+type Profile struct {
+	// NumDevices is the node size; the faulty device is drawn from it.
+	NumDevices int
+	// Horizon is the expected span of the arrival trace; windows are
+	// placed as fractions of it so scenarios scale with run length.
+	Horizon time.Duration
+	// CollTimeout is the collective watchdog scenarios with hang
+	// semantics arm (a few times the solo batch duration is a good
+	// setting: long enough that merely-slow groups never trip it).
+	CollTimeout time.Duration
+	// Seed drives every random choice (device pick, window jitter); the
+	// same profile always yields byte-identical schedules.
+	Seed int64
+}
+
+// Scenario is a named fault-schedule builder.
+type Scenario struct {
+	Name        string
+	Description string
+	Build       func(p Profile) Schedule
+}
+
+// Scenarios returns the preset chaos scenarios in presentation order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "transient-straggler",
+			Description: "one GPU thermally throttles to 55% mid-run, then recovers",
+			Build: func(p Profile) Schedule {
+				rng := rand.New(rand.NewSource(p.Seed))
+				dev := rng.Intn(p.NumDevices)
+				start := time.Duration(float64(p.Horizon) * 0.25)
+				return Schedule{Events: []Event{{
+					Kind: Slowdown, Device: dev, Start: start,
+					Duration: time.Duration(float64(p.Horizon) * 0.40), Factor: 0.55,
+				}}}
+			},
+		},
+		{
+			Name:        "flaky-link",
+			Description: "one GPU's link flaps to 30% bandwidth in recurring jittered windows",
+			Build: func(p Profile) Schedule {
+				rng := rand.New(rand.NewSource(p.Seed))
+				dev := rng.Intn(p.NumDevices)
+				var evs []Event
+				// Four windows of ~8% of the run each, spread across the
+				// middle 80% with per-window jitter.
+				for i := 0; i < 4; i++ {
+					base := 0.10 + 0.20*float64(i)
+					jitter := 0.04 * rng.Float64()
+					evs = append(evs, Event{
+						Kind: LinkDegrade, Device: dev,
+						Start:    time.Duration(float64(p.Horizon) * (base + jitter)),
+						Duration: time.Duration(float64(p.Horizon) * 0.08),
+						Factor:   0.30,
+					})
+				}
+				return Schedule{Events: evs}
+			},
+		},
+		{
+			Name:        "coll-stall",
+			Description: "one GPU's collectives hang in a window; the watchdog aborts them for retry",
+			Build: func(p Profile) Schedule {
+				rng := rand.New(rand.NewSource(p.Seed))
+				dev := rng.Intn(p.NumDevices)
+				return Schedule{
+					CollTimeout: p.CollTimeout,
+					Events: []Event{{
+						Kind: CollStall, Device: dev,
+						Start:    time.Duration(float64(p.Horizon) * 0.35),
+						Duration: time.Duration(float64(p.Horizon) * 0.15),
+					}},
+				}
+			},
+		},
+		{
+			Name:        "drop-restore",
+			Description: "one GPU falls off the bus for a window, then restores; collectives abort for retry",
+			Build: func(p Profile) Schedule {
+				rng := rand.New(rand.NewSource(p.Seed))
+				dev := rng.Intn(p.NumDevices)
+				return Schedule{
+					CollTimeout: p.CollTimeout,
+					Events: []Event{{
+						Kind: DeviceDrop, Device: dev,
+						Start:    time.Duration(float64(p.Horizon) * 0.45),
+						Duration: time.Duration(float64(p.Horizon) * 0.12),
+					}},
+				}
+			},
+		},
+	}
+}
+
+// ScenarioByName finds a preset.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("faults: unknown scenario %q", name)
+}

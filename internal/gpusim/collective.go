@@ -1,6 +1,8 @@
 package gpusim
 
 import (
+	"time"
+
 	"liger/internal/simclock"
 )
 
@@ -25,6 +27,14 @@ type Collective struct {
 	members []*kernelInstance
 	started bool
 	done    bool
+	aborted bool
+
+	// timeout bounds the span from the first member's arrival to group
+	// completion (covering both a hung rendezvous and stalled progress);
+	// zero disables it. timeoutH is the armed watchdog.
+	timeout  time.Duration
+	timeoutH simclock.Handle
+	onAbort  []func(now simclock.Time)
 
 	remainingNS float64
 	rate        float64
@@ -43,14 +53,48 @@ func (c *Collective) Size() int { return c.size }
 // Started reports whether all members have joined and progress began.
 func (c *Collective) Started() bool { return c.started }
 
+// Aborted reports whether the group was torn down by a timeout instead
+// of completing its transfer.
+func (c *Collective) Aborted() bool { return c.aborted }
+
+// SetTimeout overrides the node-wide collective timeout for this group
+// (zero disables). Must be set before any member is admitted.
+func (c *Collective) SetTimeout(d time.Duration) {
+	if d < 0 {
+		panic("gpusim: negative collective timeout")
+	}
+	if len(c.members) > 0 {
+		panic("gpusim: collective timeout set after a member joined")
+	}
+	c.timeout = d
+}
+
+// OnAbort registers a callback fired at the abort instant, after the
+// member kernels were cleaned up. Runtimes use it to mark the owning
+// batch failed so the serving layer can retry.
+func (c *Collective) OnAbort(fn func(now simclock.Time)) {
+	c.onAbort = append(c.onAbort, fn)
+}
+
 // join registers an admitted member; the last arrival starts the group.
+// A member arriving after the group aborted (its launch was in flight
+// when the watchdog fired) is cleaned up immediately: NCCL's equivalent
+// is a rank whose kernel observes the communicator abort flag and exits.
 func (c *Collective) join(k *kernelInstance, now simclock.Time) {
 	if c.done {
+		if c.aborted {
+			k.startedAt = k.admittedAt
+			k.stream.dev.finish(k, now)
+			return
+		}
 		panic("gpusim: member joined a finished collective")
 	}
 	c.members = append(c.members, k)
 	if len(c.members) > c.size {
 		panic("gpusim: too many members joined collective")
+	}
+	if len(c.members) == 1 && c.timeout > 0 {
+		c.timeoutH = c.node.eng.After(c.timeout, func(t simclock.Time) { c.abort(t) })
 	}
 	if len(c.members) == c.size {
 		c.start(now)
@@ -90,12 +134,7 @@ func (c *Collective) refreshRate(now simclock.Time) {
 
 	rate := 1.0
 	for _, m := range c.members {
-		dev := m.stream.dev
-		r := dev.speed
-		if m.spec.MemBWDemand > 0 {
-			r = dev.speed / dev.classFactor(m.spec.Class)
-		}
-		if r < rate {
+		if r := m.stream.dev.kernelRate(m.spec.Class, m.spec.MemBWDemand); r < rate {
 			rate = r
 		}
 	}
@@ -117,7 +156,36 @@ func (c *Collective) finish(now simclock.Time) {
 	}
 	c.done = true
 	c.completion.Cancel()
+	c.timeoutH.Cancel()
 	for _, m := range c.members {
 		m.stream.dev.finish(m, now)
+	}
+}
+
+// abort tears the group down after a watchdog expiry: every joined
+// member is finished (resources released, stream advanced) so no
+// rendezvous state lingers, and the abort subscribers fire. The member
+// kernels "complete" in the CUDA sense — their streams keep going — but
+// the transfer never happened, which is what Aborted/OnAbort convey.
+func (c *Collective) abort(now simclock.Time) {
+	if c.done {
+		return
+	}
+	c.done = true
+	c.aborted = true
+	c.completion.Cancel()
+	c.timeoutH.Cancel()
+	// Snapshot: finishing members cascades admissions, and a still-queued
+	// member admitted by the cascade re-enters join (late-arrival path),
+	// which must not grow the slice under this loop.
+	members := c.members
+	for _, m := range members {
+		if m.startedAt == 0 {
+			m.startedAt = m.admittedAt
+		}
+		m.stream.dev.finish(m, now)
+	}
+	for _, fn := range c.onAbort {
+		fn(now)
 	}
 }

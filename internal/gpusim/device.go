@@ -61,16 +61,21 @@ type Device struct {
 	memUsed     int64
 
 	// speed scales every kernel's progress rate on this device;
-	// values below 1 model a straggler GPU (thermal throttling, a bad
-	// link, a noisy neighbour).
+	// values below 1 model a straggler GPU (thermal throttling, a
+	// noisy neighbour, or — near zero — a dropped device).
 	speed float64
+	// linkFactor additionally scales communication-kernel progress on
+	// this device; values below 1 model a degraded NVLink/PCIe link,
+	// values near zero a hung collective. Collectives advance at the
+	// slowest member's rate, so one bad link stalls the whole group.
+	linkFactor float64
 
 	stats      DeviceStats
 	lastSample simclock.Time
 }
 
 func newDevice(n *Node, id, conns int) *Device {
-	d := &Device{node: n, id: id, membwFactor: 1, speed: 1,
+	d := &Device{node: n, id: id, membwFactor: 1, speed: 1, linkFactor: 1,
 		memCapacity: int64(n.spec.GPU.MemGB * 1e9)}
 	for i := 0; i < conns; i++ {
 		d.conns = append(d.conns, &connection{id: i})
@@ -83,17 +88,52 @@ func (d *Device) ID() int { return d.id }
 
 // SetSpeed sets the device's progress-rate multiplier (1 is nominal,
 // 0.8 models a 20% straggler). Must be called from an engine callback
-// or before the simulation starts; it applies to kernels from the next
-// rate recomputation on.
+// or before the simulation starts; it applies immediately to every
+// resident kernel and to collectives with a member on this device, so
+// mid-run changes model transient throttling faithfully.
 func (d *Device) SetSpeed(f float64) {
 	if f <= 0 {
 		panic("gpusim: device speed must be positive")
 	}
+	if f == d.speed {
+		return
+	}
 	d.speed = f
+	d.recompute(d.node.eng.Now())
 }
 
 // Speed returns the progress-rate multiplier.
 func (d *Device) Speed() float64 { return d.speed }
+
+// SetLinkFactor sets the communication-rate multiplier (1 is nominal;
+// 0.3 models a link running at 30% bandwidth). Like SetSpeed it must be
+// called from an engine callback or before the simulation starts and
+// applies immediately — including to in-flight collectives, which take
+// the slowest member's rate.
+func (d *Device) SetLinkFactor(f float64) {
+	if f <= 0 || f > 1 {
+		panic("gpusim: link factor must be in (0, 1]")
+	}
+	if f == d.linkFactor {
+		return
+	}
+	d.linkFactor = f
+	d.recompute(d.node.eng.Now())
+}
+
+// LinkFactor returns the communication-rate multiplier.
+func (d *Device) LinkFactor() float64 { return d.linkFactor }
+
+// HealthFactor is the modeled health-telemetry probe (what NVML/DCGM
+// clock-throttle and link counters expose on real nodes): the combined
+// progress multiplier a scheduler may observe to detect degradation.
+func (d *Device) HealthFactor() float64 {
+	h := d.speed
+	if d.linkFactor < h {
+		h = d.linkFactor
+	}
+	return h
+}
 
 // nextConn returns the next connection index round-robin.
 func (d *Device) nextConn() int {
@@ -299,11 +339,7 @@ func (d *Device) recompute(now simclock.Time) {
 			}
 			continue
 		}
-		rate := d.speed
-		if k.spec.MemBWDemand > 0 {
-			rate = d.speed / d.classFactor(k.spec.Class)
-		}
-		d.setKernelRate(k, rate, now)
+		d.setKernelRate(k, d.kernelRate(k.spec.Class, k.spec.MemBWDemand), now)
 	}
 	for _, c := range colls {
 		c.refreshRate(now)
@@ -312,6 +348,21 @@ func (d *Device) recompute(now simclock.Time) {
 		colls[i] = nil
 	}
 	d.collScratch = colls[:0]
+}
+
+// kernelRate is the progress rate a kernel of the given class and
+// memory-bandwidth demand gets on this device right now: the device
+// speed, divided by the contention slowdown when the kernel uses memory
+// bandwidth, scaled by the link factor for communication kernels.
+func (d *Device) kernelRate(class KernelClass, membw float64) float64 {
+	rate := d.speed
+	if membw > 0 {
+		rate = d.speed / d.classFactor(class)
+	}
+	if class == Comm && d.linkFactor < 1 {
+		rate *= d.linkFactor
+	}
+	return rate
 }
 
 // classFactor returns the slowdown applied to a kernel class under the

@@ -45,6 +45,12 @@ type Node struct {
 	nextStreamID int
 	nextCollID   int
 
+	// collTimeout, when positive, is the default watchdog applied to
+	// every new collective: if a group has not completed within this span
+	// of its first member's arrival it aborts (rendezvous hang or stalled
+	// progress — the NCCL_TIMEOUT analogue).
+	collTimeout time.Duration
+
 	// collEpoch numbers Device.recompute passes node-wide; collectives
 	// stamp it to dedup membership scans in O(1).
 	collEpoch uint64
@@ -148,14 +154,53 @@ func (n *Node) NewStreamOnConnection(dev, conn int) *Stream {
 	return s
 }
 
-// NewCollective creates a rendezvous group expecting size members.
+// NewCollective creates a rendezvous group expecting size members,
+// inheriting the node's collective timeout (if any).
 func (n *Node) NewCollective(size int) *Collective {
 	if size < 1 {
 		panic("gpusim: collective size must be >= 1")
 	}
-	c := &Collective{node: n, id: n.nextCollID, size: size}
+	c := &Collective{node: n, id: n.nextCollID, size: size, timeout: n.collTimeout}
 	n.nextCollID++
 	return c
+}
+
+// SetCollectiveTimeout installs the default watchdog for collectives
+// created from now on (zero disables). Individual groups can override
+// with Collective.SetTimeout.
+func (n *Node) SetCollectiveTimeout(d time.Duration) {
+	if d < 0 {
+		panic("gpusim: negative collective timeout")
+	}
+	n.collTimeout = d
+}
+
+// CollectiveTimeout returns the node-wide collective watchdog.
+func (n *Node) CollectiveTimeout() time.Duration { return n.collTimeout }
+
+// MinHealth returns the lowest device health factor on the node — the
+// aggregate health probe a degradation-aware scheduler polls.
+func (n *Node) MinHealth() float64 {
+	h := 1.0
+	for _, d := range n.devices {
+		if f := d.HealthFactor(); f < h {
+			h = f
+		}
+	}
+	return h
+}
+
+// MinLinkHealth returns the lowest link factor on the node: the
+// communication-specific half of the health probe, 1 when every link
+// is clean even if a device's compute is throttled.
+func (n *Node) MinLinkHealth() float64 {
+	h := 1.0
+	for _, d := range n.devices {
+		if f := d.LinkFactor(); f < h {
+			h = f
+		}
+	}
+	return h
 }
 
 // HostBarrier invokes fn once every event in events has fired, adding

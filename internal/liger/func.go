@@ -60,6 +60,10 @@ type Batch struct {
 	// while the batch is in the processing list (set by the Assembler;
 	// zero disables memory accounting for hand-built batches).
 	WorkspaceBytes int64
+	// Failed marks a batch whose collective aborted under fault
+	// injection: its kernels drained but the result is unusable. The
+	// serving layer reads it off the completion to drive retries.
+	Failed bool
 
 	funcs []Func
 	pos   int

@@ -29,6 +29,13 @@ type Stats struct {
 	// AdaptedFactor is the final online contention factor (equals the
 	// configured factor unless AdaptiveContention is on).
 	AdaptedFactor float64
+	// DegradedFallbacks counts rounds where the degradation-aware
+	// scheduler saw worst-device health below the fallback threshold and
+	// skipped the secondary subset (non-interleaved fallback).
+	DegradedFallbacks int
+	// DegradedRebalances counts rounds where health was degraded but
+	// above the threshold, so the secondary budget was shrunk instead.
+	DegradedRebalances int
 }
 
 // debugOverrunHook, when set by tests, observes (window, overrun) pairs
@@ -268,6 +275,42 @@ func (s *Scheduler) collectSecondary(typ gpusim.KernelClass, window time.Duratio
 	return subset
 }
 
+// planSecondary is collectSecondary behind the degradation-aware
+// re-planning gate. When enabled, the scheduler reads the worst device
+// health (the simulator's NVML/DCGM telemetry analogue: the minimum of
+// per-device speed and link degradation) each round and reacts by
+// fault class:
+//
+//   - Health below the fallback threshold (a dropped device, a hung
+//     collective window, a severely degraded link): skip the secondary
+//     subset — fall back to non-interleaved execution. Interleaving
+//     more batches behind an unusable device only entangles them with
+//     the fault (and its retries).
+//   - A degraded link with a comm secondary subset: shrink the overlap
+//     budget by the link factor. Comm kernels stretch relative to the
+//     compute primary, so an unadjusted subset overruns the window
+//     (the §3.5 failure mode, now induced by the environment).
+//   - A uniform speed slowdown needs no adjustment: both subsets
+//     stretch alike on the straggler, the matching invariant holds,
+//     and interleaving into the induced idle time is exactly what
+//     softens the hit — measured goodput is strictly worse if the
+//     scheduler sheds interleaving here.
+func (s *Scheduler) planSecondary(typ gpusim.KernelClass, window time.Duration) []Func {
+	if s.cfg.DegradationAware {
+		if health := s.node.MinHealth(); health < s.cfg.fallbackHealth() {
+			s.stats.DegradedFallbacks++
+			return nil
+		}
+		if otherClass(typ) == gpusim.Comm {
+			if link := s.node.MinLinkHealth(); link < 1 {
+				s.stats.DegradedRebalances++
+				window = time.Duration(float64(window) * link)
+			}
+		}
+	}
+	return s.collectSecondary(typ, window)
+}
+
 // fittingPieces returns how many pieces of a DivisionFactor-way split
 // of desc fit within budget (0 if the kernel is indivisible or nothing
 // fits).
@@ -301,7 +344,7 @@ func (s *Scheduler) launchRound(now simclock.Time) {
 	primary := s.processing[0]
 	decomposedBefore := s.stats.Decompositions
 	sub0, window, typ := s.collectPrimary(primary)
-	sub1 := s.collectSecondary(typ, window)
+	sub1 := s.planSecondary(typ, window)
 
 	s.stats.Rounds++
 	s.stats.PrimaryKernels += len(sub0)
@@ -460,12 +503,17 @@ func otherClass(typ gpusim.KernelClass) gpusim.KernelClass {
 }
 
 // collectives allocates one rendezvous group per communication func in
-// a subset (index-aligned; nil for compute funcs).
+// a subset (index-aligned; nil for compute funcs). An abort — the
+// watchdog tearing down a hung group under fault injection — marks the
+// owning batch failed so the serving layer can retry it.
 func (s *Scheduler) collectives(subset []Func) []*gpusim.Collective {
 	out := make([]*gpusim.Collective, len(subset))
 	for i, f := range subset {
 		if f.Desc.Collective {
-			out[i] = s.node.NewCollective(s.node.NumDevices())
+			c := s.node.NewCollective(s.node.NumDevices())
+			b := f.batch
+			c.OnAbort(func(simclock.Time) { b.Failed = true })
+			out[i] = c
 		}
 	}
 	return out

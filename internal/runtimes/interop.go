@@ -41,6 +41,7 @@ type pipeJob struct {
 	w         model.Workload
 	submitted simclock.Time
 	stages    []parallel.Stage
+	failed    bool
 }
 
 // NewInterOp builds the pipeline baseline with one stage per device.
@@ -135,6 +136,7 @@ func (r *InterOp) runStage(job *pipeJob, d int) {
 		// compute, in order), receive on the next device's dedicated
 		// stream.
 		coll := r.node.NewCollective(2)
+		coll.OnAbort(func(simclock.Time) { job.failed = true })
 		k := stage.SendNext
 		st.Launch(gpusim.KernelSpec{
 			Name: k.Name, Class: k.Class, Duration: k.Duration,
@@ -159,7 +161,8 @@ func (r *InterOp) finishStage(job *pipeJob, d int, now simclock.Time) {
 	r.busy[d] = false
 	if d == len(job.stages)-1 {
 		if r.onDone != nil {
-			r.onDone(Completion{ID: job.id, Workload: job.w, Submitted: job.submitted, Done: now})
+			r.onDone(Completion{ID: job.id, Workload: job.w, Submitted: job.submitted,
+				Done: now, Failed: job.failed})
 		}
 	}
 	r.tryStage(d)

@@ -29,6 +29,7 @@ type intraJob struct {
 	w         model.Workload
 	submitted simclock.Time
 	kernels   []parallel.KernelDesc
+	failed    bool
 }
 
 // NewIntraOp builds the baseline over every device of the node.
@@ -94,7 +95,8 @@ func (r *IntraOp) run(job *intraJob) {
 		}
 		r.node.FreeAll(ws)
 		if r.onDone != nil {
-			r.onDone(Completion{ID: job.id, Workload: job.w, Submitted: job.submitted, Done: now})
+			r.onDone(Completion{ID: job.id, Workload: job.w, Submitted: job.submitted,
+				Done: now, Failed: job.failed})
 		}
 		r.busy = false
 		r.maybeStart()
@@ -103,6 +105,7 @@ func (r *IntraOp) run(job *intraJob) {
 	for i, k := range job.kernels {
 		if k.Collective {
 			colls[i] = r.node.NewCollective(ndev)
+			colls[i].OnAbort(func(simclock.Time) { job.failed = true })
 		}
 	}
 	for d := 0; d < ndev; d++ {

@@ -33,7 +33,8 @@ func NewLiger(node *gpusim.Node, compiler *parallel.Compiler, spec model.Spec, c
 	r := &Liger{assembler: asm, scheduler: sched}
 	sched.SetOnBatchDone(func(b *liger.Batch, now simclock.Time) {
 		if r.onDone != nil {
-			r.onDone(Completion{ID: b.ID, Workload: b.Workload, Submitted: b.SubmittedAt, Done: now})
+			r.onDone(Completion{ID: b.ID, Workload: b.Workload, Submitted: b.SubmittedAt,
+				Done: now, Failed: b.Failed})
 		}
 	})
 	return r, nil

@@ -11,12 +11,17 @@ import (
 	"liger/internal/simclock"
 )
 
-// Completion reports one finished batch.
+// Completion reports one finished batch. Failed marks a batch whose
+// execution was torn down by fault injection (a collective of the batch
+// hit the watchdog and aborted): its kernels completed in the CUDA
+// sense but the result is garbage, and the serving layer decides
+// whether to retry.
 type Completion struct {
 	ID        int
 	Workload  model.Workload
 	Submitted simclock.Time
 	Done      simclock.Time
+	Failed    bool
 }
 
 // Latency is the batch's pending + execution time (the paper's latency

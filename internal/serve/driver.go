@@ -9,12 +9,60 @@ import (
 	"liger/internal/stats"
 )
 
+// Policy is the deadline/retry serving policy. The zero value is the
+// paper's original semantics: no deadlines, no retries, and any failed
+// batch is a run error.
+type Policy struct {
+	// Deadline is the per-batch latency SLO (arrival to final success);
+	// zero disables deadline accounting.
+	Deadline time.Duration
+	// MaxRetries bounds resubmissions per batch after a failure
+	// (a collective abort under fault injection). Zero disables retry:
+	// a failed batch counts in Result.Failed immediately.
+	MaxRetries int
+	// Backoff is the delay before the first resubmission; each further
+	// retry doubles it (capped exponential backoff).
+	Backoff time.Duration
+	// BackoffCap bounds the doubled backoff; zero means no cap.
+	BackoffCap time.Duration
+}
+
+// Validate reports nonsensical policies.
+func (p Policy) Validate() error {
+	switch {
+	case p.Deadline < 0:
+		return fmt.Errorf("serve: negative deadline %v", p.Deadline)
+	case p.MaxRetries < 0:
+		return fmt.Errorf("serve: negative retry budget %d", p.MaxRetries)
+	case p.Backoff < 0 || p.BackoffCap < 0:
+		return fmt.Errorf("serve: negative backoff %v / cap %v", p.Backoff, p.BackoffCap)
+	case p.MaxRetries > 0 && p.Backoff == 0:
+		return fmt.Errorf("serve: retries without a backoff would resubmit at the failure instant")
+	}
+	return nil
+}
+
+// backoffFor returns the delay before resubmission attempt (1-based).
+func (p Policy) backoffFor(attempt int) time.Duration {
+	d := p.Backoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.BackoffCap > 0 && d >= p.BackoffCap {
+			return p.BackoffCap
+		}
+	}
+	if p.BackoffCap > 0 && d > p.BackoffCap {
+		return p.BackoffCap
+	}
+	return d
+}
+
 // Result summarizes one serving run.
 type Result struct {
 	Runtime string
-	// Completed is the number of finished batches.
+	// Completed is the number of batches that finished successfully.
 	Completed int
-	// Requests is batches × batch size.
+	// Requests is successful batches × batch size.
 	Requests int
 	// AvgLatency is the mean pending + execution latency per batch.
 	AvgLatency time.Duration
@@ -22,8 +70,22 @@ type Result struct {
 	P50, P95, P99 time.Duration
 	// Makespan is first arrival to last completion.
 	Makespan time.Duration
-	// Latencies holds every batch latency, completion-ordered.
+	// Latencies holds every successful batch latency, completion-ordered.
+	// Retried batches are measured from their original arrival, so
+	// backoff time is inside the number.
 	Latencies []time.Duration
+
+	// Deadline echoes Policy.Deadline so goodput and SLO-miss accessors
+	// need no extra argument (zero when no deadline was set).
+	Deadline time.Duration
+	// Retries counts resubmissions after failures.
+	Retries int
+	// Failed counts batches that exhausted the retry budget and never
+	// succeeded.
+	Failed int
+	// DeadlineMisses counts successful batches that finished past the
+	// deadline (failed batches are accounted separately).
+	DeadlineMisses int
 }
 
 // ThroughputBatches returns completed batches per second.
@@ -51,36 +113,86 @@ func (r Result) String() string {
 }
 
 // Run drives a runtime with the arrival trace on the given engine and
-// collects metrics once every batch completes.
+// collects metrics once every batch completes. It keeps the original
+// strict semantics: no deadlines, no retries, and any failure is an
+// error.
 func Run(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival) (Result, error) {
-	res := Result{Runtime: rt.Name()}
+	res, err := RunPolicy(eng, rt, arrivals, Policy{})
+	if err != nil {
+		return res, err
+	}
+	if res.Failed > 0 {
+		return res, fmt.Errorf("serve: %d batches failed with no retry policy", res.Failed)
+	}
+	return res, nil
+}
+
+// RunPolicy drives a runtime with the arrival trace under a
+// deadline/retry policy. A batch whose completion reports Failed (a
+// collective abort under fault injection) is resubmitted after a capped
+// exponential backoff until it succeeds or the retry budget is spent;
+// successful-batch latency spans original arrival to final success, so
+// goodput and deadline misses price in the recovery time.
+func RunPolicy(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival, pol Policy) (Result, error) {
+	res := Result{Runtime: rt.Name(), Deadline: pol.Deadline}
 	if len(arrivals) == 0 {
 		return res, fmt.Errorf("serve: empty trace")
 	}
+	if err := pol.Validate(); err != nil {
+		return res, err
+	}
+	// Runtimes complete batches with IDs assigned in submission order;
+	// subs maps completion ID back to the originating arrival + attempt.
+	type submission struct {
+		arrival int
+		attempt int
+	}
+	var subs []submission
 	var submitErr error
 	var lastDone simclock.Time
+	submit := func(arrival, attempt int) {
+		subs = append(subs, submission{arrival: arrival, attempt: attempt})
+		if err := rt.Submit(arrivals[arrival].Workload); err != nil && submitErr == nil {
+			submitErr = err
+		}
+	}
 	rt.SetOnDone(func(c runtimes.Completion) {
-		res.Completed++
-		res.Requests += c.Workload.Batch
-		res.Latencies = append(res.Latencies, time.Duration(c.Latency()))
+		sub := subs[c.ID]
 		if c.Done > lastDone {
 			lastDone = c.Done
 		}
-	})
-	for _, a := range arrivals {
-		w := a.Workload
-		eng.At(a.At, func(simclock.Time) {
-			if err := rt.Submit(w); err != nil && submitErr == nil {
-				submitErr = err
+		if c.Failed {
+			if sub.attempt < pol.MaxRetries {
+				res.Retries++
+				attempt := sub.attempt + 1
+				arrival := sub.arrival
+				eng.After(pol.backoffFor(attempt), func(simclock.Time) {
+					submit(arrival, attempt)
+				})
+			} else {
+				res.Failed++
 			}
-		})
+			return
+		}
+		res.Completed++
+		res.Requests += c.Workload.Batch
+		lat := time.Duration(c.Done - arrivals[sub.arrival].At)
+		res.Latencies = append(res.Latencies, lat)
+		if pol.Deadline > 0 && lat > pol.Deadline {
+			res.DeadlineMisses++
+		}
+	})
+	for i, a := range arrivals {
+		arrival := i
+		eng.At(a.At, func(simclock.Time) { submit(arrival, 0) })
 	}
 	eng.Run()
 	if submitErr != nil {
 		return res, submitErr
 	}
-	if res.Completed != len(arrivals) {
-		return res, fmt.Errorf("serve: %d of %d batches completed", res.Completed, len(arrivals))
+	if res.Completed+res.Failed != len(arrivals) {
+		return res, fmt.Errorf("serve: %d of %d batches accounted for (%d ok, %d failed)",
+			res.Completed+res.Failed, len(arrivals), res.Completed, res.Failed)
 	}
 	res.AvgLatency = stats.Mean(res.Latencies)
 	res.P50 = stats.Percentile(res.Latencies, 50)

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"liger/internal/model"
+	"liger/internal/runtimes"
+	"liger/internal/simclock"
+)
+
+// faultyRuntime is fakeRuntime plus fault injection: the first
+// failFirst submissions complete with Failed set, as if a collective of
+// the batch aborted.
+type faultyRuntime struct {
+	fakeRuntime
+	failFirst int
+}
+
+func (f *faultyRuntime) Submit(w model.Workload) error {
+	c := runtimes.Completion{ID: f.nextID, Workload: w, Submitted: f.eng.Now()}
+	c.Failed = c.ID < f.failFirst
+	f.nextID++
+	f.queue = append(f.queue, c)
+	f.pump()
+	return nil
+}
+
+func TestPolicyRetryUntilSuccess(t *testing.T) {
+	eng := simclock.New()
+	rt := &faultyRuntime{fakeRuntime: fakeRuntime{eng: eng, service: 10 * time.Millisecond}, failFirst: 2}
+	arr := []Arrival{{At: 0, Workload: model.Workload{Batch: 2, SeqLen: 16, Phase: model.Context}}}
+	pol := Policy{MaxRetries: 3, Backoff: 5 * time.Millisecond, BackoffCap: 8 * time.Millisecond}
+	res, err := RunPolicy(eng, rt, arr, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.Failed != 0 || res.Retries != 2 {
+		t.Fatalf("completed %d failed %d retries %d, want 1/0/2", res.Completed, res.Failed, res.Retries)
+	}
+	// Attempt 0 fails at 10ms; backoff 5ms → attempt 1 at 15ms fails at
+	// 25ms; backoff doubled-then-capped 8ms → attempt 2 at 33ms succeeds
+	// at 43ms. Latency spans the original arrival.
+	if want := 43 * time.Millisecond; res.Latencies[0] != want {
+		t.Fatalf("latency %v, want %v (backoff must be inside)", res.Latencies[0], want)
+	}
+	if res.Requests != 2 {
+		t.Fatalf("requests %d: retries must not double-count", res.Requests)
+	}
+}
+
+func TestPolicyRetryBudgetExhausted(t *testing.T) {
+	eng := simclock.New()
+	rt := &faultyRuntime{fakeRuntime: fakeRuntime{eng: eng, service: time.Millisecond}, failFirst: 99}
+	arr := []Arrival{
+		{At: 0, Workload: model.Workload{Batch: 1, SeqLen: 16, Phase: model.Context}},
+		{At: time.Millisecond, Workload: model.Workload{Batch: 1, SeqLen: 16, Phase: model.Context}},
+	}
+	pol := Policy{MaxRetries: 2, Backoff: time.Millisecond}
+	res, err := RunPolicy(eng, rt, arr, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 0 || res.Failed != 2 {
+		t.Fatalf("completed %d failed %d, want 0/2", res.Completed, res.Failed)
+	}
+	if res.Retries != 4 {
+		t.Fatalf("retries %d, want 2 per batch", res.Retries)
+	}
+	if res.SuccessRate() != 0 || res.SLOMissRate() != 1 {
+		t.Fatalf("success %v miss %v", res.SuccessRate(), res.SLOMissRate())
+	}
+	if got := res.ThroughputBatches(); got != 0 {
+		t.Fatalf("throughput %v with zero successes", got)
+	}
+}
+
+func TestStrictRunRejectsFailures(t *testing.T) {
+	eng := simclock.New()
+	rt := &faultyRuntime{fakeRuntime: fakeRuntime{eng: eng, service: time.Millisecond}, failFirst: 1}
+	arr := []Arrival{{At: 0, Workload: model.Workload{Batch: 1, SeqLen: 16, Phase: model.Context}}}
+	_, err := Run(eng, rt, arr)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("strict Run accepted a failed batch: %v", err)
+	}
+}
+
+func TestPolicyDeadlineAccounting(t *testing.T) {
+	eng := simclock.New()
+	rt := &fakeRuntime{eng: eng, service: 10 * time.Millisecond}
+	// Both arrive at 0: latencies 10ms and 20ms (single-server queue).
+	arr := []Arrival{
+		{At: 0, Workload: model.Workload{Batch: 1, SeqLen: 16, Phase: model.Context}},
+		{At: 0, Workload: model.Workload{Batch: 1, SeqLen: 16, Phase: model.Context}},
+	}
+	res, err := RunPolicy(eng, rt, arr, Policy{Deadline: 15 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses != 1 {
+		t.Fatalf("deadline misses %d, want 1", res.DeadlineMisses)
+	}
+	if got := res.SLOMissRate(); got != 0.5 {
+		t.Fatalf("SLO miss rate %v, want 0.5", got)
+	}
+	// Goodput: 1 batch within deadline over a 20ms makespan.
+	if got := res.PolicyGoodput(); got != 50 {
+		t.Fatalf("policy goodput %v, want 50", got)
+	}
+	if res.Deadline != 15*time.Millisecond {
+		t.Fatalf("policy deadline %v not echoed", res.Deadline)
+	}
+}
+
+func TestPolicyGoodputWithoutDeadline(t *testing.T) {
+	r := Result{Completed: 4, Makespan: 2 * time.Second}
+	if got := r.PolicyGoodput(); got != r.ThroughputBatches() {
+		t.Fatalf("goodput without deadline %v, want raw throughput %v", got, r.ThroughputBatches())
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	bad := []Policy{
+		{Deadline: -time.Second},
+		{MaxRetries: -1},
+		{Backoff: -time.Second},
+		{BackoffCap: -time.Second},
+		{MaxRetries: 1}, // retries need a backoff
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad policy %d accepted: %+v", i, p)
+		}
+	}
+	eng := simclock.New()
+	rt := &fakeRuntime{eng: eng, service: time.Millisecond}
+	arr := []Arrival{{At: 0, Workload: model.Workload{Batch: 1, SeqLen: 16, Phase: model.Context}}}
+	if _, err := RunPolicy(eng, rt, arr, Policy{MaxRetries: 1}); err == nil {
+		t.Fatal("RunPolicy accepted an invalid policy")
+	}
+}
+
+func TestBackoffCapping(t *testing.T) {
+	p := Policy{Backoff: 2 * time.Millisecond, BackoffCap: 7 * time.Millisecond}
+	want := []time.Duration{2 * time.Millisecond, 4 * time.Millisecond, 7 * time.Millisecond, 7 * time.Millisecond}
+	for i, w := range want {
+		if got := p.backoffFor(i + 1); got != w {
+			t.Errorf("backoff for attempt %d = %v, want %v", i+1, got, w)
+		}
+	}
+	uncapped := Policy{Backoff: time.Millisecond}
+	if got := uncapped.backoffFor(4); got != 8*time.Millisecond {
+		t.Errorf("uncapped backoff %v, want 8ms", got)
+	}
+}
+
+var _ runtimes.Runtime = (*faultyRuntime)(nil)

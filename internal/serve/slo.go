@@ -3,10 +3,12 @@ package serve
 import "time"
 
 // SLO metrics over a serving result: production deployments care about
-// deadline attainment, not just means.
+// deadline attainment and goodput, not just means. The explicit-
+// deadline forms take any deadline; the argument-free forms use the
+// policy deadline the run was served under (Result.Deadline).
 
-// DeadlineMissRate returns the fraction of batches whose latency
-// exceeded the deadline.
+// DeadlineMissRate returns the fraction of successful batches whose
+// latency exceeded the deadline.
 func (r Result) DeadlineMissRate(deadline time.Duration) float64 {
 	if len(r.Latencies) == 0 {
 		return 0
@@ -21,7 +23,7 @@ func (r Result) DeadlineMissRate(deadline time.Duration) float64 {
 }
 
 // Goodput returns the throughput of batches that met the deadline
-// (batches/second).
+// (batches/second). Failed batches never count.
 func (r Result) Goodput(deadline time.Duration) float64 {
 	if r.Makespan <= 0 {
 		return 0
@@ -33,4 +35,35 @@ func (r Result) Goodput(deadline time.Duration) float64 {
 		}
 	}
 	return float64(met) / r.Makespan.Seconds()
+}
+
+// PolicyGoodput is Goodput at the policy deadline the run was served
+// under; with no deadline set it degrades to raw throughput (every
+// success is good).
+func (r Result) PolicyGoodput() float64 {
+	if r.Deadline <= 0 {
+		return r.ThroughputBatches()
+	}
+	return r.Goodput(r.Deadline)
+}
+
+// SLOMissRate returns the fraction of submitted batches that violated
+// the SLO: successful batches past the policy deadline plus batches
+// that failed outright. With no deadline set, only failures count.
+func (r Result) SLOMissRate() float64 {
+	total := r.Completed + r.Failed
+	if total == 0 {
+		return 0
+	}
+	return float64(r.DeadlineMisses+r.Failed) / float64(total)
+}
+
+// SuccessRate returns the fraction of submitted batches that eventually
+// succeeded (1 when nothing failed).
+func (r Result) SuccessRate() float64 {
+	total := r.Completed + r.Failed
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Completed) / float64(total)
 }

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"liger/internal/stats"
+)
+
+func TestSLOEmptyResult(t *testing.T) {
+	var r Result
+	if got := r.DeadlineMissRate(time.Second); got != 0 {
+		t.Errorf("empty miss rate %v", got)
+	}
+	if got := r.Goodput(time.Second); got != 0 {
+		t.Errorf("empty goodput %v", got)
+	}
+	if got := r.PolicyGoodput(); got != 0 {
+		t.Errorf("empty policy goodput %v", got)
+	}
+	if got := r.SLOMissRate(); got != 0 {
+		t.Errorf("empty SLO miss rate %v", got)
+	}
+	if got := r.SuccessRate(); got != 0 {
+		t.Errorf("empty success rate %v", got)
+	}
+	if got := r.ThroughputBatches(); got != 0 {
+		t.Errorf("empty throughput %v", got)
+	}
+}
+
+func TestPercentileFewerSamplesThanRank(t *testing.T) {
+	// Nearest-rank p99 over fewer than 100 samples must clamp to the
+	// maximum, not index out of range.
+	lats := []time.Duration{3 * time.Millisecond, time.Millisecond, 2 * time.Millisecond}
+	if got := stats.Percentile(lats, 99); got != 3*time.Millisecond {
+		t.Errorf("p99 of 3 samples = %v, want max", got)
+	}
+	if got := stats.Percentile(lats, 50); got != 2*time.Millisecond {
+		t.Errorf("p50 of 3 samples = %v, want median", got)
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got := stats.Percentile(one, p); got != 7*time.Millisecond {
+			t.Errorf("p%v of 1 sample = %v, want the sample", p, got)
+		}
+	}
+	if got := stats.Percentile(nil, 99); got != 0 {
+		t.Errorf("p99 of no samples = %v, want 0", got)
+	}
+}
+
+func TestDeadlineMissRateBoundary(t *testing.T) {
+	r := Result{Latencies: []time.Duration{
+		10 * time.Millisecond, // exactly at the deadline: a hit, not a miss
+		11 * time.Millisecond,
+		9 * time.Millisecond,
+		20 * time.Millisecond,
+	}}
+	if got := r.DeadlineMissRate(10 * time.Millisecond); got != 0.5 {
+		t.Errorf("miss rate %v, want 0.5 (deadline boundary is inclusive)", got)
+	}
+}
+
+func TestSLOMissRateCountsFailures(t *testing.T) {
+	r := Result{
+		Completed:      6,
+		Failed:         2,
+		DeadlineMisses: 1,
+		Deadline:       time.Second,
+	}
+	// 1 late success + 2 outright failures out of 8 submitted batches.
+	if got := r.SLOMissRate(); got != 3.0/8.0 {
+		t.Errorf("SLO miss rate %v, want 3/8", got)
+	}
+	if got := r.SuccessRate(); got != 6.0/8.0 {
+		t.Errorf("success rate %v, want 6/8", got)
+	}
+}
+
+func TestGoodputExcludesLateBatches(t *testing.T) {
+	r := Result{
+		Completed: 3,
+		Makespan:  time.Second,
+		Latencies: []time.Duration{
+			5 * time.Millisecond,
+			15 * time.Millisecond,
+			25 * time.Millisecond,
+		},
+		Deadline: 20 * time.Millisecond,
+	}
+	if got := r.Goodput(20 * time.Millisecond); got != 2 {
+		t.Errorf("goodput %v, want 2 batches/s", got)
+	}
+	if got := r.PolicyGoodput(); got != 2 {
+		t.Errorf("policy goodput %v, want 2", got)
+	}
+	if got := r.ThroughputBatches(); got != 3 {
+		t.Errorf("raw throughput %v, want 3", got)
+	}
+}

@@ -9,8 +9,12 @@
 //  2. go vet ./...
 //  3. go build ./...
 //  4. go test -race ./internal/runner ./internal/simclock
-//     (the concurrency-bearing packages get a dedicated race pass)
+//     ./internal/faults ./internal/serve
+//     (the concurrency-bearing packages plus the fault-injection and
+//     deadline/retry layers get a dedicated race pass)
 //  5. go test ./... (full suite)
+//  6. a chaos smoke run: `ligerbench -exp chaos -quick` at a small
+//     batch count, proving the fault scenarios execute end to end
 package main
 
 import (
@@ -30,8 +34,11 @@ func main() {
 	steps := []step{
 		{"go vet", []string{"go", "vet", "./..."}},
 		{"go build", []string{"go", "build", "./..."}},
-		{"race (runner, simclock)", []string{"go", "test", "-race", "./internal/runner", "./internal/simclock"}},
+		{"race (runner, simclock, faults, serve)", []string{"go", "test", "-race",
+			"./internal/runner", "./internal/simclock", "./internal/faults", "./internal/serve"}},
 		{"go test", []string{"go", "test", "./..."}},
+		{"chaos smoke", []string{"go", "run", "./cmd/ligerbench",
+			"-exp", "chaos", "-quick", "-batches", "25", "-seed", "5"}},
 	}
 	if err := gofmtCheck(); err != nil {
 		fmt.Fprintf(os.Stderr, "FAIL gofmt: %v\n", err)
