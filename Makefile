@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench chaos
+.PHONY: check build test race vet fmt bench chaos failover
 
 check: ## full gate: gofmt + vet + build + race pass + full tests
 	$(GO) run ./tools/ci
@@ -34,3 +34,8 @@ bench:
 # deadline/retry policy (seeded, byte-reproducible).
 chaos:
 	$(GO) run ./cmd/ligerbench -exp chaos
+
+# Full-fidelity elastic-failover sweep: fail each device at several
+# instants x runtime; regenerates BENCH_failover.json at the repo root.
+failover:
+	$(GO) run ./cmd/ligerbench -exp failover -json .

@@ -34,6 +34,7 @@ func main() {
 			"device index the straggler experiment slows (bounds-checked against the node)")
 		csvDir  = flag.String("csv", "", "also write per-panel CSV sweep data into this directory")
 		plotDir = flag.String("plots", "", "also render per-panel SVG charts into this directory")
+		jsonDir = flag.String("json", "", "also write machine-readable artifacts (BENCH_failover.json) into this directory")
 	)
 	flag.Parse()
 
@@ -45,7 +46,8 @@ func main() {
 	}
 
 	cfg := bench.RunConfig{Batches: *batches, Quick: *quick, Parallel: *parallel,
-		Seed: *seed, StragglerDevice: *stragglerDev, CSVDir: *csvDir, PlotDir: *plotDir}
+		Seed: *seed, StragglerDevice: *stragglerDev, CSVDir: *csvDir, PlotDir: *plotDir,
+		JSONDir: *jsonDir}
 	var exps []bench.Experiment
 	if *exp == "all" {
 		exps = bench.Experiments()

@@ -49,6 +49,9 @@ type RunConfig struct {
 	// PlotDir, when set, receives SVG latency/throughput charts of the
 	// Fig. 10/11/12 panels (the figures themselves).
 	PlotDir string
+	// JSONDir, when set, receives machine-readable artifacts (the
+	// failover sweep's BENCH_failover.json).
+	JSONDir string
 }
 
 // DefaultRunConfig returns the standard fidelity.
@@ -81,6 +84,7 @@ func Experiments() []Experiment {
 		{"adaptive", "extension: online adaptive contention factor", RunAdaptive},
 		{"straggler", "extension: failure injection — one slow GPU", RunStraggler},
 		{"chaos", "extension: deterministic fault scenarios with deadline/retry serving", RunChaos},
+		{"failover", "extension: permanent device failure, re-planning onto survivors, overload protection", RunFailover},
 	}
 }
 

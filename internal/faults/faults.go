@@ -44,6 +44,11 @@ const (
 	// (a hung collective: NCCL kernels spin, no bytes move). Factor is
 	// ignored. Pair with a collective timeout to model abort + retry.
 	CollStall
+	// DeviceFail permanently removes the device at Start: in-flight
+	// kernels cancel, its collective memberships abort, and — unlike
+	// DeviceDrop — there is no restore. Duration and Factor are ignored.
+	// Runtimes observe the failure and re-plan onto the survivors.
+	DeviceFail
 )
 
 // String implements fmt.Stringer.
@@ -57,6 +62,8 @@ func (k Kind) String() string {
 		return "device-drop"
 	case CollStall:
 		return "coll-stall"
+	case DeviceFail:
+		return "device-fail"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -96,6 +103,9 @@ func (e Event) onSpeed() bool { return e.Kind == Slowdown || e.Kind == DeviceDro
 
 // String renders the event for logs and experiment headers.
 func (e Event) String() string {
+	if e.Kind == DeviceFail {
+		return fmt.Sprintf("%s dev%d at %v", e.Kind, e.Device, e.Start)
+	}
 	end := "end"
 	if e.Duration > 0 {
 		end = (e.Start + e.Duration).String()
@@ -121,6 +131,7 @@ func (s Schedule) Validate(numDevices int) error {
 	if s.CollTimeout < 0 {
 		return fmt.Errorf("faults: negative collective timeout %v", s.CollTimeout)
 	}
+	failed := make(map[int]bool)
 	for i, e := range s.Events {
 		switch {
 		case e.Device < 0 || e.Device >= numDevices:
@@ -134,6 +145,13 @@ func (s Schedule) Validate(numDevices int) error {
 			}
 		case e.Kind == DeviceDrop || e.Kind == CollStall:
 			// Factor ignored; nothing to check.
+		case e.Kind == DeviceFail:
+			// Permanent: failing an already-failed device is a schedule bug,
+			// not an idempotent no-op.
+			if failed[e.Device] {
+				return fmt.Errorf("faults: event %d fails device %d twice", i, e.Device)
+			}
+			failed[e.Device] = true
 		default:
 			return fmt.Errorf("faults: event %d has unknown kind %d", i, int(e.Kind))
 		}
@@ -160,17 +178,45 @@ func Inject(node *gpusim.Node, s Schedule) error {
 		node.SetCollectiveTimeout(s.CollTimeout)
 	}
 	eng := node.Engine()
+	// Canonicalize the event order first: float products are commutative
+	// but not associative, so folding windows in the caller's order would
+	// make the armed factors depend on event permutation. Sorting by every
+	// field makes the injected timeline a pure function of the event SET —
+	// permuting Schedule.Events yields a byte-identical simulation.
+	evs := append([]Event(nil), s.Events...)
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Duration != b.Duration {
+			return a.Duration < b.Duration
+		}
+		return a.Factor < b.Factor
+	})
 	// Fold the events of each (device, channel) into a piecewise-constant
 	// factor timeline and arm one engine event per transition. The factor
 	// at each transition is recomputed as the product over open windows
-	// (in event order), so overlapping windows compose deterministically
-	// and reverts restore the exact surrounding value.
+	// (in canonical order), so overlapping windows compose
+	// deterministically and reverts restore the exact surrounding value.
+	// DeviceFail events are not windows; they arm separately below.
 	type channel struct {
 		device int
 		speed  bool
 	}
+	var fails []Event
 	byChannel := make(map[channel][]Event)
-	for _, e := range s.Events {
+	for _, e := range evs {
+		if e.Kind == DeviceFail {
+			fails = append(fails, e)
+			continue
+		}
 		ch := channel{device: e.Device, speed: e.onSpeed()}
 		byChannel[ch] = append(byChannel[ch], e)
 	}
@@ -214,6 +260,13 @@ func Inject(node *gpusim.Node, s Schedule) error {
 			factor := f
 			eng.At(t, func(simTime time.Duration) { apply(factor) })
 		}
+	}
+	// Permanent failures arm after the window transitions of the same
+	// instant: a dying device's last throttle applies, then it is gone
+	// (Set* on a failed device is a no-op either way).
+	for _, e := range fails {
+		dev := e.Device
+		eng.At(e.Start, func(time.Duration) { node.FailDevice(dev) })
 	}
 	return nil
 }

@@ -165,6 +165,13 @@ func TestScenariosDeterministic(t *testing.T) {
 			t.Errorf("%s: empty schedule", sc.Name)
 		}
 		for _, e := range a.Events {
+			if e.Kind == DeviceFail {
+				// Permanent by design: no window to restore.
+				if e.Start > p.Horizon {
+					t.Errorf("%s: failure %v past horizon", sc.Name, e)
+				}
+				continue
+			}
 			if e.Duration <= 0 {
 				t.Errorf("%s: unbounded window %v (chaos scenarios must restore)", sc.Name, e)
 			}

@@ -99,6 +99,32 @@ func Scenarios() []Scenario {
 				}
 			},
 		},
+		{
+			Name:        "dead-device",
+			Description: "one GPU throttles, then fails permanently; the runtime re-plans onto the survivors",
+			Build: func(p Profile) Schedule {
+				rng := rand.New(rand.NewSource(p.Seed))
+				dev := rng.Intn(p.NumDevices)
+				// A dying-hardware shape: thermal distress first, then the
+				// device falls off for good. The slowdown window composes
+				// with the permanent failure (Set* after death is moot).
+				return Schedule{
+					CollTimeout: p.CollTimeout,
+					Events: []Event{
+						{
+							Kind: Slowdown, Device: dev,
+							Start:    time.Duration(float64(p.Horizon) * 0.30),
+							Duration: time.Duration(float64(p.Horizon) * 0.15),
+							Factor:   0.60,
+						},
+						{
+							Kind: DeviceFail, Device: dev,
+							Start: time.Duration(float64(p.Horizon) * 0.45),
+						},
+					},
+				}
+			},
+		},
 	}
 }
 

@@ -70,6 +70,11 @@ type Device struct {
 	// slowest member's rate, so one bad link stalls the whole group.
 	linkFactor float64
 
+	// failed marks a permanently removed device (Node.FailDevice). A
+	// failed device admits nothing: delivered kernels cancel instead of
+	// executing, and collectives they would have joined abort.
+	failed bool
+
 	stats      DeviceStats
 	lastSample simclock.Time
 }
@@ -95,7 +100,9 @@ func (d *Device) SetSpeed(f float64) {
 	if f <= 0 {
 		panic("gpusim: device speed must be positive")
 	}
-	if f == d.speed {
+	if d.failed || f == d.speed {
+		// Speed transitions scheduled before a permanent failure may still
+		// fire after it; a dead device has no rate to change.
 		return
 	}
 	d.speed = f
@@ -114,7 +121,7 @@ func (d *Device) SetLinkFactor(f float64) {
 	if f <= 0 || f > 1 {
 		panic("gpusim: link factor must be in (0, 1]")
 	}
-	if f == d.linkFactor {
+	if d.failed || f == d.linkFactor {
 		return
 	}
 	d.linkFactor = f
@@ -128,12 +135,18 @@ func (d *Device) LinkFactor() float64 { return d.linkFactor }
 // clock-throttle and link counters expose on real nodes): the combined
 // progress multiplier a scheduler may observe to detect degradation.
 func (d *Device) HealthFactor() float64 {
+	if d.failed {
+		return 0
+	}
 	h := d.speed
 	if d.linkFactor < h {
 		h = d.linkFactor
 	}
 	return h
 }
+
+// Failed reports whether the device has been permanently removed.
+func (d *Device) Failed() bool { return d.failed }
 
 // nextConn returns the next connection index round-robin.
 func (d *Device) nextConn() int {
@@ -195,7 +208,7 @@ func (d *Device) deliver(conn *connection, now simclock.Time) simclock.Time {
 // left-over policy: the kernel starts only if the residual SM pool
 // covers its demand. Returns false if it must wait for capacity.
 func (d *Device) tryAdmit(s *Stream, k *kernelInstance, now simclock.Time) bool {
-	if d.computeInUse+k.spec.ComputeDemand > 1+admitEpsilon {
+	if d.failed || d.computeInUse+k.spec.ComputeDemand > 1+admitEpsilon {
 		return false
 	}
 	d.sample(now)
@@ -304,6 +317,31 @@ func (d *Device) finish(k *kernelInstance, now simclock.Time) {
 	d.recompute(now)
 	if k.spec.OnDone != nil {
 		k.spec.OnDone(now)
+	}
+}
+
+// drainFailed tears down a freshly failed device's resident work.
+// Collective members abort their whole group (the watchdog teardown
+// path, so survivors' members release immediately), plain kernels
+// finish at the failure instant, blocked admissions are dropped, and
+// every stream re-advances so its delivered backlog cancels through
+// the failed-device path in Stream.advance.
+func (d *Device) drainFailed(now simclock.Time) {
+	d.sample(now)
+	for len(d.running) > 0 {
+		k := d.running[0]
+		if c := k.spec.Coll; c != nil {
+			c.abort(now)
+			continue
+		}
+		d.finish(k, now)
+	}
+	for i := range d.pendingAdmission {
+		d.pendingAdmission[i] = nil
+	}
+	d.pendingAdmission = d.pendingAdmission[:0]
+	for _, s := range d.streams {
+		s.advance(now)
 	}
 }
 

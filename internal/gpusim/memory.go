@@ -41,13 +41,19 @@ func (d *Device) Free(bytes int64) {
 	d.memUsed -= bytes
 }
 
-// AllocAll reserves the same amount on every device of the node,
-// rolling back on partial failure.
+// AllocAll reserves the same amount on every surviving device of the
+// node, rolling back on partial failure. Permanently failed devices
+// are skipped: their memory left the pool with them.
 func (n *Node) AllocAll(bytes int64) error {
 	for i, d := range n.devices {
+		if d.failed {
+			continue
+		}
 		if err := d.Alloc(bytes); err != nil {
 			for j := 0; j < i; j++ {
-				n.devices[j].Free(bytes)
+				if !n.devices[j].failed {
+					n.devices[j].Free(bytes)
+				}
 			}
 			return err
 		}
@@ -55,9 +61,14 @@ func (n *Node) AllocAll(bytes int64) error {
 	return nil
 }
 
-// FreeAll releases the same amount on every device.
+// FreeAll releases the same amount on every surviving device. Bytes
+// allocated on a device before it failed are intentionally stranded —
+// the accounting died with the hardware.
 func (n *Node) FreeAll(bytes int64) {
 	for _, d := range n.devices {
+		if d.failed {
+			continue
+		}
 		d.Free(bytes)
 	}
 }

@@ -59,6 +59,12 @@ type Node struct {
 	// see Stream.pop.
 	cmdFree []*command
 
+	// onFail observers run when a device permanently fails, before its
+	// resident work drains, so runtimes can enter their reconfiguring
+	// state ahead of the cancellation cascade.
+	onFail      []func(dev int, now simclock.Time)
+	failedCount int
+
 	tracer Tracer
 }
 
@@ -95,6 +101,48 @@ func (n *Node) NumDevices() int { return len(n.devices) }
 
 // Device returns device i.
 func (n *Node) Device(i int) *Device { return n.devices[i] }
+
+// NumAlive returns how many devices have not permanently failed.
+func (n *Node) NumAlive() int { return len(n.devices) - n.failedCount }
+
+// AliveDevices returns the indices of surviving devices in id order —
+// the world a runtime re-plans onto after a permanent failure.
+func (n *Node) AliveDevices() []int {
+	out := make([]int, 0, n.NumAlive())
+	for i, d := range n.devices {
+		if !d.failed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// OnFail registers an observer invoked when a device permanently
+// fails. Observers run before the dead device's in-flight work drains,
+// so a runtime already reports "reconfiguring" by the time the abort
+// cascade delivers failed completions.
+func (n *Node) OnFail(fn func(dev int, now simclock.Time)) {
+	n.onFail = append(n.onFail, fn)
+}
+
+// FailDevice permanently removes device i: observers fire, then every
+// in-flight kernel on the device cancels, its collective memberships
+// abort (releasing members on surviving devices), and its queued work
+// drains through the cancellation path. There is no restore — unlike a
+// DeviceDrop window, the device never comes back. Idempotent.
+func (n *Node) FailDevice(i int) {
+	d := n.devices[i]
+	if d.failed {
+		return
+	}
+	now := n.eng.Now()
+	d.failed = true
+	n.failedCount++
+	for _, fn := range n.onFail {
+		fn(i, now)
+	}
+	d.drainFailed(now)
+}
 
 // SetTracer installs a kernel lifecycle tracer (nil to disable).
 func (n *Node) SetTracer(t Tracer) { n.tracer = t }
@@ -180,9 +228,15 @@ func (n *Node) CollectiveTimeout() time.Duration { return n.collTimeout }
 
 // MinHealth returns the lowest device health factor on the node — the
 // aggregate health probe a degradation-aware scheduler polls.
+// Permanently failed devices are excluded: they are no longer part of
+// the serving world, so they should not trip degradation fallback on
+// the survivors after recovery.
 func (n *Node) MinHealth() float64 {
 	h := 1.0
 	for _, d := range n.devices {
+		if d.failed {
+			continue
+		}
 		if f := d.HealthFactor(); f < h {
 			h = f
 		}
@@ -196,6 +250,9 @@ func (n *Node) MinHealth() float64 {
 func (n *Node) MinLinkHealth() float64 {
 	h := 1.0
 	for _, d := range n.devices {
+		if d.failed {
+			continue
+		}
 		if f := d.LinkFactor(); f < h {
 			h = f
 		}

@@ -214,6 +214,24 @@ func (s *Stream) advance(now simclock.Time) {
 		case cmdKernel:
 			switch cmd.kernel.state {
 			case kQueued:
+				if s.dev.failed {
+					// The device is gone: the kernel cancels instead of
+					// executing, and a collective it would have joined can
+					// never complete its rendezvous — abort it now so members
+					// on surviving devices release instead of hanging.
+					k := cmd.kernel
+					k.state = kDone
+					k.startedAt = now
+					k.finishedAt = now
+					s.pop()
+					if c := k.spec.Coll; c != nil {
+						c.abort(now)
+					}
+					if k.spec.OnDone != nil {
+						k.spec.OnDone(now)
+					}
+					continue
+				}
 				if !s.dev.tryAdmit(s, cmd.kernel, now) {
 					s.dev.queueForAdmission(s)
 				}

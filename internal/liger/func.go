@@ -80,6 +80,12 @@ type Batch struct {
 	pendingKernels int
 	completed      bool
 
+	// workspaceHeld records that the scheduler reserved the batch's
+	// workspace when admitting it to the processing list, so completion
+	// frees exactly what was allocated (a batch fast-failed out of the
+	// waiting queue during a failover quiesce never allocated).
+	workspaceHeld bool
+
 	onDone func(b *Batch, now simclock.Time)
 	// kernelDoneFn is the reusable per-batch completion callback wired
 	// into every launched kernel's OnDone (one closure per batch instead
@@ -174,6 +180,27 @@ func (b *Batch) kernelDone(now simclock.Time) {
 	}
 }
 
+// failRemaining marks the batch failed and abandons its unscheduled
+// funcs — the failover quiesce path: the epoch under a permanent
+// device failure is discarded, and the serving layer retries against
+// the re-planned world. A batch with no kernels in flight completes
+// immediately; one with launched kernels completes when they drain
+// (cancellations on the dead device, normal completions elsewhere).
+func (b *Batch) failRemaining(now simclock.Time) {
+	if b.completed {
+		return
+	}
+	b.Failed = true
+	b.pos = len(b.funcs)
+	if b.pendingKernels == 0 {
+		b.completed = true
+		b.DoneAt = now
+		if b.onDone != nil {
+			b.onDone(b, now)
+		}
+	}
+}
+
 // Assembler builds FuncVecs for arriving batches (§3.2). It holds the
 // compiler for the target node and the model being served, and assigns
 // arrival-ordered batch IDs.
@@ -208,6 +235,19 @@ func (a *Assembler) Assemble(w model.Workload) (*Batch, error) {
 	b.WorkspaceBytes = 3 * int64(w.Tokens()) * int64(a.spec.FFNHidden()) * 2
 	a.nextID++
 	return b, nil
+}
+
+// Retarget repoints the assembler at a new compiler and tensor-parallel
+// degree — the reduced world after a permanent device failure. The
+// batch ID sequence is preserved so completion IDs stay in submission
+// order across the reconfiguration.
+func (a *Assembler) Retarget(c *parallel.Compiler, tp int) error {
+	if tp < 1 {
+		return fmt.Errorf("liger: tensor-parallel degree %d", tp)
+	}
+	a.compiler = c
+	a.tp = tp
+	return nil
 }
 
 // Spec returns the served model.

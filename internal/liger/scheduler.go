@@ -63,6 +63,21 @@ type Scheduler struct {
 	processing   []*Batch
 	roundPending bool
 
+	// alive is the device set rounds launch onto; it shrinks when a
+	// device permanently fails and the scheduler resumes on the
+	// survivors (collectives are sized to it).
+	alive []int
+	// quiescing gates round launches during a failover: set by Quiesce,
+	// cleared by Resume.
+	quiescing bool
+	// live tracks every submitted-but-incomplete batch so a quiesce can
+	// fail the whole epoch; drainSet is the snapshot of in-flight
+	// batches whose launched kernels must land before the quiesce is
+	// complete.
+	live      map[*Batch]struct{}
+	drainSet  map[*Batch]struct{}
+	onDrained func(now simclock.Time)
+
 	onBatchDone func(b *Batch, now simclock.Time)
 	stats       Stats
 
@@ -78,7 +93,7 @@ func NewScheduler(node *gpusim.Node, cfg Config) (*Scheduler, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Scheduler{node: node, cfg: cfg}
+	s := &Scheduler{node: node, cfg: cfg, alive: node.AliveDevices(), live: make(map[*Batch]struct{})}
 	for d := 0; d < node.NumDevices(); d++ {
 		// Compute launches on connection 0, communication on connection 1:
 		// a burst of compute launches can never delay the delivery of a
@@ -128,16 +143,27 @@ func (s *Scheduler) Submit(b *Batch) {
 	b.SubmittedAt = now
 	b.onDone = func(b *Batch, t simclock.Time) {
 		s.stats.BatchesDone++
-		if b.WorkspaceBytes > 0 {
+		delete(s.live, b)
+		if b.workspaceHeld {
+			b.workspaceHeld = false
 			s.node.FreeAll(b.WorkspaceBytes)
 			// Freed workspace may unblock memory-gated admissions even
 			// when no round notification is due.
 			s.maybeStartRound(t)
 		}
+		if s.drainSet != nil {
+			delete(s.drainSet, b)
+			if len(s.drainSet) == 0 && s.onDrained != nil {
+				fn := s.onDrained
+				s.onDrained = nil
+				fn(t)
+			}
+		}
 		if s.onBatchDone != nil {
 			s.onBatchDone(b, t)
 		}
 	}
+	s.live[b] = struct{}{}
 	s.waiting = append(s.waiting, b)
 	s.maybeStartRound(now)
 }
@@ -178,6 +204,7 @@ func (s *Scheduler) refill() {
 			if err := s.node.AllocAll(b.WorkspaceBytes); err != nil {
 				break
 			}
+			b.workspaceHeld = true
 		}
 		s.processing = append(s.processing, b)
 		s.waiting = append(s.waiting[:pick], s.waiting[pick+1:]...)
@@ -199,7 +226,7 @@ func (s *Scheduler) refill() {
 // maybeStartRound launches the next scheduling round unless one is
 // already pending or there is nothing to do.
 func (s *Scheduler) maybeStartRound(now simclock.Time) {
-	if s.roundPending {
+	if s.roundPending || s.quiescing {
 		return
 	}
 	s.refill()
@@ -373,6 +400,8 @@ func (s *Scheduler) launchRound(now simclock.Time) {
 		s.record(rec)
 	}
 
+	// Rounds launch onto the surviving devices only; after a failover
+	// the SPMD group (and every collective) is sized to the survivors.
 	ndev := s.node.NumDevices()
 	primStreams, primLast := s.streamsFor(typ)
 	secStreams, secLast := s.streamsFor(otherClass(typ))
@@ -382,9 +411,10 @@ func (s *Scheduler) launchRound(now simclock.Time) {
 	colls1 := s.collectives(sub1)
 
 	var notify *gpusim.Event
+	lead := s.alive[0]
 	endPrim := make([]*gpusim.Event, ndev)
 	endSec := make([]*gpusim.Event, ndev)
-	for d := 0; d < ndev; d++ {
+	for _, d := range s.alive {
 		ps := primStreams[d]
 		// Inter-stream half of the synchronization: this round must not
 		// start before the previous round's kernels on the other stream
@@ -393,7 +423,7 @@ func (s *Scheduler) launchRound(now simclock.Time) {
 			ps.Wait(ev)
 		}
 		for i, f := range sub0 {
-			if s.cfg.Sync == Hybrid && d == 0 && i == len(sub0)-1 {
+			if s.cfg.Sync == Hybrid && d == lead && i == len(sub0)-1 {
 				// The pre-launch trigger: recorded before the subset's last
 				// kernel so the CPU schedules the next round while it runs,
 				// hiding the launch overhead (Fig. 8, bottom).
@@ -413,7 +443,7 @@ func (s *Scheduler) launchRound(now simclock.Time) {
 		endSec[d] = ss.Record()
 	}
 	// Remember this round's end events for the next round's waits.
-	for d := 0; d < ndev; d++ {
+	for _, d := range s.alive {
 		if typ == gpusim.Compute {
 			s.lastComputeEnd[d] = endPrim[d]
 			s.lastCommEnd[d] = endSec[d]
@@ -427,7 +457,7 @@ func (s *Scheduler) launchRound(now simclock.Time) {
 	// §3.5 scheduling-failure signal — and adapt the online contention
 	// factor when enabled.
 	if len(sub1) > 0 {
-		ep, es := endPrim[0], endSec[0]
+		ep, es := endPrim[lead], endSec[lead]
 		threshold := window / 50 // ignore sub-2% overruns: noise, not failures
 		es.Observe(func(now simclock.Time) {
 			if debugOverrunHook != nil {
@@ -474,9 +504,10 @@ func (s *Scheduler) launchRound(now simclock.Time) {
 		}
 		notify.OnHost(next)
 	case CPUGPU:
-		evs := make([]*gpusim.Event, 0, 2*ndev)
-		evs = append(evs, endPrim...)
-		evs = append(evs, endSec...)
+		evs := make([]*gpusim.Event, 0, 2*len(s.alive))
+		for _, d := range s.alive {
+			evs = append(evs, endPrim[d], endSec[d])
+		}
 		s.node.HostBarrier(evs, next)
 	case InterStreamOnly:
 		// No CPU trigger at all: the next schedulable round launches
@@ -510,13 +541,79 @@ func (s *Scheduler) collectives(subset []Func) []*gpusim.Collective {
 	out := make([]*gpusim.Collective, len(subset))
 	for i, f := range subset {
 		if f.Desc.Collective {
-			c := s.node.NewCollective(s.node.NumDevices())
+			c := s.node.NewCollective(len(s.alive))
 			b := f.batch
 			c.OnAbort(func(simclock.Time) { b.Failed = true })
 			out[i] = c
 		}
 	}
 	return out
+}
+
+// Quiesce begins a failover drain: round launches stop, every admitted
+// batch fast-fails (the epoch under the failure is discarded — queued
+// batches complete immediately, in-flight ones as their launched
+// kernels cancel or land), and drained fires once no launched kernel
+// of the old epoch remains. Batches submitted while quiescing queue up
+// untouched and launch after Resume. drained may fire synchronously
+// when nothing is in flight.
+func (s *Scheduler) Quiesce(now simclock.Time, drained func(now simclock.Time)) {
+	s.quiescing = true
+	s.onDrained = drained
+	s.drainSet = make(map[*Batch]struct{}, len(s.live))
+	for b := range s.live {
+		s.drainSet[b] = struct{}{}
+	}
+	waiting := s.waiting
+	s.waiting = nil
+	processing := s.processing
+	s.processing = nil
+	for _, b := range processing {
+		b.failRemaining(now)
+	}
+	for _, b := range waiting {
+		b.failRemaining(now)
+	}
+	// Exhausted-but-in-flight batches sit in neither list; sweep the
+	// registry. Completion ordering stays event-driven (map order only
+	// sets flags; completions of in-flight batches fire from kernel
+	// events).
+	for b := range s.live {
+		b.failRemaining(now)
+	}
+	if len(s.drainSet) == 0 && s.onDrained != nil {
+		fn := s.onDrained
+		s.onDrained = nil
+		fn(now)
+	}
+}
+
+// FailAll fast-fails every batch the scheduler still holds — the
+// failover-impossible path, when the surviving devices cannot host the
+// model and nothing queued can ever run.
+func (s *Scheduler) FailAll(now simclock.Time) {
+	waiting := s.waiting
+	s.waiting = nil
+	processing := s.processing
+	s.processing = nil
+	for _, b := range processing {
+		b.failRemaining(now)
+	}
+	for _, b := range waiting {
+		b.failRemaining(now)
+	}
+}
+
+// Resume ends a quiesce: the scheduler re-reads the surviving device
+// set, re-enables round launches, and starts scheduling whatever
+// arrived during the drain — now compiled for (and launched onto) the
+// reduced world.
+func (s *Scheduler) Resume(now simclock.Time) {
+	s.alive = s.node.AliveDevices()
+	s.quiescing = false
+	s.drainSet = nil
+	s.onDrained = nil
+	s.maybeStartRound(now)
 }
 
 // launchFunc launches one func on one device's stream, wiring batch

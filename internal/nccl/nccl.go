@@ -86,6 +86,26 @@ func (c *Comm) AllReduceChunk(totalBytes, chunkBytes int64) time.Duration {
 	return ChunkLatency + time.Duration(float64(whole)*frac)
 }
 
+// Communicator-rebuild cost parameters. After a rank is lost, the
+// survivors must tear down the wedged communicator and bootstrap a new
+// one (ncclCommAbort + re-init): a fixed teardown/bootstrap cost plus a
+// per-rank term for the unique-id exchange and ring/channel setup each
+// surviving rank performs.
+const (
+	RebuildBase    = 5 * time.Millisecond
+	RebuildPerRank = 2 * time.Millisecond
+)
+
+// RebuildCost returns the modeled latency of rebuilding the
+// communicator over a survivor set of the given size. It is paid once
+// per reconfiguration, before the weight re-shard transfer begins.
+func (c *Comm) RebuildCost(ranks int) time.Duration {
+	if ranks < 1 {
+		return 0
+	}
+	return RebuildBase + time.Duration(ranks)*RebuildPerRank
+}
+
 // P2P returns the duration of a point-to-point transfer between two
 // GPUs, as used by pipeline-stage boundaries.
 func (c *Comm) P2P(bytes int64) time.Duration {

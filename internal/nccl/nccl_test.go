@@ -168,3 +168,22 @@ func TestDefaultChannelDemand(t *testing.T) {
 		t.Fatal("p2p demand should be small but positive")
 	}
 }
+
+func TestRebuildCost(t *testing.T) {
+	c := New(hw.A100Node(), Config{})
+	if got := c.RebuildCost(0); got != 0 {
+		t.Fatalf("RebuildCost(0) = %v, want 0", got)
+	}
+	if got := c.RebuildCost(-1); got != 0 {
+		t.Fatalf("RebuildCost(-1) = %v, want 0", got)
+	}
+	three := c.RebuildCost(3)
+	if want := RebuildBase + 3*RebuildPerRank; three != want {
+		t.Fatalf("RebuildCost(3) = %v, want %v", three, want)
+	}
+	// Strictly increasing in the survivor count: bootstrapping a wider
+	// ring costs more.
+	if c.RebuildCost(4) <= three {
+		t.Fatalf("RebuildCost not increasing: %v then %v", three, c.RebuildCost(4))
+	}
+}

@@ -38,6 +38,7 @@ type Compiler struct {
 	node      hw.Node
 	cm        *costmodel.Model
 	comm      *nccl.Comm
+	ncclCfg   nccl.Config
 	gemmSplit SplitStrategy
 }
 
@@ -46,14 +47,32 @@ type Compiler struct {
 // may keep NCCL defaults).
 func NewCompiler(node hw.Node, ncclCfg nccl.Config, opts ...Option) *Compiler {
 	c := &Compiler{
-		node: node,
-		cm:   costmodel.New(node.GPU),
-		comm: nccl.New(node, ncclCfg),
+		node:    node,
+		cm:      costmodel.New(node.GPU),
+		comm:    nccl.New(node, ncclCfg),
+		ncclCfg: ncclCfg,
 	}
 	for _, opt := range opts {
 		opt(c)
 	}
 	return c
+}
+
+// ForWorldSize returns a compiler targeting the same node shrunk to n
+// devices — the reduced world a runtime re-plans for after a permanent
+// device failure. Collective costs re-price for n ranks; the NCCL
+// footprint and GEMM split strategy carry over. n equal to the current
+// world returns the receiver unchanged.
+func (c *Compiler) ForWorldSize(n int) *Compiler {
+	if n == c.node.NumGPUs {
+		return c
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("parallel: world size %d", n))
+	}
+	nc := NewCompiler(c.node.WithGPUs(n), c.ncclCfg)
+	nc.gemmSplit = c.gemmSplit
+	return nc
 }
 
 // CostModel exposes the kernel cost model (for profiling tools).

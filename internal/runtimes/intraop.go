@@ -11,17 +11,26 @@ import (
 // partitioned across all devices (Megatron-style) with two all-reduces
 // per transformer layer, and batches execute strictly one at a time
 // (§2.2.1). Low latency, but compute units idle during communication.
+//
+// On a permanent device failure the runtime discards the failed epoch
+// (the running batch's collectives abort, queued batches fail for the
+// serving layer to retry), re-shards the weights onto the survivors,
+// and recompiles subsequent batches for the reduced world.
 type IntraOp struct {
 	node     *gpusim.Node
 	compiler *parallel.Compiler
 	spec     model.Spec
+	*failover
 
 	streams []*gpusim.Stream
+	// alive is the surviving device set batches execute on.
+	alive []int
 
-	queue  []*intraJob
-	busy   bool
-	nextID int
-	onDone func(Completion)
+	queue   []*intraJob
+	busy    bool
+	running *intraJob
+	nextID  int
+	onDone  func(Completion)
 }
 
 type intraJob struct {
@@ -37,13 +46,15 @@ func NewIntraOp(node *gpusim.Node, compiler *parallel.Compiler, spec model.Spec)
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	r := &IntraOp{node: node, compiler: compiler, spec: spec}
+	r := &IntraOp{node: node, compiler: compiler, spec: spec,
+		failover: newFailover(node, compiler.Comm(), spec), alive: node.AliveDevices()}
 	if err := allocWeights(node, spec); err != nil {
 		return nil, err
 	}
 	for d := 0; d < node.NumDevices(); d++ {
 		r.streams = append(r.streams, node.NewStream(d))
 	}
+	node.OnFail(r.handleFail)
 	return r, nil
 }
 
@@ -55,31 +66,85 @@ func (r *IntraOp) SetOnDone(fn func(Completion)) { r.onDone = fn }
 
 // Submit implements Runtime.
 func (r *IntraOp) Submit(w model.Workload) error {
-	kernels, err := r.compiler.IntraOp(r.spec, r.node.NumDevices(), w)
+	job := &intraJob{id: r.nextID, w: w, submitted: r.node.Engine().Now()}
+	r.nextID++
+	if r.impossible {
+		r.complete(job, r.node.Engine().Now(), true)
+		return nil
+	}
+	kernels, err := r.compiler.IntraOp(r.spec, len(r.alive), w)
 	if err != nil {
 		return err
 	}
-	job := &intraJob{id: r.nextID, w: w, submitted: r.node.Engine().Now(), kernels: kernels}
-	r.nextID++
+	job.kernels = kernels
 	r.queue = append(r.queue, job)
 	r.maybeStart()
 	return nil
 }
 
 func (r *IntraOp) maybeStart() {
-	if r.busy || len(r.queue) == 0 {
+	if r.busy || r.Reconfiguring() || len(r.queue) == 0 {
 		return
 	}
 	r.busy = true
 	job := r.queue[0]
 	r.queue = r.queue[1:]
+	r.running = job
 	r.run(job)
 }
 
+func (r *IntraOp) complete(job *intraJob, now simclock.Time, failed bool) {
+	if r.onDone != nil {
+		r.onDone(Completion{ID: job.id, Workload: job.w, Submitted: job.submitted,
+			Done: now, Failed: failed})
+	}
+}
+
+// handleFail is the Node.OnFail observer: discard the failed epoch
+// (queued batches fail immediately, the running batch fails as its
+// collectives abort under it) and retarget the compiler at the
+// survivor world. Once the running batch drains, the recovery delay
+// and re-shard follow.
+func (r *IntraOp) handleFail(dev int, now simclock.Time) {
+	r.begin(now)
+	r.alive = r.node.AliveDevices()
+	r.compiler = r.compiler.ForWorldSize(len(r.alive))
+	if r.running != nil {
+		r.running.failed = true
+	}
+	flushed := r.queue
+	r.queue = nil
+	for _, job := range flushed {
+		r.complete(job, now, true)
+	}
+	if !r.busy {
+		r.quiesced()
+	}
+}
+
+// quiesced runs once no old-epoch work is in flight: pay the rebuild +
+// re-shard delay, then resume on the survivors.
+func (r *IntraOp) quiesced() {
+	r.afterQuiesce(func(now simclock.Time) {
+		if err := r.reshard(); err != nil {
+			// The survivors cannot host the model: fail everything that
+			// arrived during the drain; Submit fails the rest up front.
+			flushed := r.queue
+			r.queue = nil
+			for _, job := range flushed {
+				r.complete(job, now, true)
+			}
+		}
+		r.finishReconfig(now)
+		r.maybeStart()
+	})
+}
+
 // run launches the whole SPMD kernel sequence: identical in-order
-// streams on each device, collectives rendezvousing across all of them.
+// streams on each surviving device, collectives rendezvousing across
+// all of them.
 func (r *IntraOp) run(job *intraJob) {
-	ndev := r.node.NumDevices()
+	devs := r.alive
 	ws := workspaceBytes(r.spec, job.w)
 	if err := r.node.AllocAll(ws); err != nil {
 		// One batch at a time: the placement check at engine build
@@ -87,28 +152,30 @@ func (r *IntraOp) run(job *intraJob) {
 		// accounting bug, not a load condition.
 		panic(err)
 	}
-	pending := len(job.kernels) * ndev
+	pending := len(job.kernels) * len(devs)
 	done := func(now simclock.Time) {
 		pending--
 		if pending > 0 {
 			return
 		}
 		r.node.FreeAll(ws)
-		if r.onDone != nil {
-			r.onDone(Completion{ID: job.id, Workload: job.w, Submitted: job.submitted,
-				Done: now, Failed: job.failed})
-		}
+		r.complete(job, now, job.failed)
 		r.busy = false
+		r.running = nil
+		if r.Reconfiguring() {
+			r.quiesced()
+			return
+		}
 		r.maybeStart()
 	}
 	colls := make([]*gpusim.Collective, len(job.kernels))
 	for i, k := range job.kernels {
 		if k.Collective {
-			colls[i] = r.node.NewCollective(ndev)
+			colls[i] = r.node.NewCollective(len(devs))
 			colls[i].OnAbort(func(simclock.Time) { job.failed = true })
 		}
 	}
-	for d := 0; d < ndev; d++ {
+	for _, d := range devs {
 		st := r.streams[d]
 		for i, k := range job.kernels {
 			st.Launch(gpusim.KernelSpec{

@@ -11,10 +11,20 @@ import (
 // Liger adapts the interleaved-parallelism scheduler (internal/liger)
 // to the Runtime interface: batches are assembled into FuncVecs and
 // submitted to the multi-GPU multi-stream scheduler.
+//
+// On a permanent device failure the scheduler quiesces (the failed
+// epoch fast-fails, in-flight kernels drain), the assembler retargets
+// at the survivor world, and — after the communicator-rebuild +
+// weight-re-shard delay — rounds resume on the survivors. Batches
+// arriving mid-reconfiguration queue in the scheduler and launch
+// against the new plan.
 type Liger struct {
+	node      *gpusim.Node
+	compiler  *parallel.Compiler
 	assembler *liger.Assembler
 	scheduler *liger.Scheduler
-	onDone    func(Completion)
+	*failover
+	onDone func(Completion)
 }
 
 // NewLiger builds the Liger runtime over the node.
@@ -30,13 +40,15 @@ func NewLiger(node *gpusim.Node, compiler *parallel.Compiler, spec model.Spec, c
 	if err != nil {
 		return nil, err
 	}
-	r := &Liger{assembler: asm, scheduler: sched}
+	r := &Liger{node: node, compiler: compiler, assembler: asm, scheduler: sched,
+		failover: newFailover(node, compiler.Comm(), spec)}
 	sched.SetOnBatchDone(func(b *liger.Batch, now simclock.Time) {
 		if r.onDone != nil {
 			r.onDone(Completion{ID: b.ID, Workload: b.Workload, Submitted: b.SubmittedAt,
 				Done: now, Failed: b.Failed})
 		}
 	})
+	node.OnFail(r.handleFail)
 	return r, nil
 }
 
@@ -52,8 +64,39 @@ func (r *Liger) Submit(w model.Workload) error {
 	if err != nil {
 		return err
 	}
+	if r.impossible {
+		if r.onDone != nil {
+			now := r.node.Engine().Now()
+			r.onDone(Completion{ID: b.ID, Workload: w, Submitted: now, Done: now, Failed: true})
+		}
+		return nil
+	}
 	r.scheduler.Submit(b)
 	return nil
+}
+
+// handleFail is the Node.OnFail observer: retarget the assembler at
+// the survivor world (batches assembled from here on compile for it),
+// quiesce the scheduler, and — once the old epoch drains — pay the
+// recovery delay, re-shard, and resume rounds on the survivors.
+func (r *Liger) handleFail(dev int, now simclock.Time) {
+	r.begin(now)
+	alive := r.node.AliveDevices()
+	r.compiler = r.compiler.ForWorldSize(len(alive))
+	if err := r.assembler.Retarget(r.compiler, len(alive)); err != nil {
+		r.impossible = true
+	}
+	r.scheduler.Quiesce(now, func(simclock.Time) {
+		r.afterQuiesce(func(t simclock.Time) {
+			if err := r.reshard(); err != nil {
+				r.scheduler.FailAll(t)
+				r.finishReconfig(t)
+				return
+			}
+			r.scheduler.Resume(t)
+			r.finishReconfig(t)
+		})
+	})
 }
 
 // Scheduler exposes the underlying scheduler for stats inspection.

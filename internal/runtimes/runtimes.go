@@ -7,6 +7,8 @@
 package runtimes
 
 import (
+	"time"
+
 	"liger/internal/model"
 	"liger/internal/simclock"
 )
@@ -35,4 +37,21 @@ type Runtime interface {
 	Name() string
 	Submit(w model.Workload) error
 	SetOnDone(func(Completion))
+}
+
+// Elastic is implemented by runtimes that survive permanent device
+// failure by re-planning onto the survivors. The serving layer uses it
+// for recovery-aware overload protection: while Reconfiguring reports
+// true, arrivals are deferred and retries suppressed so the retry
+// budget is spent against the new world, not the dead one.
+type Elastic interface {
+	// Reconfiguring reports whether a failover is in progress (failure
+	// detected, old epoch draining or the new plan not yet live).
+	Reconfiguring() bool
+	// OnReconfigured registers a callback fired at the sim instant a
+	// reconfiguration completes and the runtime serves again.
+	OnReconfigured(fn func(now simclock.Time))
+	// FailoverStats reports completed device-failure recoveries and the
+	// total sim time spent reconfiguring (time-to-recover, summed).
+	FailoverStats() (failovers int, downtime time.Duration)
 }

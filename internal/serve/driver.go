@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"liger/internal/runtimes"
@@ -25,6 +26,12 @@ type Policy struct {
 	Backoff time.Duration
 	// BackoffCap bounds the doubled backoff; zero means no cap.
 	BackoffCap time.Duration
+	// QueueLimit bounds admitted-but-unresolved batches (the bounded
+	// admission queue). An arrival past the bound is shed — counted in
+	// Result.Shed, never submitted — so a recovery backlog drains
+	// instead of compounding into the retry loop. Zero disables
+	// shedding.
+	QueueLimit int
 }
 
 // Validate reports nonsensical policies.
@@ -38,18 +45,31 @@ func (p Policy) Validate() error {
 		return fmt.Errorf("serve: negative backoff %v / cap %v", p.Backoff, p.BackoffCap)
 	case p.MaxRetries > 0 && p.Backoff == 0:
 		return fmt.Errorf("serve: retries without a backoff would resubmit at the failure instant")
+	case p.BackoffCap > 0 && p.BackoffCap < p.Backoff:
+		return fmt.Errorf("serve: backoff cap %v below the first delay %v", p.BackoffCap, p.Backoff)
+	case p.QueueLimit < 0:
+		return fmt.Errorf("serve: negative queue limit %d", p.QueueLimit)
 	}
 	return nil
 }
 
 // backoffFor returns the delay before resubmission attempt (1-based).
+// The doubling saturates: at the cap when one is set, else at the
+// maximum representable duration (the former unbounded doubling
+// overflowed to a negative delay around attempt 63).
 func (p Policy) backoffFor(attempt int) time.Duration {
 	d := p.Backoff
+	if d <= 0 {
+		return 0
+	}
 	for i := 1; i < attempt; i++ {
-		d *= 2
 		if p.BackoffCap > 0 && d >= p.BackoffCap {
 			return p.BackoffCap
 		}
+		if d > math.MaxInt64/2 {
+			return time.Duration(math.MaxInt64)
+		}
+		d *= 2
 	}
 	if p.BackoffCap > 0 && d > p.BackoffCap {
 		return p.BackoffCap
@@ -86,6 +106,22 @@ type Result struct {
 	// DeadlineMisses counts successful batches that finished past the
 	// deadline (failed batches are accounted separately).
 	DeadlineMisses int
+
+	// Shed counts arrivals dropped by the bounded admission queue
+	// (Policy.QueueLimit); they were never submitted. Every arrival is
+	// accounted exactly once: Completed + Failed + Shed = arrivals.
+	Shed int
+	// Deferred counts arrivals that landed while the runtime was
+	// reconfiguring after a device failure: they were parked and
+	// submitted at the resume instant, and still resolve into Completed
+	// or Failed.
+	Deferred int
+	// Failovers counts device-failure reconfigurations the runtime
+	// performed during the run.
+	Failovers int
+	// RecoveryTime is the total sim time the runtime reported
+	// "reconfiguring" (time-to-recover, summed over failovers).
+	RecoveryTime time.Duration
 }
 
 // ThroughputBatches returns completed batches per second.
@@ -133,6 +169,14 @@ func Run(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival) (Result,
 // exponential backoff until it succeeds or the retry budget is spent;
 // successful-batch latency spans original arrival to final success, so
 // goodput and deadline misses price in the recovery time.
+//
+// Recovery-aware overload protection: when the runtime is Elastic and
+// reports "reconfiguring" after a permanent device failure, arrivals
+// are deferred (parked, submitted at the resume instant) and retries
+// are suppressed until resume — the retry budget is spent against the
+// new world, not the dead one. Independently, QueueLimit sheds
+// arrivals past the admission bound so the post-failure backlog drains
+// instead of compounding.
 func RunPolicy(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival, pol Policy) (Result, error) {
 	res := Result{Runtime: rt.Name(), Deadline: pol.Deadline}
 	if len(arrivals) == 0 {
@@ -141,6 +185,7 @@ func RunPolicy(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival, po
 	if err := pol.Validate(); err != nil {
 		return res, err
 	}
+	elastic, _ := rt.(runtimes.Elastic)
 	// Runtimes complete batches with IDs assigned in submission order;
 	// subs maps completion ID back to the originating arrival + attempt.
 	type submission struct {
@@ -150,11 +195,25 @@ func RunPolicy(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival, po
 	var subs []submission
 	var submitErr error
 	var lastDone simclock.Time
+	// inflight counts admitted arrivals not yet terminally resolved —
+	// the bounded admission queue's occupancy. Deferred arrivals and
+	// parked retries stay in it.
+	inflight := 0
+	// parked holds work suppressed during a reconfiguration: attempt 0
+	// entries are deferred arrivals, attempt > 0 entries are retries of
+	// batches that failed while the runtime was already reconfiguring.
+	var parked []submission
 	submit := func(arrival, attempt int) {
 		subs = append(subs, submission{arrival: arrival, attempt: attempt})
 		if err := rt.Submit(arrivals[arrival].Workload); err != nil && submitErr == nil {
 			submitErr = err
 		}
+	}
+	retryAfterBackoff := func(arrival, attempt int) {
+		res.Retries++
+		eng.After(pol.backoffFor(attempt), func(simclock.Time) {
+			submit(arrival, attempt)
+		})
 	}
 	rt.SetOnDone(func(c runtimes.Completion) {
 		sub := subs[c.ID]
@@ -163,18 +222,19 @@ func RunPolicy(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival, po
 		}
 		if c.Failed {
 			if sub.attempt < pol.MaxRetries {
-				res.Retries++
-				attempt := sub.attempt + 1
-				arrival := sub.arrival
-				eng.After(pol.backoffFor(attempt), func(simclock.Time) {
-					submit(arrival, attempt)
-				})
+				if elastic != nil && elastic.Reconfiguring() {
+					parked = append(parked, submission{arrival: sub.arrival, attempt: sub.attempt + 1})
+					return
+				}
+				retryAfterBackoff(sub.arrival, sub.attempt+1)
 			} else {
 				res.Failed++
+				inflight--
 			}
 			return
 		}
 		res.Completed++
+		inflight--
 		res.Requests += c.Workload.Batch
 		lat := time.Duration(c.Done - arrivals[sub.arrival].At)
 		res.Latencies = append(res.Latencies, lat)
@@ -182,17 +242,45 @@ func RunPolicy(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival, po
 			res.DeadlineMisses++
 		}
 	})
+	if elastic != nil {
+		elastic.OnReconfigured(func(now simclock.Time) {
+			flush := parked
+			parked = nil
+			for _, p := range flush {
+				if p.attempt > 0 {
+					retryAfterBackoff(p.arrival, p.attempt)
+				} else {
+					submit(p.arrival, 0)
+				}
+			}
+		})
+	}
 	for i, a := range arrivals {
 		arrival := i
-		eng.At(a.At, func(simclock.Time) { submit(arrival, 0) })
+		eng.At(a.At, func(simclock.Time) {
+			if pol.QueueLimit > 0 && inflight >= pol.QueueLimit {
+				res.Shed++
+				return
+			}
+			inflight++
+			if elastic != nil && elastic.Reconfiguring() {
+				res.Deferred++
+				parked = append(parked, submission{arrival: arrival})
+				return
+			}
+			submit(arrival, 0)
+		})
 	}
 	eng.Run()
 	if submitErr != nil {
 		return res, submitErr
 	}
-	if res.Completed+res.Failed != len(arrivals) {
-		return res, fmt.Errorf("serve: %d of %d batches accounted for (%d ok, %d failed)",
-			res.Completed+res.Failed, len(arrivals), res.Completed, res.Failed)
+	if elastic != nil {
+		res.Failovers, res.RecoveryTime = elastic.FailoverStats()
+	}
+	if res.Completed+res.Failed+res.Shed != len(arrivals) {
+		return res, fmt.Errorf("serve: %d of %d batches accounted for (%d ok, %d failed, %d shed)",
+			res.Completed+res.Failed+res.Shed, len(arrivals), res.Completed, res.Failed, res.Shed)
 	}
 	res.AvgLatency = stats.Mean(res.Latencies)
 	res.P50 = stats.Percentile(res.Latencies, 50)

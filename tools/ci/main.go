@@ -15,12 +15,19 @@
 //  5. go test ./... (full suite)
 //  6. a chaos smoke run: `ligerbench -exp chaos -quick` at a small
 //     batch count, proving the fault scenarios execute end to end
+//  7. a failover race pass: the permanent-device-failure paths across
+//     gpusim, runtimes, liger, and serve under -race
+//  8. a failover smoke + determinism check: `ligerbench -exp failover
+//     -quick` at -parallel 1 and -parallel 4 must produce identical
+//     BENCH_failover.json bytes
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"time"
 )
@@ -39,6 +46,9 @@ func main() {
 		{"go test", []string{"go", "test", "./..."}},
 		{"chaos smoke", []string{"go", "run", "./cmd/ligerbench",
 			"-exp", "chaos", "-quick", "-batches", "25", "-seed", "5"}},
+		{"failover race", []string{"go", "test", "-race",
+			"-run", "Failover|FailDevice|Drain|Backoff|Quiesce",
+			"./internal/gpusim", "./internal/runtimes", "./internal/liger", "./internal/serve"}},
 	}
 	if err := gofmtCheck(); err != nil {
 		fmt.Fprintf(os.Stderr, "FAIL gofmt: %v\n", err)
@@ -56,7 +66,45 @@ func main() {
 		}
 		fmt.Printf("ok   %s (%v)\n", s.name, time.Since(start).Round(time.Millisecond))
 	}
+	start := time.Now()
+	if err := failoverDeterminism(); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL failover smoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok   failover smoke (%v)\n", time.Since(start).Round(time.Millisecond))
 	fmt.Println("all checks passed")
+}
+
+// failoverDeterminism runs the failover sweep at two worker counts and
+// fails unless both produce byte-identical BENCH_failover.json — the
+// sweep's output must be a pure function of the seed, never of the
+// parallel schedule.
+func failoverDeterminism() error {
+	tmp, err := os.MkdirTemp("", "ci-failover-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	var artifacts [][]byte
+	for _, workers := range []string{"1", "4"} {
+		dir := filepath.Join(tmp, "p"+workers)
+		cmd := exec.Command("go", "run", "./cmd/ligerbench",
+			"-exp", "failover", "-quick", "-batches", "25", "-seed", "5",
+			"-parallel", workers, "-json", dir)
+		cmd.Stderr = os.Stderr
+		if out, err := cmd.Output(); err != nil {
+			return fmt.Errorf("-parallel %s: %v\n%s", workers, err, out)
+		}
+		buf, err := os.ReadFile(filepath.Join(dir, "BENCH_failover.json"))
+		if err != nil {
+			return err
+		}
+		artifacts = append(artifacts, buf)
+	}
+	if !bytes.Equal(artifacts[0], artifacts[1]) {
+		return fmt.Errorf("BENCH_failover.json differs between -parallel 1 and -parallel 4")
+	}
+	return nil
 }
 
 // gofmtCheck fails when any Go source file under the repo is not
