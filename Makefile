@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench chaos failover
+.PHONY: check build test race vet fmt bench chaos failover trace
 
 check: ## full gate: gofmt + vet + build + race pass + full tests
 	$(GO) run ./tools/ci
@@ -16,10 +16,10 @@ test:
 	$(GO) test ./...
 
 # The concurrency-bearing packages (parallel sweep executor, event
-# engine) plus the fault-injection and deadline/retry layers get a
-# dedicated -race pass.
+# engine) plus the fault-injection, deadline/retry, and observability
+# layers get a dedicated -race pass.
 race:
-	$(GO) test -race ./internal/runner ./internal/simclock ./internal/faults ./internal/serve
+	$(GO) test -race ./internal/runner ./internal/simclock ./internal/faults ./internal/serve ./internal/trace ./internal/metrics
 
 vet:
 	$(GO) vet ./...
@@ -39,3 +39,9 @@ chaos:
 # instants x runtime; regenerates BENCH_failover.json at the repo root.
 failover:
 	$(GO) run ./cmd/ligerbench -exp failover -json .
+
+# Traced failover demo: one fully traced failure point per runtime,
+# written as Chrome traces (open in Perfetto) plus metrics snapshots
+# under ./traces. See docs/OBSERVABILITY.md.
+trace:
+	$(GO) run ./cmd/ligerbench -exp failover -quick -batches 50 -trace-dir traces

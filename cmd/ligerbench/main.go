@@ -32,9 +32,10 @@ func main() {
 			"random seed for traces and fault schedules; one seed reproduces a chaos run exactly")
 		stragglerDev = flag.Int("straggler-dev", 2,
 			"device index the straggler experiment slows (bounds-checked against the node)")
-		csvDir  = flag.String("csv", "", "also write per-panel CSV sweep data into this directory")
-		plotDir = flag.String("plots", "", "also render per-panel SVG charts into this directory")
-		jsonDir = flag.String("json", "", "also write machine-readable artifacts (BENCH_failover.json) into this directory")
+		csvDir   = flag.String("csv", "", "also write per-panel CSV sweep data into this directory")
+		plotDir  = flag.String("plots", "", "also render per-panel SVG charts into this directory")
+		jsonDir  = flag.String("json", "", "also write machine-readable artifacts (BENCH_failover.json) into this directory")
+		traceDir = flag.String("trace-dir", "", "failover experiment: also write per-runtime Chrome traces and metrics snapshots of one traced failure point into this directory")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 
 	cfg := bench.RunConfig{Batches: *batches, Quick: *quick, Parallel: *parallel,
 		Seed: *seed, StragglerDevice: *stragglerDev, CSVDir: *csvDir, PlotDir: *plotDir,
-		JSONDir: *jsonDir}
+		JSONDir: *jsonDir, TraceDir: *traceDir}
 	var exps []bench.Experiment
 	if *exp == "all" {
 		exps = bench.Experiments()

@@ -17,6 +17,7 @@ import (
 	"liger/internal/core"
 	"liger/internal/hw"
 	"liger/internal/liger"
+	"liger/internal/metrics"
 	"liger/internal/model"
 	"liger/internal/serve"
 	"liger/internal/trace"
@@ -27,28 +28,29 @@ func main() {
 	log.SetPrefix("ligersim: ")
 
 	var (
-		nodeName  = flag.String("node", "v100", "node preset: v100 (4x NVLink) or a100 (4x PCIe)")
-		gpus      = flag.Int("gpus", 0, "override GPU count (strong scaling); 0 keeps the preset")
-		modelName = flag.String("model", "OPT-30B", "model: OPT-30B, OPT-66B, GLM-130B, tiny")
-		rtName    = flag.String("runtime", "Liger", "runtime: Liger, Intra-Op, Inter-Op, Inter-Th")
-		rate      = flag.Float64("rate", 10, "batch arrival rate per second")
-		batches   = flag.Int("batches", 200, "number of batch arrivals (paper uses 2000)")
-		batchSize = flag.Int("batch", 2, "requests per batch")
-		minSeq    = flag.Int("minseq", 16, "minimum sequence length")
-		maxSeq    = flag.Int("maxseq", 128, "maximum sequence length")
-		decode    = flag.Bool("decode", false, "generative incremental-sampling phase (§4.3)")
-		ctxLen    = flag.Int("ctx", 16, "KV-cache length for -decode")
-		process   = flag.String("process", "constant", "arrival process: constant, poisson, bursty")
-		seed      = flag.Int64("seed", 1, "trace random seed")
-		division  = flag.Int("division", 8, "Liger kernel decomposition factor (§3.6)")
-		cfactor   = flag.Float64("cfactor", 0, "Liger contention factor; 0 = node default (§3.5)")
-		inflight  = flag.Int("inflight", 4, "Liger processing-list size")
-		syncMode  = flag.String("sync", "hybrid", "Liger sync mode: hybrid or cpu-gpu (§3.4)")
-		traceOut  = flag.String("trace", "", "write a Chrome trace JSON of kernel execution to this file")
-		journalN  = flag.Int("journal", 0, "print the last N Liger scheduling rounds")
-		traceIn   = flag.String("tracein", "", "replay a JSON trace file instead of generating one")
-		traceSave = flag.String("tracesave", "", "save the generated trace as JSON before serving")
-		deadline  = flag.Duration("deadline", 0, "also report goodput/miss rate against this latency SLO")
+		nodeName   = flag.String("node", "v100", "node preset: v100 (4x NVLink) or a100 (4x PCIe)")
+		gpus       = flag.Int("gpus", 0, "override GPU count (strong scaling); 0 keeps the preset")
+		modelName  = flag.String("model", "OPT-30B", "model: OPT-30B, OPT-66B, GLM-130B, tiny")
+		rtName     = flag.String("runtime", "Liger", "runtime: Liger, Intra-Op, Inter-Op, Inter-Th")
+		rate       = flag.Float64("rate", 10, "batch arrival rate per second")
+		batches    = flag.Int("batches", 200, "number of batch arrivals (paper uses 2000)")
+		batchSize  = flag.Int("batch", 2, "requests per batch")
+		minSeq     = flag.Int("minseq", 16, "minimum sequence length")
+		maxSeq     = flag.Int("maxseq", 128, "maximum sequence length")
+		decode     = flag.Bool("decode", false, "generative incremental-sampling phase (§4.3)")
+		ctxLen     = flag.Int("ctx", 16, "KV-cache length for -decode")
+		process    = flag.String("process", "constant", "arrival process: constant, poisson, bursty")
+		seed       = flag.Int64("seed", 1, "trace random seed")
+		division   = flag.Int("division", 8, "Liger kernel decomposition factor (§3.6)")
+		cfactor    = flag.Float64("cfactor", 0, "Liger contention factor; 0 = node default (§3.5)")
+		inflight   = flag.Int("inflight", 4, "Liger processing-list size")
+		syncMode   = flag.String("sync", "hybrid", "Liger sync mode: hybrid or cpu-gpu (§3.4)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace JSON of kernel execution to this file")
+		metricsOut = flag.String("metrics", "", "write a metrics JSON snapshot (counters, histograms, per-request latency decomposition) to this file")
+		journalN   = flag.Int("journal", 0, "print the last N Liger scheduling rounds")
+		traceIn    = flag.String("tracein", "", "replay a JSON trace file instead of generating one")
+		traceSave  = flag.String("tracesave", "", "save the generated trace as JSON before serving")
+		deadline   = flag.Duration("deadline", 0, "also report goodput/miss rate against this latency SLO")
 	)
 	flag.Parse()
 
@@ -87,7 +89,7 @@ func main() {
 
 	opts := core.Options{Node: node, Model: spec, Runtime: kind, Liger: lcfg, LigerSet: true}
 	var recorder *trace.Recorder
-	if *traceOut != "" {
+	if *traceOut != "" || *metricsOut != "" {
 		recorder = trace.NewRecorder()
 		opts.Tracer = recorder
 	}
@@ -187,7 +189,7 @@ func main() {
 			}
 		}
 	}
-	if recorder != nil {
+	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			log.Fatal(err)
@@ -199,5 +201,18 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trace     : wrote %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := metrics.FromRun(res, recorder).WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics   : wrote %s\n", *metricsOut)
 	}
 }

@@ -52,6 +52,10 @@ type RunConfig struct {
 	// JSONDir, when set, receives machine-readable artifacts (the
 	// failover sweep's BENCH_failover.json).
 	JSONDir string
+	// TraceDir, when set, makes the failover experiment re-run one fully
+	// traced failure point per runtime and write a Chrome trace plus a
+	// metrics snapshot for each (see docs/OBSERVABILITY.md).
+	TraceDir string
 }
 
 // DefaultRunConfig returns the standard fidelity.

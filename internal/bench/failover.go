@@ -11,6 +11,7 @@ import (
 
 	"liger/internal/core"
 	"liger/internal/faults"
+	"liger/internal/gpusim"
 	"liger/internal/hw"
 	"liger/internal/model"
 	"liger/internal/runner"
@@ -95,8 +96,10 @@ func (s failoverSetup) points() []failoverPoint {
 // runFailoverPoint serves one point. A non-baseline point injects a
 // permanent DeviceFail at the instant plus the collective watchdog (so
 // the dying device's in-flight rendezvous abort instead of hanging).
-func runFailoverPoint(s failoverSetup, pt failoverPoint, cfg RunConfig) (serve.Result, error) {
-	opts := core.Options{Node: s.p.node, Model: s.p.spec, Runtime: pt.kind}
+// tracer, when non-nil, receives the point's full kernel/collective/
+// fault event stream (the sweep itself runs untraced).
+func runFailoverPoint(s failoverSetup, pt failoverPoint, cfg RunConfig, tracer gpusim.Tracer) (serve.Result, error) {
+	opts := core.Options{Node: s.p.node, Model: s.p.spec, Runtime: pt.kind, Tracer: tracer}
 	sched := faults.Schedule{CollTimeout: s.timeout}
 	if pt.dev >= 0 {
 		sched.Events = []faults.Event{{
@@ -165,7 +168,7 @@ func RunFailover(cfg RunConfig, w io.Writer) error {
 	s := newFailoverSetup(cfg)
 	pts := s.points()
 	results, err := runner.Map(cfg.Parallel, len(pts), func(i int) (serve.Result, error) {
-		return runFailoverPoint(s, pts[i], cfg)
+		return runFailoverPoint(s, pts[i], cfg, nil)
 	})
 	if err != nil {
 		return err
@@ -243,7 +246,10 @@ func RunFailover(cfg RunConfig, w io.Writer) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	return writeFailoverJSON(cfg, rep)
+	if err := writeFailoverJSON(cfg, rep); err != nil {
+		return err
+	}
+	return writeFailoverObservability(s, cfg, w)
 }
 
 // kindName resolves a RuntimeKind to the name its results report.

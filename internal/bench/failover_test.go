@@ -64,11 +64,11 @@ func TestFailoverLigerRetainsMoreGoodputThanIntraOp(t *testing.T) {
 	s := newFailoverSetup(cfg)
 	retained := func(kind core.RuntimeKind) float64 {
 		t.Helper()
-		base, err := runFailoverPoint(s, failoverPoint{kind: kind, dev: -1}, cfg)
+		base, err := runFailoverPoint(s, failoverPoint{kind: kind, dev: -1}, cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		failed, err := runFailoverPoint(s, failoverPoint{kind: kind, dev: 1, atFrac: 0.45}, cfg)
+		failed, err := runFailoverPoint(s, failoverPoint{kind: kind, dev: 1, atFrac: 0.45}, cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

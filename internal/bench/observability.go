@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"liger/internal/metrics"
+	"liger/internal/runner"
+	"liger/internal/trace"
+)
+
+// writeFailoverObservability re-runs one fully traced failure point per
+// runtime — device 0 failing at the sweep's first instant — and writes,
+// into cfg.TraceDir, a Chrome trace (failover_<runtime>.trace.json) and
+// a metrics snapshot (failover_<runtime>.metrics.json) for each. The
+// traced points are independent simulations, so they fan across the
+// sweep executor; artifacts are rendered to memory per point and written
+// in fixed kind order, so the files are byte-identical at any -parallel
+// value.
+func writeFailoverObservability(s failoverSetup, cfg RunConfig, w io.Writer) error {
+	if cfg.TraceDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
+		return err
+	}
+	type artifact struct {
+		runtime        string
+		trace, metrics []byte
+	}
+	pts := make([]failoverPoint, len(s.kinds))
+	for i, kind := range s.kinds {
+		pts[i] = failoverPoint{kind: kind, dev: 0, atFrac: s.instants[0]}
+	}
+	arts, err := runner.Map(cfg.Parallel, len(pts), func(i int) (artifact, error) {
+		rec := trace.NewRecorder()
+		res, err := runFailoverPoint(s, pts[i], cfg, rec)
+		if err != nil {
+			return artifact{}, err
+		}
+		var tb, mb bytes.Buffer
+		if err := rec.WriteChromeTrace(&tb); err != nil {
+			return artifact{}, err
+		}
+		if err := metrics.FromRun(res, rec).WriteJSON(&mb); err != nil {
+			return artifact{}, err
+		}
+		return artifact{runtime: res.Runtime, trace: tb.Bytes(), metrics: mb.Bytes()}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, a := range arts {
+		slug := runtimeSlug(a.runtime)
+		traceName := "failover_" + slug + ".trace.json"
+		metricsName := "failover_" + slug + ".metrics.json"
+		if err := os.WriteFile(filepath.Join(cfg.TraceDir, traceName), a.trace, 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(cfg.TraceDir, metricsName), a.metrics, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "traced: dev0@%.0f%% under %s -> %s, %s\n",
+			100*pts[i].atFrac, a.runtime,
+			filepath.Join(cfg.TraceDir, traceName), filepath.Join(cfg.TraceDir, metricsName))
+	}
+	return nil
+}
+
+// runtimeSlug turns a runtime's display name ("Intra-Op") into a
+// filename-safe lowercase slug ("intra-op").
+func runtimeSlug(name string) string {
+	return strings.ToLower(strings.ReplaceAll(name, " ", "-"))
+}

@@ -47,6 +47,9 @@ type Collective struct {
 	scanEpoch uint64
 }
 
+// ID returns the collective's node-unique identifier.
+func (c *Collective) ID() int { return c.id }
+
 // Size returns the expected member count.
 func (c *Collective) Size() int { return c.size }
 
@@ -84,6 +87,7 @@ func (c *Collective) join(k *kernelInstance, now simclock.Time) {
 	if c.done {
 		if c.aborted {
 			k.startedAt = k.admittedAt
+			k.cancelled = CancelCollectiveAbort
 			k.stream.dev.finish(k, now)
 			return
 		}
@@ -92,6 +96,9 @@ func (c *Collective) join(k *kernelInstance, now simclock.Time) {
 	c.members = append(c.members, k)
 	if len(c.members) > c.size {
 		panic("gpusim: too many members joined collective")
+	}
+	if ct := c.node.collTracer; ct != nil {
+		ct.RendezvousBegin(c.id, k.stream.dev.id, k.spec.Batch, k.spec.Req, now)
 	}
 	if len(c.members) == 1 && c.timeout > 0 {
 		c.timeoutH = c.node.eng.After(c.timeout, func(t simclock.Time) { c.abort(t) })
@@ -114,6 +121,9 @@ func (c *Collective) start(now simclock.Time) {
 		if tr := c.node.tracer; tr != nil {
 			tr.KernelStart(m.stream.dev.id, m.spec.Name, m.spec.Class, now)
 		}
+	}
+	if ct := c.node.collTracer; ct != nil {
+		ct.TransferStart(c.id, now)
 	}
 	c.refreshRate(now)
 }
@@ -160,6 +170,9 @@ func (c *Collective) finish(now simclock.Time) {
 	for _, m := range c.members {
 		m.stream.dev.finish(m, now)
 	}
+	if ct := c.node.collTracer; ct != nil {
+		ct.CollectiveFinish(c.id, now)
+	}
 }
 
 // abort tears the group down after a watchdog expiry: every joined
@@ -183,7 +196,13 @@ func (c *Collective) abort(now simclock.Time) {
 		if m.startedAt == 0 {
 			m.startedAt = m.admittedAt
 		}
+		// The transfer never happened: the member spans are truncations of
+		// an aborted group, not completions.
+		m.cancelled = CancelCollectiveAbort
 		m.stream.dev.finish(m, now)
+	}
+	if ct := c.node.collTracer; ct != nil {
+		ct.CollectiveAbort(c.id, now)
 	}
 	for _, fn := range c.onAbort {
 		fn(now)

@@ -75,6 +75,10 @@ type Device struct {
 	// executing, and collectives they would have joined abort.
 	failed bool
 
+	// queueDepth counts commands issued to this device's streams and not
+	// yet retired — the launch-queue backlog sampled to QueueTracer.
+	queueDepth int
+
 	stats      DeviceStats
 	lastSample simclock.Time
 }
@@ -106,7 +110,11 @@ func (d *Device) SetSpeed(f float64) {
 		return
 	}
 	d.speed = f
-	d.recompute(d.node.eng.Now())
+	now := d.node.eng.Now()
+	if ft := d.node.faultTracer; ft != nil {
+		ft.RateChange(d.id, d.speed, d.linkFactor, now)
+	}
+	d.recompute(now)
 }
 
 // Speed returns the progress-rate multiplier.
@@ -125,7 +133,11 @@ func (d *Device) SetLinkFactor(f float64) {
 		return
 	}
 	d.linkFactor = f
-	d.recompute(d.node.eng.Now())
+	now := d.node.eng.Now()
+	if ft := d.node.faultTracer; ft != nil {
+		ft.RateChange(d.id, d.speed, d.linkFactor, now)
+	}
+	d.recompute(now)
 }
 
 // LinkFactor returns the communication-rate multiplier.
@@ -309,15 +321,36 @@ func (d *Device) finish(k *kernelInstance, now simclock.Time) {
 		}
 	}
 	d.stats.KernelsRun++
-	if tr := d.node.tracer; tr != nil {
-		tr.KernelEnd(d.id, k.spec.Name, k.spec.Class, k.startedAt, now)
-	}
+	d.emitSpan(k, now)
 	k.stream.completeHead(now)
 	d.admitPending(now)
 	d.recompute(now)
 	if k.spec.OnDone != nil {
 		k.spec.OnDone(now)
 	}
+}
+
+// emitSpan reports a finishing kernel to the tracer: SpanTracer
+// implementations get the full span (metadata plus the truncation
+// flag); plain tracers get the legacy KernelEnd callback.
+func (d *Device) emitSpan(k *kernelInstance, end simclock.Time) {
+	if d.node.tracer == nil {
+		return
+	}
+	if st := d.node.spanTracer; st != nil {
+		coll := -1
+		if k.spec.Coll != nil {
+			coll = k.spec.Coll.id
+		}
+		st.KernelSpan(KernelSpan{
+			Device: d.id, Name: k.spec.Name, Class: k.spec.Class,
+			Start: k.startedAt, End: end,
+			Batch: k.spec.Batch, Req: k.spec.Req, Coll: coll,
+			Cancelled: k.cancelled,
+		})
+		return
+	}
+	d.node.tracer.KernelEnd(d.id, k.spec.Name, k.spec.Class, k.startedAt, end)
 }
 
 // drainFailed tears down a freshly failed device's resident work.
@@ -334,6 +367,9 @@ func (d *Device) drainFailed(now simclock.Time) {
 			c.abort(now)
 			continue
 		}
+		// The kernel was mid-execution when the device died: its span is
+		// truncated at the failure instant, not a completion.
+		k.cancelled = CancelDeviceFail
 		d.finish(k, now)
 	}
 	for i := range d.pendingAdmission {

@@ -55,6 +55,11 @@ type KernelSpec struct {
 	// Batch and Seq carry scheduling metadata through to traces.
 	Batch int
 	Seq   int
+	// Req is the serving-layer request id threaded through the runtimes
+	// so traces and metrics can decompose per-request latency. Launch
+	// sites outside the serving path should leave it negative (-1);
+	// the runtimes tag it from the submission.
+	Req int
 	// OnDone, if set, runs when the kernel completes.
 	OnDone func(now simclock.Time)
 }
@@ -85,6 +90,12 @@ type kernelInstance struct {
 	admittedAt simclock.Time
 	startedAt  simclock.Time // for collectives: when progress began
 	finishedAt simclock.Time
+
+	// cancelled names the teardown that truncated this kernel instead of
+	// letting it complete ("device-fail", "collective-abort"); empty for
+	// a normal completion. Set by the cancel paths before finish so the
+	// tracer can flag the span.
+	cancelled string
 }
 
 // updateProgress folds elapsed time into remaining work at the old rate.

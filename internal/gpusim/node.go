@@ -31,9 +31,97 @@ import (
 // Tracer receives kernel lifecycle callbacks; used by the profiler and
 // the Chrome-trace exporter. Implementations must not mutate simulator
 // state.
+//
+// A Tracer may additionally implement any of the optional extension
+// interfaces below (SpanTracer, CollectiveTracer, FaultTracer,
+// QueueTracer); the node detects them once at SetTracer and emits the
+// richer event families only to implementations that ask for them, so
+// existing two-method tracers keep working unchanged.
 type Tracer interface {
 	KernelStart(dev int, name string, class KernelClass, start simclock.Time)
 	KernelEnd(dev int, name string, class KernelClass, start, end simclock.Time)
+}
+
+// KernelSpan is the full record of one kernel execution, including the
+// scheduling metadata (batch, request, collective) and whether the span
+// was truncated by a cancellation instead of completing its work.
+type KernelSpan struct {
+	Device int
+	Name   string
+	Class  KernelClass
+	Start  simclock.Time
+	End    simclock.Time
+	// Batch and Req carry the scheduling metadata of the launch
+	// (KernelSpec.Batch / KernelSpec.Req); Req is -1 when the launch was
+	// not tagged with a serving-layer request.
+	Batch int
+	Req   int
+	// Coll is the collective id the kernel belonged to, -1 for local
+	// kernels.
+	Coll int
+	// Cancelled is empty for a kernel that completed its work; otherwise
+	// it names the teardown that truncated the span (CancelDeviceFail,
+	// CancelCollectiveAbort). End is then the cancel instant.
+	Cancelled string
+}
+
+// Cancel reasons reported in KernelSpan.Cancelled.
+const (
+	// CancelDeviceFail marks work torn down by a permanent device
+	// failure (in-flight kernels truncated at the failure instant,
+	// delivered-but-unstarted kernels cancelled with a zero-length span).
+	CancelDeviceFail = "device-fail"
+	// CancelCollectiveAbort marks a collective member released by a
+	// watchdog or failure abort: the kernel "completed" in the CUDA
+	// sense but the transfer never happened.
+	CancelCollectiveAbort = "collective-abort"
+)
+
+// SpanTracer is an optional Tracer extension. When implemented, the
+// node reports every kernel completion — including cancellations that
+// plain tracers would see as a bare KernelEnd or (for kernels that
+// never ran) not at all — as a KernelSpan, and suppresses the
+// corresponding KernelEnd callback so implementations do not record the
+// same span twice. KernelStart still fires as usual.
+type SpanTracer interface {
+	KernelSpan(sp KernelSpan)
+}
+
+// CollectiveTracer is an optional Tracer extension observing the
+// collective lifecycle: member enqueue on a stream, per-member
+// rendezvous wait (admitted, spinning for peers), the transfer start
+// once every rank joined, and the group's completion or abort.
+type CollectiveTracer interface {
+	CollectiveEnqueue(coll, size, dev int, at simclock.Time)
+	// RendezvousBegin fires when a member is admitted and starts
+	// busy-waiting for its peers; the wait ends at the group's
+	// TransferStart (or CollectiveAbort). Batch/Req mirror the member
+	// kernel's scheduling metadata.
+	RendezvousBegin(coll, dev, batch, req int, at simclock.Time)
+	TransferStart(coll int, at simclock.Time)
+	CollectiveFinish(coll int, at simclock.Time)
+	CollectiveAbort(coll int, at simclock.Time)
+}
+
+// FaultTracer is an optional Tracer extension observing fault-injection
+// and recovery transitions.
+type FaultTracer interface {
+	// RateChange fires whenever a device's speed or link factor changes
+	// (a fault window opening or closing).
+	RateChange(dev int, speed, link float64, at simclock.Time)
+	// DeviceFailed fires when a device is permanently removed.
+	DeviceFailed(dev int, at simclock.Time)
+	// RecoveryBegin / RecoveryEnd bracket a runtime reconfiguration
+	// (failover epoch): emitted by the runtimes through Node.Tracer.
+	RecoveryBegin(at simclock.Time)
+	RecoveryEnd(at simclock.Time)
+}
+
+// QueueTracer is an optional Tracer extension sampling per-device
+// launch-queue depth (commands issued to the device's streams and not
+// yet retired) on every change.
+type QueueTracer interface {
+	QueueDepth(dev, depth int, at simclock.Time)
 }
 
 // Node is a simulated multi-GPU server attached to a simclock engine.
@@ -66,6 +154,12 @@ type Node struct {
 	failedCount int
 
 	tracer Tracer
+	// The optional tracer extensions, type-asserted once at SetTracer so
+	// the hot paths pay a nil check instead of an interface assertion.
+	spanTracer  SpanTracer
+	collTracer  CollectiveTracer
+	faultTracer FaultTracer
+	queueTracer QueueTracer
 }
 
 // New builds a simulated node from a hardware description.
@@ -138,14 +232,30 @@ func (n *Node) FailDevice(i int) {
 	now := n.eng.Now()
 	d.failed = true
 	n.failedCount++
+	if n.faultTracer != nil {
+		n.faultTracer.DeviceFailed(i, now)
+	}
 	for _, fn := range n.onFail {
 		fn(i, now)
 	}
 	d.drainFailed(now)
 }
 
-// SetTracer installs a kernel lifecycle tracer (nil to disable).
-func (n *Node) SetTracer(t Tracer) { n.tracer = t }
+// SetTracer installs a kernel lifecycle tracer (nil to disable). The
+// optional extension interfaces the tracer implements are detected
+// here.
+func (n *Node) SetTracer(t Tracer) {
+	n.tracer = t
+	n.spanTracer, _ = t.(SpanTracer)
+	n.collTracer, _ = t.(CollectiveTracer)
+	n.faultTracer, _ = t.(FaultTracer)
+	n.queueTracer, _ = t.(QueueTracer)
+}
+
+// Tracer returns the installed tracer (nil when tracing is disabled).
+// Runtimes use it to report recovery transitions to FaultTracer
+// implementations.
+func (n *Node) Tracer() Tracer { return n.tracer }
 
 // newCommand takes a command from the free list (or allocates one) and
 // binds it to stream s. The delivery callback is allocated once per

@@ -120,6 +120,10 @@ func (s *Stream) issue(cmd *command) {
 	now := s.node.eng.Now()
 	cmd.deliveredAt = s.dev.deliver(s.conn, now)
 	s.queue = append(s.queue, cmd)
+	s.dev.queueDepth++
+	if qt := s.node.queueTracer; qt != nil {
+		qt.QueueDepth(s.dev.id, s.dev.queueDepth, now)
+	}
 	s.node.eng.At(cmd.deliveredAt, cmd.deliverFn)
 }
 
@@ -131,6 +135,11 @@ func (s *Stream) Launch(spec KernelSpec) {
 		panic("gpusim: negative kernel demand or duration")
 	}
 	k := &kernelInstance{spec: spec, stream: s}
+	if c := spec.Coll; c != nil {
+		if ct := s.node.collTracer; ct != nil {
+			ct.CollectiveEnqueue(c.id, c.size, s.dev.id, s.node.eng.Now())
+		}
+	}
 	cmd := s.node.newCommand(s)
 	cmd.kind = cmdKernel
 	cmd.kernel = k
@@ -178,6 +187,10 @@ func (s *Stream) pop() {
 	cmd := s.queue[0]
 	s.queue[0] = nil
 	s.queue = s.queue[1:]
+	s.dev.queueDepth--
+	if qt := s.node.queueTracer; qt != nil {
+		qt.QueueDepth(s.dev.id, s.dev.queueDepth, s.node.eng.Now())
+	}
 	s.node.recycleCommand(cmd)
 }
 
@@ -223,6 +236,10 @@ func (s *Stream) advance(now simclock.Time) {
 					k.state = kDone
 					k.startedAt = now
 					k.finishedAt = now
+					// The kernel never ran; report a zero-length truncated span
+					// so traces account for it instead of silently dropping it.
+					k.cancelled = CancelDeviceFail
+					s.dev.emitSpan(k, now)
 					s.pop()
 					if c := k.spec.Coll; c != nil {
 						c.abort(now)

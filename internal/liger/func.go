@@ -64,6 +64,10 @@ type Batch struct {
 	// injection: its kernels drained but the result is unusable. The
 	// serving layer reads it off the completion to drive retries.
 	Failed bool
+	// Req is the serving-layer request id threaded onto the batch's
+	// kernel launches; -1 when the batch was not submitted on behalf of
+	// a tracked request.
+	Req int
 
 	funcs []Func
 	pos   int
@@ -95,7 +99,7 @@ type Batch struct {
 
 // NewBatch wraps a compiled kernel sequence as a schedulable batch.
 func NewBatch(id int, w model.Workload, kernels []parallel.KernelDesc) *Batch {
-	b := &Batch{ID: id, Workload: w}
+	b := &Batch{ID: id, Workload: w, Req: -1}
 	b.funcs = make([]Func, len(kernels))
 	for i, k := range kernels {
 		b.funcs[i] = Func{Desc: k, batch: b}

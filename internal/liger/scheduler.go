@@ -635,6 +635,7 @@ func (s *Scheduler) launchFunc(st *gpusim.Stream, f Func, coll *gpusim.Collectiv
 		MemBWDemand:   f.Desc.MemBWDemand,
 		Coll:          coll,
 		Batch:         b.ID,
+		Req:           b.Req,
 		OnDone:        b.kernelDoneFn,
 	})
 }

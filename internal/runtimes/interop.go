@@ -57,6 +57,7 @@ type InterOp struct {
 
 type pipeJob struct {
 	id        int
+	req       int
 	epoch     int
 	w         model.Workload
 	submitted simclock.Time
@@ -99,8 +100,12 @@ func (r *InterOp) Name() string {
 func (r *InterOp) SetOnDone(fn func(Completion)) { r.onDone = fn }
 
 // Submit implements Runtime.
-func (r *InterOp) Submit(w model.Workload) error {
-	job := &pipeJob{id: r.nextID, w: w, submitted: r.node.Engine().Now(), epoch: r.epoch}
+func (r *InterOp) Submit(w model.Workload) error { return r.SubmitReq(w, -1) }
+
+// SubmitReq implements Tagged: the request id rides on the job's
+// kernel launches so traces can decompose per-request time.
+func (r *InterOp) SubmitReq(w model.Workload, req int) error {
+	job := &pipeJob{id: r.nextID, req: req, w: w, submitted: r.node.Engine().Now(), epoch: r.epoch}
 	r.nextID++
 	if r.impossible {
 		job.failed = true
@@ -139,7 +144,7 @@ func (r *InterOp) complete(job *pipeJob, now simclock.Time) {
 	}
 	if r.onDone != nil {
 		r.onDone(Completion{ID: job.id, Workload: job.w, Submitted: job.submitted,
-			Done: now, Failed: job.failed})
+			Done: now, Failed: job.failed, Req: job.req})
 	}
 }
 
@@ -238,6 +243,7 @@ func (r *InterOp) runStage(job *pipeJob, s int) {
 			ComputeDemand: k.ComputeDemand,
 			MemBWDemand:   k.MemBWDemand,
 			Batch:         job.id,
+			Req:           job.req,
 		}
 		if i == last && !stage.HasSend {
 			spec.OnDone = func(now simclock.Time) { r.finishStage(job, s, dev, now) }
@@ -256,13 +262,13 @@ func (r *InterOp) runStage(job *pipeJob, s int) {
 		st.Launch(gpusim.KernelSpec{
 			Name: k.Name, Class: k.Class, Duration: k.Duration,
 			ComputeDemand: k.ComputeDemand, MemBWDemand: k.MemBWDemand,
-			Coll: coll, Batch: job.id,
+			Coll: coll, Batch: job.id, Req: job.req,
 			OnDone: func(now simclock.Time) { r.finishStage(job, s, dev, now) },
 		})
 		r.recv[recvDev].Launch(gpusim.KernelSpec{
 			Name: k.Name + "_recv", Class: k.Class, Duration: k.Duration,
 			ComputeDemand: k.ComputeDemand, MemBWDemand: k.MemBWDemand,
-			Coll: coll, Batch: job.id,
+			Coll: coll, Batch: job.id, Req: job.req,
 			OnDone: func(now simclock.Time) { r.advanceJob(job, next, now) },
 		})
 	}

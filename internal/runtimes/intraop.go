@@ -35,6 +35,7 @@ type IntraOp struct {
 
 type intraJob struct {
 	id        int
+	req       int
 	w         model.Workload
 	submitted simclock.Time
 	kernels   []parallel.KernelDesc
@@ -65,8 +66,12 @@ func (r *IntraOp) Name() string { return "Intra-Op" }
 func (r *IntraOp) SetOnDone(fn func(Completion)) { r.onDone = fn }
 
 // Submit implements Runtime.
-func (r *IntraOp) Submit(w model.Workload) error {
-	job := &intraJob{id: r.nextID, w: w, submitted: r.node.Engine().Now()}
+func (r *IntraOp) Submit(w model.Workload) error { return r.SubmitReq(w, -1) }
+
+// SubmitReq implements Tagged: the request id rides on the batch's
+// kernel launches so traces can decompose per-request time.
+func (r *IntraOp) SubmitReq(w model.Workload, req int) error {
+	job := &intraJob{id: r.nextID, req: req, w: w, submitted: r.node.Engine().Now()}
 	r.nextID++
 	if r.impossible {
 		r.complete(job, r.node.Engine().Now(), true)
@@ -96,7 +101,7 @@ func (r *IntraOp) maybeStart() {
 func (r *IntraOp) complete(job *intraJob, now simclock.Time, failed bool) {
 	if r.onDone != nil {
 		r.onDone(Completion{ID: job.id, Workload: job.w, Submitted: job.submitted,
-			Done: now, Failed: failed})
+			Done: now, Failed: failed, Req: job.req})
 	}
 }
 
@@ -186,6 +191,7 @@ func (r *IntraOp) run(job *intraJob) {
 				MemBWDemand:   k.MemBWDemand,
 				Coll:          colls[i],
 				Batch:         job.id,
+				Req:           job.req,
 				OnDone:        done,
 			})
 		}

@@ -45,7 +45,7 @@ func NewLiger(node *gpusim.Node, compiler *parallel.Compiler, spec model.Spec, c
 	sched.SetOnBatchDone(func(b *liger.Batch, now simclock.Time) {
 		if r.onDone != nil {
 			r.onDone(Completion{ID: b.ID, Workload: b.Workload, Submitted: b.SubmittedAt,
-				Done: now, Failed: b.Failed})
+				Done: now, Failed: b.Failed, Req: b.Req})
 		}
 	})
 	node.OnFail(r.handleFail)
@@ -59,15 +59,20 @@ func (r *Liger) Name() string { return "Liger" }
 func (r *Liger) SetOnDone(fn func(Completion)) { r.onDone = fn }
 
 // Submit implements Runtime.
-func (r *Liger) Submit(w model.Workload) error {
+func (r *Liger) Submit(w model.Workload) error { return r.SubmitReq(w, -1) }
+
+// SubmitReq implements Tagged: the request id rides on the batch and
+// its kernel launches so traces can decompose per-request time.
+func (r *Liger) SubmitReq(w model.Workload, req int) error {
 	b, err := r.assembler.Assemble(w)
 	if err != nil {
 		return err
 	}
+	b.Req = req
 	if r.impossible {
 		if r.onDone != nil {
 			now := r.node.Engine().Now()
-			r.onDone(Completion{ID: b.ID, Workload: w, Submitted: now, Done: now, Failed: true})
+			r.onDone(Completion{ID: b.ID, Workload: w, Submitted: now, Done: now, Failed: true, Req: req})
 		}
 		return nil
 	}

@@ -24,6 +24,9 @@ type Completion struct {
 	Submitted simclock.Time
 	Done      simclock.Time
 	Failed    bool
+	// Req is the serving-layer request id the batch was submitted under
+	// (SubmitReq), or -1 for untagged Submit calls.
+	Req int
 }
 
 // Latency is the batch's pending + execution time (the paper's latency
@@ -37,6 +40,14 @@ type Runtime interface {
 	Name() string
 	Submit(w model.Workload) error
 	SetOnDone(func(Completion))
+}
+
+// Tagged is implemented by runtimes whose submissions carry a
+// serving-layer request id down to kernel launches, so traces and
+// metrics can decompose per-request latency. Submit(w) is equivalent
+// to SubmitReq(w, -1).
+type Tagged interface {
+	SubmitReq(w model.Workload, req int) error
 }
 
 // Elastic is implemented by runtimes that survive permanent device

@@ -1,0 +1,64 @@
+package runtimes
+
+import (
+	"testing"
+	"time"
+
+	"liger/internal/model"
+	"liger/internal/simclock"
+	"liger/internal/trace"
+)
+
+// Request ids submitted via Tagged must come back on completions and
+// reach every kernel span of the batch; untagged submissions stay -1.
+func TestRequestIDsThreadToCompletionsAndSpans(t *testing.T) {
+	for _, name := range allRuntimes {
+		t.Run(name, func(t *testing.T) {
+			eng, node, comp := rig(t)
+			rec := trace.NewRecorder()
+			node.SetTracer(rec)
+			rt := buildRuntime(t, name, node, comp, model.Tiny())
+			tagged, ok := rt.(Tagged)
+			if !ok {
+				t.Fatalf("%s does not implement Tagged", name)
+			}
+			var done []Completion
+			rt.SetOnDone(func(c Completion) { done = append(done, c) })
+			w := model.Workload{Batch: 2, SeqLen: 16, Phase: model.Context}
+			eng.At(0, func(simclock.Time) {
+				if err := tagged.SubmitReq(w, 7); err != nil {
+					t.Error(err)
+				}
+			})
+			eng.At(simclock.Time(200*time.Microsecond), func(simclock.Time) {
+				if err := rt.Submit(w); err != nil {
+					t.Error(err)
+				}
+			})
+			eng.Run()
+			if len(done) != 2 {
+				t.Fatalf("%d of 2 completed", len(done))
+			}
+			reqs := map[int]bool{}
+			for _, c := range done {
+				reqs[c.Req] = true
+			}
+			if !reqs[7] || !reqs[-1] {
+				t.Fatalf("completion req ids = %v, want {7, -1}", reqs)
+			}
+			sawTagged := false
+			for _, sp := range rec.Spans() {
+				switch sp.Req {
+				case 7:
+					sawTagged = true
+				case -1:
+				default:
+					t.Fatalf("span %q carries unexpected req %d", sp.Name, sp.Req)
+				}
+			}
+			if !sawTagged {
+				t.Fatal("no kernel span carries the submitted request id")
+			}
+		})
+	}
+}

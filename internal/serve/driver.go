@@ -122,6 +122,35 @@ type Result struct {
 	// RecoveryTime is the total sim time the runtime reported
 	// "reconfiguring" (time-to-recover, summed over failovers).
 	RecoveryTime time.Duration
+
+	// PerRequest holds the serving-side latency decomposition, one entry
+	// per arrival in arrival order (RunPolicy only).
+	PerRequest []RequestLat
+}
+
+// RequestLat decomposes one arrival's serving-side latency. The
+// on-device split (compute/comm/stall) comes from the trace recorder
+// (trace.Recorder.ReqBreakdown), keyed by Req.
+type RequestLat struct {
+	// Req is the request id: the arrival's index, as threaded to the
+	// runtime via runtimes.Tagged.
+	Req int
+	// Arrival and Done are sim instants (Done is the terminal
+	// resolution: final success or final failure; for a shed arrival it
+	// equals Arrival).
+	Arrival time.Duration
+	Done    time.Duration
+	// QueueWait is arrival → first submission to the runtime: admission
+	// queueing plus any pre-submission deferral.
+	QueueWait time.Duration
+	// Deferral is the total time the request sat parked while the
+	// runtime reconfigured after a device failure (both the deferred
+	// first submission and parked retries).
+	Deferral time.Duration
+	// Retries counts this request's resubmissions after failures.
+	Retries int
+	Failed  bool
+	Shed    bool
 }
 
 // ThroughputBatches returns completed batches per second.
@@ -186,11 +215,21 @@ func RunPolicy(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival, po
 		return res, err
 	}
 	elastic, _ := rt.(runtimes.Elastic)
+	tagged, _ := rt.(runtimes.Tagged)
+	// PerRequest tracks every arrival's serving-side decomposition; the
+	// request id is the arrival index, threaded to tagged runtimes.
+	res.PerRequest = make([]RequestLat, len(arrivals))
+	for i := range res.PerRequest {
+		res.PerRequest[i] = RequestLat{Req: i, Arrival: time.Duration(arrivals[i].At)}
+	}
 	// Runtimes complete batches with IDs assigned in submission order;
 	// subs maps completion ID back to the originating arrival + attempt.
 	type submission struct {
 		arrival int
 		attempt int
+		// parkedAt is when the entry was parked during a reconfiguration
+		// (valid for entries in the parked list only).
+		parkedAt simclock.Time
 	}
 	var subs []submission
 	var submitErr error
@@ -205,12 +244,23 @@ func RunPolicy(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival, po
 	var parked []submission
 	submit := func(arrival, attempt int) {
 		subs = append(subs, submission{arrival: arrival, attempt: attempt})
-		if err := rt.Submit(arrivals[arrival].Workload); err != nil && submitErr == nil {
+		if attempt == 0 {
+			res.PerRequest[arrival].QueueWait =
+				time.Duration(eng.Now()) - res.PerRequest[arrival].Arrival
+		}
+		var err error
+		if tagged != nil {
+			err = tagged.SubmitReq(arrivals[arrival].Workload, arrival)
+		} else {
+			err = rt.Submit(arrivals[arrival].Workload)
+		}
+		if err != nil && submitErr == nil {
 			submitErr = err
 		}
 	}
 	retryAfterBackoff := func(arrival, attempt int) {
 		res.Retries++
+		res.PerRequest[arrival].Retries++
 		eng.After(pol.backoffFor(attempt), func(simclock.Time) {
 			submit(arrival, attempt)
 		})
@@ -223,13 +273,16 @@ func RunPolicy(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival, po
 		if c.Failed {
 			if sub.attempt < pol.MaxRetries {
 				if elastic != nil && elastic.Reconfiguring() {
-					parked = append(parked, submission{arrival: sub.arrival, attempt: sub.attempt + 1})
+					parked = append(parked, submission{arrival: sub.arrival,
+						attempt: sub.attempt + 1, parkedAt: c.Done})
 					return
 				}
 				retryAfterBackoff(sub.arrival, sub.attempt+1)
 			} else {
 				res.Failed++
 				inflight--
+				res.PerRequest[sub.arrival].Failed = true
+				res.PerRequest[sub.arrival].Done = time.Duration(c.Done)
 			}
 			return
 		}
@@ -238,6 +291,7 @@ func RunPolicy(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival, po
 		res.Requests += c.Workload.Batch
 		lat := time.Duration(c.Done - arrivals[sub.arrival].At)
 		res.Latencies = append(res.Latencies, lat)
+		res.PerRequest[sub.arrival].Done = time.Duration(c.Done)
 		if pol.Deadline > 0 && lat > pol.Deadline {
 			res.DeadlineMisses++
 		}
@@ -247,6 +301,7 @@ func RunPolicy(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival, po
 			flush := parked
 			parked = nil
 			for _, p := range flush {
+				res.PerRequest[p.arrival].Deferral += time.Duration(now - p.parkedAt)
 				if p.attempt > 0 {
 					retryAfterBackoff(p.arrival, p.attempt)
 				} else {
@@ -257,15 +312,17 @@ func RunPolicy(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival, po
 	}
 	for i, a := range arrivals {
 		arrival := i
-		eng.At(a.At, func(simclock.Time) {
+		eng.At(a.At, func(now simclock.Time) {
 			if pol.QueueLimit > 0 && inflight >= pol.QueueLimit {
 				res.Shed++
+				res.PerRequest[arrival].Shed = true
+				res.PerRequest[arrival].Done = time.Duration(now)
 				return
 			}
 			inflight++
 			if elastic != nil && elastic.Reconfiguring() {
 				res.Deferred++
-				parked = append(parked, submission{arrival: arrival})
+				parked = append(parked, submission{arrival: arrival, parkedAt: now})
 				return
 			}
 			submit(arrival, 0)
@@ -283,9 +340,8 @@ func RunPolicy(eng *simclock.Engine, rt runtimes.Runtime, arrivals []Arrival, po
 			res.Completed+res.Failed+res.Shed, len(arrivals), res.Completed, res.Failed, res.Shed)
 	}
 	res.AvgLatency = stats.Mean(res.Latencies)
-	res.P50 = stats.Percentile(res.Latencies, 50)
-	res.P95 = stats.Percentile(res.Latencies, 95)
-	res.P99 = stats.Percentile(res.Latencies, 99)
+	pcts := stats.Percentiles(res.Latencies, 50, 95, 99)
+	res.P50, res.P95, res.P99 = pcts[0], pcts[1], pcts[2]
 	res.Makespan = time.Duration(lastDone - arrivals[0].At)
 	return res, nil
 }

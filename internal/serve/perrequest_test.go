@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"liger/internal/simclock"
+)
+
+// PerRequest must decompose each arrival's serving-side latency:
+// deferral while the runtime reconfigures, queue wait before the first
+// submission, per-request retry counts, and terminal flags.
+func TestPerRequestDecomposition(t *testing.T) {
+	eng := simclock.New()
+	rt := &elasticStub{fakeRuntime: fakeRuntime{eng: eng, service: 5 * time.Millisecond}, failNext: 1}
+	rt.window(eng, 3*time.Millisecond, 30*time.Millisecond)
+	// Arrival 0 submits at 0 and fails at 5ms inside the window: its
+	// retry parks until the 30ms resume and pays 2ms backoff. Arrival 1
+	// lands at 10ms inside the window: deferred, it submits at the 30ms
+	// flush and serves 30→35ms; the retry resubmits at 32ms, queues
+	// behind it in the single-server fake, and serves 35→40ms.
+	arr := ctxArrivals(0, 10*time.Millisecond)
+	res, err := RunPolicy(eng, rt, arr, Policy{MaxRetries: 1, Backoff: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRequest) != 2 {
+		t.Fatalf("PerRequest has %d entries, want one per arrival", len(res.PerRequest))
+	}
+	r0 := res.PerRequest[0]
+	if r0.Req != 0 || r0.Arrival != 0 || r0.QueueWait != 0 {
+		t.Fatalf("request 0 identity wrong: %+v", r0)
+	}
+	if r0.Retries != 1 || r0.Failed || r0.Shed {
+		t.Fatalf("request 0 should retry once and succeed: %+v", r0)
+	}
+	// The failed attempt parked at 5ms and flushed at the 30ms resume.
+	if r0.Deferral != 25*time.Millisecond {
+		t.Fatalf("request 0 deferral %v, want 25ms", r0.Deferral)
+	}
+	if r0.Done != 40*time.Millisecond {
+		t.Fatalf("request 0 done at %v, want 40ms", r0.Done)
+	}
+	r1 := res.PerRequest[1]
+	if r1.Arrival != 10*time.Millisecond || r1.Deferral != 20*time.Millisecond {
+		t.Fatalf("deferred arrival decomposition wrong: %+v", r1)
+	}
+	// Queue wait spans arrival to first submission — the deferral window.
+	if r1.QueueWait != 20*time.Millisecond {
+		t.Fatalf("request 1 queue wait %v, want 20ms", r1.QueueWait)
+	}
+	if r1.Done <= r1.Arrival+r1.QueueWait {
+		t.Fatalf("request 1 done %v before service completed: %+v", r1.Done, r1)
+	}
+}
+
+// Shed and terminally failed arrivals must be flagged in PerRequest
+// with a terminal instant.
+func TestPerRequestTerminalFlags(t *testing.T) {
+	eng := simclock.New()
+	rt := &elasticStub{fakeRuntime: fakeRuntime{eng: eng, service: 100 * time.Millisecond}, failNext: 99}
+	arr := ctxArrivals(0, time.Millisecond, 2*time.Millisecond)
+	res, err := RunPolicy(eng, rt, arr, Policy{MaxRetries: 0, QueueLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := res.PerRequest[0]
+	if !r0.Failed || r0.Shed || r0.Done != 100*time.Millisecond {
+		t.Fatalf("exhausted request not flagged failed at completion: %+v", r0)
+	}
+	for _, r := range res.PerRequest[1:] {
+		if !r.Shed || r.Done != r.Arrival {
+			t.Fatalf("shed request not flagged at its arrival instant: %+v", r)
+		}
+	}
+}

@@ -129,9 +129,8 @@ func RunRequests(eng *simclock.Engine, rt runtimes.Runtime, arrivals []RequestAr
 	}
 	res.Batches = batcher.BatchesEmitted
 	res.AvgLatency = stats.Mean(latencies)
-	res.P50 = stats.Percentile(latencies, 50)
-	res.P95 = stats.Percentile(latencies, 95)
-	res.P99 = stats.Percentile(latencies, 99)
+	pcts := stats.Percentiles(latencies, 50, 95, 99)
+	res.P50, res.P95, res.P99 = pcts[0], pcts[1], pcts[2]
 	res.AvgBatchingDelay = stats.Mean(waits)
 	res.Makespan = time.Duration(lastDone - arrivals[0].At)
 	return res, nil

@@ -44,6 +44,33 @@ func Percentile(ds []time.Duration, p float64) time.Duration {
 	return sorted[rank-1]
 }
 
+// Percentiles returns the nearest-rank percentile for each p in ps,
+// sorting one copy of ds once. Each result is identical to the
+// corresponding Percentile(ds, p) call.
+func Percentiles(ds []time.Duration, ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	if len(ds) == 0 {
+		return out
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, p := range ps {
+		if p < 0 {
+			p = 0
+		}
+		if p > 100 {
+			p = 100
+		}
+		rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+		if rank < 1 {
+			rank = 1
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out
+}
+
 // Max returns the maximum (0 for empty input).
 func Max(ds []time.Duration) time.Duration {
 	var m time.Duration

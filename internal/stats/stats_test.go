@@ -51,6 +51,42 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// Property: Percentiles must be value-identical to N independent
+// Percentile calls — it only changes the number of sorts, not results.
+func TestPercentilesMatchesPercentile(t *testing.T) {
+	ps := []float64{0, 1, 25, 50, 75, 90, 95, 99, 100, -3, 150}
+	f := func(raw []uint16) bool {
+		d := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			d[i] = time.Duration(v) * time.Microsecond
+		}
+		got := Percentiles(d, ps...)
+		for i, p := range ps {
+			if got[i] != Percentile(d, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Percentiles(nil, 50, 99); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("Percentiles(nil) = %v, want zeros", got)
+	}
+	if got := Percentiles(ds(1, 2, 3)); len(got) != 0 {
+		t.Fatalf("Percentiles with no ps = %v, want empty", got)
+	}
+}
+
+func TestPercentilesDoesNotMutate(t *testing.T) {
+	d := ds(5, 1, 3)
+	Percentiles(d, 50, 99)
+	if d[0] != 5*time.Microsecond {
+		t.Fatal("Percentiles sorted the caller's slice")
+	}
+}
+
 func TestPercentileDoesNotMutate(t *testing.T) {
 	d := ds(5, 1, 3)
 	Percentile(d, 50)

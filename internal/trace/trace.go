@@ -9,78 +9,572 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"strconv"
 
 	"liger/internal/gpusim"
 	"liger/internal/simclock"
 )
 
-// Span is one recorded kernel execution.
+// Span is one recorded kernel execution. Batch, Req and Coll are -1
+// when the launch carried no scheduling metadata (raw KernelEnd
+// callers, local kernels). Cancelled is non-empty when the kernel was
+// truncated by a teardown instead of completing (see
+// gpusim.CancelDeviceFail / gpusim.CancelCollectiveAbort).
 type Span struct {
-	Device int
-	Name   string
-	Class  gpusim.KernelClass
-	Start  simclock.Time
-	End    simclock.Time
+	Device    int
+	Name      string
+	Class     gpusim.KernelClass
+	Start     simclock.Time
+	End       simclock.Time
+	Batch     int
+	Req       int
+	Coll      int
+	Cancelled string
 }
 
-// Recorder collects kernel spans; it implements gpusim.Tracer.
+// WaitSpan is one device's rendezvous wait inside a collective: from
+// the member's admission (it holds SMs while spinning on its peers) to
+// the instant the group starts its transfer — or aborts.
+type WaitSpan struct {
+	Device  int
+	Coll    int
+	Batch   int
+	Req     int
+	Start   simclock.Time
+	End     simclock.Time
+	Aborted bool
+}
+
+// RateSample is one device's fault-model rate change: Speed scales
+// kernel progress, Link scales interconnect throughput.
+type RateSample struct {
+	Device int
+	Speed  float64
+	Link   float64
+	At     simclock.Time
+}
+
+// FailEvent marks a permanent device failure.
+type FailEvent struct {
+	Device int
+	At     simclock.Time
+}
+
+// RecoveryWindow is one failover reconfiguration epoch: from the
+// runtime observing the failure to serving resuming on the survivors.
+type RecoveryWindow struct {
+	Start simclock.Time
+	End   simclock.Time
+}
+
+// QueueSample is one launch-queue depth observation (commands issued
+// to a device's streams and not yet retired).
+type QueueSample struct {
+	Device int
+	Depth  int
+	At     simclock.Time
+}
+
+// EnqueueEvent marks one member launch of a collective.
+type EnqueueEvent struct {
+	Coll   int
+	Size   int
+	Device int
+	At     simclock.Time
+}
+
+// CollectiveCounts aggregates collective lifecycle totals.
+type CollectiveCounts struct {
+	Enqueued int // member launches
+	Started  int // groups whose rendezvous completed
+	Finished int // groups that completed their transfer
+	Aborted  int // groups torn down by the watchdog or a failure
+}
+
+// ReqLatency is the trace-side decomposition of one request's time on
+// the devices: union of its compute spans, union of its comm spans
+// (rendezvous waits included — that is where the launch-lag pathology
+// shows), and the stall gaps in between (first kernel start to last
+// kernel end not covered by any of its spans).
+type ReqLatency struct {
+	Compute   simclock.Time
+	Comm      simclock.Time
+	Stall     simclock.Time
+	Kernels   int
+	Cancelled int
+}
+
+// Recorder collects kernel spans and, when installed via
+// gpusim.SetTracer, the extended observability events: it implements
+// gpusim.Tracer, SpanTracer, CollectiveTracer, FaultTracer and
+// QueueTracer.
 type Recorder struct {
-	spans []Span
+	spans    []Span
+	waits    []WaitSpan
+	rates    []RateSample
+	fails    []FailEvent
+	recovery []RecoveryWindow
+	queue    []QueueSample
+	enqueues []EnqueueEvent
+	counts   CollectiveCounts
+
+	// openWaits holds rendezvous waits per collective until the group
+	// starts or aborts; lastQ coalesces same-instant queue samples.
+	openWaits map[int][]WaitSpan
+	lastQ     map[int]int
+	recovOpen bool
 }
 
 // NewRecorder returns an empty recorder.
-func NewRecorder() *Recorder { return &Recorder{} }
+func NewRecorder() *Recorder {
+	return &Recorder{openWaits: make(map[int][]WaitSpan), lastQ: make(map[int]int)}
+}
 
 // KernelStart implements gpusim.Tracer.
 func (r *Recorder) KernelStart(int, string, gpusim.KernelClass, simclock.Time) {}
 
-// KernelEnd implements gpusim.Tracer.
+// KernelEnd implements gpusim.Tracer. It records a span with no
+// scheduling metadata; the node prefers the KernelSpan path, so this
+// only runs for direct callers.
 func (r *Recorder) KernelEnd(dev int, name string, class gpusim.KernelClass, start, end simclock.Time) {
-	r.spans = append(r.spans, Span{Device: dev, Name: name, Class: class, Start: start, End: end})
+	r.spans = append(r.spans, Span{Device: dev, Name: name, Class: class,
+		Start: start, End: end, Batch: -1, Req: -1, Coll: -1})
+}
+
+// KernelSpan implements gpusim.SpanTracer — the metadata-rich path the
+// node uses instead of KernelEnd.
+func (r *Recorder) KernelSpan(sp gpusim.KernelSpan) {
+	r.spans = append(r.spans, Span{Device: sp.Device, Name: sp.Name, Class: sp.Class,
+		Start: sp.Start, End: sp.End, Batch: sp.Batch, Req: sp.Req, Coll: sp.Coll,
+		Cancelled: sp.Cancelled})
+}
+
+// CollectiveEnqueue implements gpusim.CollectiveTracer.
+func (r *Recorder) CollectiveEnqueue(coll, size, dev int, at simclock.Time) {
+	r.enqueues = append(r.enqueues, EnqueueEvent{Coll: coll, Size: size, Device: dev, At: at})
+	r.counts.Enqueued++
+}
+
+// RendezvousBegin implements gpusim.CollectiveTracer: the member now
+// occupies its device while spinning on its peers.
+func (r *Recorder) RendezvousBegin(coll, dev, batch, req int, at simclock.Time) {
+	r.openWaits[coll] = append(r.openWaits[coll],
+		WaitSpan{Device: dev, Coll: coll, Batch: batch, Req: req, Start: at})
+}
+
+// TransferStart implements gpusim.CollectiveTracer: the rendezvous
+// completed, closing every member's wait span.
+func (r *Recorder) TransferStart(coll int, at simclock.Time) {
+	r.closeWaits(coll, at, false)
+	r.counts.Started++
+}
+
+// CollectiveFinish implements gpusim.CollectiveTracer.
+func (r *Recorder) CollectiveFinish(int, simclock.Time) { r.counts.Finished++ }
+
+// CollectiveAbort implements gpusim.CollectiveTracer: pending waits
+// close flagged, since the transfer never happened.
+func (r *Recorder) CollectiveAbort(coll int, at simclock.Time) {
+	r.closeWaits(coll, at, true)
+	r.counts.Aborted++
+}
+
+func (r *Recorder) closeWaits(coll int, at simclock.Time, aborted bool) {
+	for _, w := range r.openWaits[coll] {
+		w.End = at
+		w.Aborted = aborted
+		r.waits = append(r.waits, w)
+	}
+	delete(r.openWaits, coll)
+}
+
+// RateChange implements gpusim.FaultTracer.
+func (r *Recorder) RateChange(dev int, speed, link float64, at simclock.Time) {
+	r.rates = append(r.rates, RateSample{Device: dev, Speed: speed, Link: link, At: at})
+}
+
+// DeviceFailed implements gpusim.FaultTracer.
+func (r *Recorder) DeviceFailed(dev int, at simclock.Time) {
+	r.fails = append(r.fails, FailEvent{Device: dev, At: at})
+}
+
+// RecoveryBegin implements gpusim.FaultTracer.
+func (r *Recorder) RecoveryBegin(at simclock.Time) {
+	if r.recovOpen {
+		return
+	}
+	r.recovOpen = true
+	r.recovery = append(r.recovery, RecoveryWindow{Start: at, End: -1})
+}
+
+// RecoveryEnd implements gpusim.FaultTracer.
+func (r *Recorder) RecoveryEnd(at simclock.Time) {
+	if !r.recovOpen {
+		return
+	}
+	r.recovOpen = false
+	r.recovery[len(r.recovery)-1].End = at
+}
+
+// QueueDepth implements gpusim.QueueTracer. Same-instant samples for
+// one device coalesce to the last value, so a burst of launches leaves
+// one data point instead of a staircase of intermediate depths.
+func (r *Recorder) QueueDepth(dev, depth int, at simclock.Time) {
+	if i, ok := r.lastQ[dev]; ok && r.queue[i].At == at {
+		r.queue[i].Depth = depth
+		return
+	}
+	r.queue = append(r.queue, QueueSample{Device: dev, Depth: depth, At: at})
+	r.lastQ[dev] = len(r.queue) - 1
 }
 
 // Spans returns the recorded spans in completion order.
 func (r *Recorder) Spans() []Span { return r.spans }
 
-// Reset drops recorded spans.
-func (r *Recorder) Reset() { r.spans = nil }
+// Waits returns the closed rendezvous-wait spans in close order.
+func (r *Recorder) Waits() []WaitSpan { return r.waits }
+
+// RateSamples returns the fault-model rate changes in event order.
+func (r *Recorder) RateSamples() []RateSample { return r.rates }
+
+// Fails returns the permanent device failures in event order.
+func (r *Recorder) Fails() []FailEvent { return r.fails }
+
+// RecoveryWindows returns the failover epochs; an epoch still open at
+// the end of the run has End == -1.
+func (r *Recorder) RecoveryWindows() []RecoveryWindow { return r.recovery }
+
+// QueueSamples returns the coalesced launch-queue depth samples.
+func (r *Recorder) QueueSamples() []QueueSample { return r.queue }
+
+// Counts returns the collective lifecycle totals.
+func (r *Recorder) Counts() CollectiveCounts { return r.counts }
+
+// Reset drops all recorded events.
+func (r *Recorder) Reset() {
+	*r = Recorder{openWaits: make(map[int][]WaitSpan), lastQ: make(map[int]int)}
+}
+
+// ReqBreakdown decomposes device time per request id: spans and waits
+// tagged Req < 0 are ignored. Compute and Comm are interval unions (a
+// request's kernels on different devices overlap), Stall is the
+// request's first-start→last-end wall time not covered by any of its
+// spans or waits.
+func (r *Recorder) ReqBreakdown() map[int]ReqLatency {
+	type acc struct {
+		compute, comm, all []interval
+		kernels, cancelled int
+	}
+	byReq := make(map[int]*acc)
+	get := func(req int) *acc {
+		a := byReq[req]
+		if a == nil {
+			a = &acc{}
+			byReq[req] = a
+		}
+		return a
+	}
+	for _, s := range r.spans {
+		if s.Req < 0 {
+			continue
+		}
+		a := get(s.Req)
+		iv := interval{s.Start, s.End}
+		a.all = append(a.all, iv)
+		if s.Class == gpusim.Comm {
+			a.comm = append(a.comm, iv)
+		} else {
+			a.compute = append(a.compute, iv)
+		}
+		a.kernels++
+		if s.Cancelled != "" {
+			a.cancelled++
+		}
+	}
+	for _, w := range r.waits {
+		if w.Req < 0 {
+			continue
+		}
+		a := get(w.Req)
+		iv := interval{w.Start, w.End}
+		a.all = append(a.all, iv)
+		a.comm = append(a.comm, iv)
+	}
+	out := make(map[int]ReqLatency, len(byReq))
+	for req, a := range byReq {
+		var lo, hi simclock.Time
+		for i, iv := range a.all {
+			if i == 0 || iv.start < lo {
+				lo = iv.start
+			}
+			if iv.end > hi {
+				hi = iv.end
+			}
+		}
+		out[req] = ReqLatency{
+			Compute:   unionTime(a.compute),
+			Comm:      unionTime(a.comm),
+			Stall:     (hi - lo) - unionTime(a.all),
+			Kernels:   a.kernels,
+			Cancelled: a.cancelled,
+		}
+	}
+	return out
+}
+
+type interval struct{ start, end simclock.Time }
+
+// unionTime returns the total length covered by the intervals,
+// counting overlaps once. Mutates ivs' order.
+func unionTime(ivs []interval) simclock.Time {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+	var total simclock.Time
+	cur := ivs[0]
+	for _, iv := range ivs[1:] {
+		if iv.start > cur.end {
+			total += cur.end - cur.start
+			cur = iv
+			continue
+		}
+		if iv.end > cur.end {
+			cur.end = iv.end
+		}
+	}
+	total += cur.end - cur.start
+	return total
+}
 
 // chromeEvent is one entry of the Chrome tracing JSON array format
 // (chrome://tracing / Perfetto compatible).
 type chromeEvent struct {
-	Name  string            `json:"name"`
-	Cat   string            `json:"cat"`
-	Phase string            `json:"ph"`
-	TS    float64           `json:"ts"`  // microseconds
-	Dur   float64           `json:"dur"` // microseconds
-	PID   int               `json:"pid"`
-	TID   int               `json:"tid"`
-	Args  map[string]string `json:"args,omitempty"`
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds
+	Dur   float64        `json:"dur"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
 }
 
-// WriteChromeTrace serializes the spans as a Chrome trace. Devices map
-// to processes; the compute/comm kernel classes map to two tracks per
-// device.
+// Chrome-trace track layout: each device is a process with a compute
+// track, a comm track, and a rendezvous-wait track; node-wide events
+// (recovery windows) live on a dedicated process.
+const (
+	tidCompute = 0
+	tidComm    = 1
+	tidWait    = 2
+	// globalPID hosts node-wide (not per-device) events.
+	globalPID = 1 << 20
+)
+
+func usec(t simclock.Time) float64 { return float64(t) / 1e3 }
+
+// WriteChromeTrace serializes every recorded event as a Chrome trace.
+// Devices map to processes; kernel spans land on the compute/comm
+// tracks, rendezvous waits on their own track, fault-model rates and
+// launch-queue depths become counter tracks, device failures instant
+// events, and recovery windows spans on a node-wide process. Output is
+// byte-deterministic: events sort stably by (TS, PID, TID, Name) and
+// args serialize with sorted keys.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	events := make([]chromeEvent, 0, len(r.spans))
+	events := make([]chromeEvent, 0,
+		2*len(r.spans)+len(r.waits)+len(r.rates)+len(r.queue)+len(r.fails)+len(r.enqueues))
 	for _, s := range r.spans {
-		tid := 0
+		tid := tidCompute
 		if s.Class == gpusim.Comm {
-			tid = 1
+			tid = tidComm
+		}
+		var args map[string]any
+		if s.Batch >= 0 || s.Req >= 0 || s.Coll >= 0 || s.Cancelled != "" {
+			args = map[string]any{}
+			if s.Batch >= 0 {
+				args["batch"] = s.Batch
+			}
+			if s.Req >= 0 {
+				args["req"] = s.Req
+			}
+			if s.Coll >= 0 {
+				args["coll"] = s.Coll
+			}
+			if s.Cancelled != "" {
+				args["cancelled"] = s.Cancelled
+			}
 		}
 		events = append(events, chromeEvent{
-			Name:  s.Name,
-			Cat:   s.Class.String(),
-			Phase: "X",
-			TS:    float64(s.Start) / 1e3,
-			Dur:   float64(s.End-s.Start) / 1e3,
-			PID:   s.Device,
-			TID:   tid,
+			Name: s.Name, Cat: s.Class.String(), Phase: "X",
+			TS: usec(s.Start), Dur: usec(s.End - s.Start),
+			PID: s.Device, TID: tid, Args: args,
 		})
 	}
-	sort.Slice(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	for _, ws := range r.waits {
+		args := map[string]any{"coll": ws.Coll}
+		if ws.Batch >= 0 {
+			args["batch"] = ws.Batch
+		}
+		if ws.Req >= 0 {
+			args["req"] = ws.Req
+		}
+		if ws.Aborted {
+			args["aborted"] = true
+		}
+		events = append(events, chromeEvent{
+			Name: "rendezvous-wait", Cat: "wait", Phase: "X",
+			TS: usec(ws.Start), Dur: usec(ws.End - ws.Start),
+			PID: ws.Device, TID: tidWait, Args: args,
+		})
+	}
+	for _, e := range r.enqueues {
+		events = append(events, chromeEvent{
+			Name: "coll-enqueue", Cat: "collective", Phase: "i",
+			TS: usec(e.At), PID: e.Device, TID: tidComm, Scope: "t",
+			Args: map[string]any{"coll": e.Coll, "size": e.Size},
+		})
+	}
+	for _, rs := range r.rates {
+		events = append(events, chromeEvent{
+			Name: "rate", Cat: "fault", Phase: "C",
+			TS: usec(rs.At), PID: rs.Device, TID: tidCompute,
+			Args: map[string]any{"speed": rs.Speed, "link": rs.Link},
+		})
+	}
+	for _, qs := range r.queue {
+		events = append(events, chromeEvent{
+			Name: "queue", Cat: "launch", Phase: "C",
+			TS: usec(qs.At), PID: qs.Device, TID: tidCompute,
+			Args: map[string]any{"depth": qs.Depth},
+		})
+	}
+	for _, f := range r.fails {
+		events = append(events, chromeEvent{
+			Name: "device-fail", Cat: "fault", Phase: "i",
+			TS: usec(f.At), PID: f.Device, TID: tidCompute, Scope: "p",
+		})
+	}
+	for _, rw := range r.recovery {
+		if rw.End < rw.Start {
+			continue // still open at the end of the run
+		}
+		events = append(events, chromeEvent{
+			Name: "recovery", Cat: "fault", Phase: "X",
+			TS: usec(rw.Start), Dur: usec(rw.End - rw.Start),
+			PID: globalPID, TID: 0,
+		})
+	}
+	events = append(events, r.runningCounters()...)
+	events = append(events, r.metadata()...)
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.Name < b.Name
+	})
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
+}
+
+// runningCounters derives per-device "running kernels" counter samples
+// from the span edges, one sample per (instant, device) with the
+// compute and comm resident counts.
+func (r *Recorder) runningCounters() []chromeEvent {
+	type edge struct {
+		at    simclock.Time
+		dev   int
+		class gpusim.KernelClass
+		delta int
+	}
+	edges := make([]edge, 0, 2*len(r.spans))
+	for _, s := range r.spans {
+		edges = append(edges, edge{s.Start, s.Device, s.Class, +1},
+			edge{s.End, s.Device, s.Class, -1})
+	}
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		if edges[i].dev != edges[j].dev {
+			return edges[i].dev < edges[j].dev
+		}
+		return edges[i].delta < edges[j].delta // ends before starts at ties
+	})
+	counts := map[int]*[2]int{}
+	var out []chromeEvent
+	for i := 0; i < len(edges); {
+		at, dev := edges[i].at, edges[i].dev
+		c := counts[dev]
+		if c == nil {
+			c = &[2]int{}
+			counts[dev] = c
+		}
+		for ; i < len(edges) && edges[i].at == at && edges[i].dev == dev; i++ {
+			if edges[i].class == gpusim.Comm {
+				c[1] += edges[i].delta
+			} else {
+				c[0] += edges[i].delta
+			}
+		}
+		out = append(out, chromeEvent{
+			Name: "running", Cat: "util", Phase: "C",
+			TS: usec(at), PID: dev, TID: tidCompute,
+			Args: map[string]any{"compute": c[0], "comm": c[1]},
+		})
+	}
+	return out
+}
+
+// metadata names the processes and threads so Perfetto shows devices
+// and track roles instead of bare ids.
+func (r *Recorder) metadata() []chromeEvent {
+	devs := map[int]bool{}
+	for _, s := range r.spans {
+		devs[s.Device] = true
+	}
+	for _, ws := range r.waits {
+		devs[ws.Device] = true
+	}
+	for _, rs := range r.rates {
+		devs[rs.Device] = true
+	}
+	for _, qs := range r.queue {
+		devs[qs.Device] = true
+	}
+	for _, f := range r.fails {
+		devs[f.Device] = true
+	}
+	ids := make([]int, 0, len(devs))
+	for d := range devs {
+		ids = append(ids, d)
+	}
+	sort.Ints(ids)
+	var out []chromeEvent
+	for _, d := range ids {
+		out = append(out,
+			chromeEvent{Name: "process_name", Phase: "M", PID: d,
+				Args: map[string]any{"name": "GPU " + strconv.Itoa(d)}},
+			chromeEvent{Name: "thread_name", Phase: "M", PID: d, TID: tidCompute,
+				Args: map[string]any{"name": "compute"}},
+			chromeEvent{Name: "thread_name", Phase: "M", PID: d, TID: tidComm,
+				Args: map[string]any{"name": "comm"}},
+			chromeEvent{Name: "thread_name", Phase: "M", PID: d, TID: tidWait,
+				Args: map[string]any{"name": "rendezvous"}},
+		)
+	}
+	if len(r.recovery) > 0 {
+		out = append(out, chromeEvent{Name: "process_name", Phase: "M", PID: globalPID,
+			Args: map[string]any{"name": "node"}})
+	}
+	return out
 }
 
 // OverlapTime returns, per device, the total time during which a

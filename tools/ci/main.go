@@ -17,13 +17,17 @@
 //     batch count, proving the fault scenarios execute end to end
 //  7. a failover race pass: the permanent-device-failure paths across
 //     gpusim, runtimes, liger, and serve under -race
-//  8. a failover smoke + determinism check: `ligerbench -exp failover
-//     -quick` at -parallel 1 and -parallel 4 must produce identical
-//     BENCH_failover.json bytes
+//  8. an observability race pass: the tracer hook, per-request
+//     decomposition, and metrics-export paths under -race
+//  9. a failover smoke + determinism check: `ligerbench -exp failover
+//     -quick -trace-dir` at -parallel 1 and -parallel 4 must produce
+//     identical BENCH_failover.json bytes AND identical per-runtime
+//     Chrome-trace/metrics artifacts, each of which must parse as JSON
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -49,6 +53,10 @@ func main() {
 		{"failover race", []string{"go", "test", "-race",
 			"-run", "Failover|FailDevice|Drain|Backoff|Quiesce",
 			"./internal/gpusim", "./internal/runtimes", "./internal/liger", "./internal/serve"}},
+		{"observability race", []string{"go", "test", "-race",
+			"-run", "Observability|ChromeTrace|Tracer|Truncated|Rendezvous|ReqBreakdown|RequestID|PerRequest|Percentiles|FromRun|WriteJSON",
+			"./internal/trace", "./internal/metrics", "./internal/gpusim",
+			"./internal/runtimes", "./internal/serve", "./internal/stats"}},
 	}
 	if err := gofmtCheck(); err != nil {
 		fmt.Fprintf(os.Stderr, "FAIL gofmt: %v\n", err)
@@ -75,36 +83,71 @@ func main() {
 	fmt.Println("all checks passed")
 }
 
-// failoverDeterminism runs the failover sweep at two worker counts and
-// fails unless both produce byte-identical BENCH_failover.json — the
-// sweep's output must be a pure function of the seed, never of the
-// parallel schedule.
+// failoverDeterminism runs the traced failover sweep at two worker
+// counts and fails unless both produce byte-identical artifacts — the
+// sweep JSON plus every per-runtime Chrome trace and metrics snapshot
+// must be a pure function of the seed, never of the parallel schedule.
+// Each artifact must also parse as JSON (a malformed trace loads as a
+// blank screen in Perfetto, which no test would otherwise notice).
 func failoverDeterminism() error {
 	tmp, err := os.MkdirTemp("", "ci-failover-*")
 	if err != nil {
 		return err
 	}
 	defer os.RemoveAll(tmp)
-	var artifacts [][]byte
+	var artifacts []map[string][]byte
 	for _, workers := range []string{"1", "4"} {
 		dir := filepath.Join(tmp, "p"+workers)
 		cmd := exec.Command("go", "run", "./cmd/ligerbench",
 			"-exp", "failover", "-quick", "-batches", "25", "-seed", "5",
-			"-parallel", workers, "-json", dir)
+			"-parallel", workers, "-json", dir, "-trace-dir", dir)
 		cmd.Stderr = os.Stderr
 		if out, err := cmd.Output(); err != nil {
 			return fmt.Errorf("-parallel %s: %v\n%s", workers, err, out)
 		}
-		buf, err := os.ReadFile(filepath.Join(dir, "BENCH_failover.json"))
+		files, err := readArtifacts(dir)
 		if err != nil {
 			return err
 		}
-		artifacts = append(artifacts, buf)
+		if len(files) < 7 { // sweep JSON + a trace/metrics pair per runtime
+			return fmt.Errorf("-parallel %s: %d artifacts in %s, want >= 7", workers, len(files), dir)
+		}
+		artifacts = append(artifacts, files)
 	}
-	if !bytes.Equal(artifacts[0], artifacts[1]) {
-		return fmt.Errorf("BENCH_failover.json differs between -parallel 1 and -parallel 4")
+	for name, buf := range artifacts[0] {
+		other, ok := artifacts[1][name]
+		if !ok {
+			return fmt.Errorf("%s missing from the -parallel 4 run", name)
+		}
+		if !bytes.Equal(buf, other) {
+			return fmt.Errorf("%s differs between -parallel 1 and -parallel 4", name)
+		}
+		var doc any
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			return fmt.Errorf("%s is not valid JSON: %v", name, err)
+		}
 	}
 	return nil
+}
+
+// readArtifacts loads every regular file of dir by name.
+func readArtifacts(dir string) (map[string][]byte, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		buf, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out[e.Name()] = buf
+	}
+	return out, nil
 }
 
 // gofmtCheck fails when any Go source file under the repo is not
