@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench chaos failover trace
+.PHONY: check build test race vet fmt bench chaos failover trace analyze
 
 check: ## full gate: gofmt + vet + build + race pass + full tests
 	$(GO) run ./tools/ci
@@ -19,7 +19,7 @@ test:
 # engine) plus the fault-injection, deadline/retry, and observability
 # layers get a dedicated -race pass.
 race:
-	$(GO) test -race ./internal/runner ./internal/simclock ./internal/faults ./internal/serve ./internal/trace ./internal/metrics
+	$(GO) test -race ./internal/runner ./internal/simclock ./internal/faults ./internal/serve ./internal/trace ./internal/metrics ./internal/analyze
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +42,11 @@ failover:
 
 # Traced failover demo: one fully traced failure point per runtime,
 # written as Chrome traces (open in Perfetto) plus metrics snapshots
-# under ./traces. See docs/OBSERVABILITY.md.
+# and trace analyses under ./traces. See docs/OBSERVABILITY.md.
 trace:
 	$(GO) run ./cmd/ligerbench -exp failover -quick -batches 50 -trace-dir traces
+
+# Trace-analysis demo: critical path, idle-gap attribution, overlap
+# efficiency and an annotated timeline for a saturated Liger run.
+analyze:
+	$(GO) run ./cmd/ligersim -runtime Liger -batches 40 -rate 20 -explain

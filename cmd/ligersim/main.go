@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"liger/internal/analyze"
 	"liger/internal/core"
 	"liger/internal/hw"
 	"liger/internal/liger"
@@ -51,6 +52,10 @@ func main() {
 		traceIn    = flag.String("tracein", "", "replay a JSON trace file instead of generating one")
 		traceSave  = flag.String("tracesave", "", "save the generated trace as JSON before serving")
 		deadline   = flag.Duration("deadline", 0, "also report goodput/miss rate against this latency SLO")
+		explain    = flag.Bool("explain", false, "print the run's critical path, idle-gap attribution, overlap efficiency and an annotated timeline")
+		topN       = flag.Int("top", 10, "top-N critical-path contributors for -explain")
+		routing    = flag.String("routing", "earliest", "collective routing for -explain: earliest (surface rendezvous stalls) or binding (follow the gating member)")
+		window     = flag.Duration("window", 0, "windowed time-series bucket width for -metrics (0 disables)")
 	)
 	flag.Parse()
 
@@ -89,7 +94,7 @@ func main() {
 
 	opts := core.Options{Node: node, Model: spec, Runtime: kind, Liger: lcfg, LigerSet: true}
 	var recorder *trace.Recorder
-	if *traceOut != "" || *metricsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *explain {
 		recorder = trace.NewRecorder()
 		opts.Tracer = recorder
 	}
@@ -189,6 +194,19 @@ func main() {
 			}
 		}
 	}
+	if *explain {
+		rep := analyze.Analyze(recorder, analyze.Options{Routing: *routing})
+		fmt.Println()
+		if err := rep.WriteText(os.Stdout, *topN); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nannotated timeline (gaps: l=launch d=dependency r=rendezvous R=recovery X=failed .=no-work):\n")
+		tl := trace.NewTimeline(recorder, 100)
+		tl.SetGaps(rep.Gaps.GapMarks())
+		if err := tl.Render(os.Stdout, 0, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -207,7 +225,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := metrics.FromRun(res, recorder).WriteJSON(f); err != nil {
+		if err := metrics.FromRunOpts(res, recorder, metrics.Options{Window: *window}).WriteJSON(f); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {

@@ -1,0 +1,100 @@
+package analyze
+
+import (
+	"sort"
+
+	"liger/internal/simclock"
+)
+
+// iv is a half-open interval [s, e) of virtual time. The interval
+// algebra below (normalize/intersect/subtract/total) is what both the
+// gap attribution and the overlap report are built from.
+type iv struct{ s, e simclock.Time }
+
+// normalize sorts the intervals, drops empties and merges overlaps and
+// adjacencies, returning a minimal sorted disjoint cover.
+func normalize(in []iv) []iv {
+	ivs := make([]iv, 0, len(in))
+	for _, v := range in {
+		if v.e > v.s {
+			ivs = append(ivs, v)
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].s != ivs[j].s {
+			return ivs[i].s < ivs[j].s
+		}
+		return ivs[i].e < ivs[j].e
+	})
+	out := ivs[:0]
+	for _, v := range ivs {
+		if n := len(out); n > 0 && v.s <= out[n-1].e {
+			if v.e > out[n-1].e {
+				out[n-1].e = v.e
+			}
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// intersect returns a ∩ b; both inputs must be normalized.
+func intersect(a, b []iv) []iv {
+	var out []iv
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		s, e := a[i].s, a[i].e
+		if b[j].s > s {
+			s = b[j].s
+		}
+		if b[j].e < e {
+			e = b[j].e
+		}
+		if e > s {
+			out = append(out, iv{s, e})
+		}
+		if a[i].e < b[j].e {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// subtract returns a \ b; both inputs must be normalized.
+func subtract(a, b []iv) []iv {
+	var out []iv
+	j := 0
+	for _, v := range a {
+		s := v.s
+		for j < len(b) && b[j].e <= s {
+			j++
+		}
+		for k := j; k < len(b) && b[k].s < v.e; k++ {
+			if b[k].s > s {
+				out = append(out, iv{s, b[k].s})
+			}
+			if b[k].e > s {
+				s = b[k].e
+			}
+			if s >= v.e {
+				break
+			}
+		}
+		if s < v.e {
+			out = append(out, iv{s, v.e})
+		}
+	}
+	return out
+}
+
+// total sums the lengths of a disjoint interval set.
+func total(ivs []iv) simclock.Time {
+	var t simclock.Time
+	for _, v := range ivs {
+		t += v.e - v.s
+	}
+	return t
+}

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"liger/internal/analyze"
 	"liger/internal/metrics"
 	"liger/internal/runner"
 	"liger/internal/trace"
@@ -15,12 +16,13 @@ import (
 
 // writeFailoverObservability re-runs one fully traced failure point per
 // runtime — device 0 failing at the sweep's first instant — and writes,
-// into cfg.TraceDir, a Chrome trace (failover_<runtime>.trace.json) and
-// a metrics snapshot (failover_<runtime>.metrics.json) for each. The
-// traced points are independent simulations, so they fan across the
-// sweep executor; artifacts are rendered to memory per point and written
-// in fixed kind order, so the files are byte-identical at any -parallel
-// value.
+// into cfg.TraceDir, a Chrome trace (failover_<runtime>.trace.json), a
+// metrics snapshot (failover_<runtime>.metrics.json) and a trace
+// analysis (failover_<runtime>.analysis.json: critical path, idle-gap
+// attribution, overlap efficiency) for each. The traced points are
+// independent simulations, so they fan across the sweep executor;
+// artifacts are rendered to memory per point and written in fixed kind
+// order, so the files are byte-identical at any -parallel value.
 func writeFailoverObservability(s failoverSetup, cfg RunConfig, w io.Writer) error {
 	if cfg.TraceDir == "" {
 		return nil
@@ -29,8 +31,8 @@ func writeFailoverObservability(s failoverSetup, cfg RunConfig, w io.Writer) err
 		return err
 	}
 	type artifact struct {
-		runtime        string
-		trace, metrics []byte
+		runtime                  string
+		trace, metrics, analysis []byte
 	}
 	pts := make([]failoverPoint, len(s.kinds))
 	for i, kind := range s.kinds {
@@ -42,14 +44,17 @@ func writeFailoverObservability(s failoverSetup, cfg RunConfig, w io.Writer) err
 		if err != nil {
 			return artifact{}, err
 		}
-		var tb, mb bytes.Buffer
+		var tb, mb, ab bytes.Buffer
 		if err := rec.WriteChromeTrace(&tb); err != nil {
 			return artifact{}, err
 		}
 		if err := metrics.FromRun(res, rec).WriteJSON(&mb); err != nil {
 			return artifact{}, err
 		}
-		return artifact{runtime: res.Runtime, trace: tb.Bytes(), metrics: mb.Bytes()}, nil
+		if err := analyze.Analyze(rec, analyze.Options{}).WriteJSON(&ab); err != nil {
+			return artifact{}, err
+		}
+		return artifact{runtime: res.Runtime, trace: tb.Bytes(), metrics: mb.Bytes(), analysis: ab.Bytes()}, nil
 	})
 	if err != nil {
 		return err
@@ -58,15 +63,20 @@ func writeFailoverObservability(s failoverSetup, cfg RunConfig, w io.Writer) err
 		slug := runtimeSlug(a.runtime)
 		traceName := "failover_" + slug + ".trace.json"
 		metricsName := "failover_" + slug + ".metrics.json"
+		analysisName := "failover_" + slug + ".analysis.json"
 		if err := os.WriteFile(filepath.Join(cfg.TraceDir, traceName), a.trace, 0o644); err != nil {
 			return err
 		}
 		if err := os.WriteFile(filepath.Join(cfg.TraceDir, metricsName), a.metrics, 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "traced: dev0@%.0f%% under %s -> %s, %s\n",
+		if err := os.WriteFile(filepath.Join(cfg.TraceDir, analysisName), a.analysis, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "traced: dev0@%.0f%% under %s -> %s, %s, %s\n",
 			100*pts[i].atFrac, a.runtime,
-			filepath.Join(cfg.TraceDir, traceName), filepath.Join(cfg.TraceDir, metricsName))
+			filepath.Join(cfg.TraceDir, traceName), filepath.Join(cfg.TraceDir, metricsName),
+			filepath.Join(cfg.TraceDir, analysisName))
 	}
 	return nil
 }

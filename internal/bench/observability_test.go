@@ -41,8 +41,8 @@ func readObservabilityDir(t *testing.T, parallel int) map[string][]byte {
 func TestFailoverObservabilityDeterministicAndValid(t *testing.T) {
 	serial := readObservabilityDir(t, 0)
 	par := readObservabilityDir(t, 4)
-	if len(serial) != 6 {
-		t.Fatalf("%d artifacts, want a trace + metrics pair per runtime (6)", len(serial))
+	if len(serial) != 9 {
+		t.Fatalf("%d artifacts, want a trace + metrics + analysis triple per runtime (9)", len(serial))
 	}
 	for name, buf := range serial {
 		other, ok := par[name]
@@ -120,5 +120,34 @@ func TestFailoverObservabilityContent(t *testing.T) {
 	}
 	if !decomposed {
 		t.Error("no request row carries a device-side compute decomposition")
+	}
+
+	// The analysis artifact must explain the failure: a critical path
+	// tiling the makespan and idle time attributed to the failed device
+	// and the recovery window.
+	var rep struct {
+		Makespan     int64 `json:"Makespan"`
+		CriticalPath struct {
+			Totals map[string]int64 `json:"Totals"`
+		} `json:"CriticalPath"`
+		Gaps struct {
+			Totals map[string]int64 `json:"Totals"`
+		} `json:"Gaps"`
+	}
+	if err := json.Unmarshal(arts["failover_liger.analysis.json"], &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan <= 0 {
+		t.Fatalf("analysis makespan %d, want > 0", rep.Makespan)
+	}
+	var pathSum int64
+	for _, v := range rep.CriticalPath.Totals {
+		pathSum += v
+	}
+	if pathSum != rep.Makespan {
+		t.Fatalf("analysis critical-path totals sum to %d, want makespan %d", pathSum, rep.Makespan)
+	}
+	if rep.Gaps.Totals["device-failed"] == 0 {
+		t.Errorf("analysis attributes no idle time to the failed device: %v", rep.Gaps.Totals)
 	}
 }

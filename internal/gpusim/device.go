@@ -17,6 +17,10 @@ const admitEpsilon = 1e-9
 type connection struct {
 	id           int
 	lastDelivery simclock.Time
+	// lastKernel is the id of the last kernel command delivered on this
+	// connection (-1 if none): the launch-queue serialization edge
+	// reported to DepTracer.
+	lastKernel int
 }
 
 // DeviceStats aggregates utilization over the run; all durations are in
@@ -79,15 +83,19 @@ type Device struct {
 	// yet retired — the launch-queue backlog sampled to QueueTracer.
 	queueDepth int
 
+	// lastFreed is the id of the last kernel to finish on this device:
+	// the capacity predecessor a blocked admission inherits.
+	lastFreed int
+
 	stats      DeviceStats
 	lastSample simclock.Time
 }
 
 func newDevice(n *Node, id, conns int) *Device {
 	d := &Device{node: n, id: id, membwFactor: 1, speed: 1, linkFactor: 1,
-		memCapacity: int64(n.spec.GPU.MemGB * 1e9)}
+		lastFreed: -1, memCapacity: int64(n.spec.GPU.MemGB * 1e9)}
 	for i := 0; i < conns; i++ {
-		d.conns = append(d.conns, &connection{id: i})
+		d.conns = append(d.conns, &connection{id: i, lastKernel: -1})
 	}
 	return d
 }
@@ -231,6 +239,7 @@ func (d *Device) tryAdmit(s *Stream, k *kernelInstance, now simclock.Time) bool 
 	k.lastUpdate = now
 	k.remainingNS = float64(k.spec.Duration)
 	k.rate = 0 // set by recompute / collective join below
+	d.emitDep(k, now)
 	if k.spec.Coll != nil {
 		k.spec.Coll.join(k, now)
 	} else {
@@ -241,6 +250,36 @@ func (d *Device) tryAdmit(s *Stream, k *kernelInstance, now simclock.Time) bool 
 	}
 	d.recompute(now)
 	return true
+}
+
+// emitDep reports the admitted kernel's causal launch record to the
+// DepTracer. A kernel admitted later than its first head attempt sat
+// blocked on SM capacity; the last finish on the device is what freed
+// it.
+func (d *Device) emitDep(k *kernelInstance, now simclock.Time) {
+	dt := d.node.depTracer
+	if dt == nil {
+		return
+	}
+	if !k.headStamped {
+		k.headStamped = true
+		k.headAt = now
+		k.headCause = CauseDelivery
+	}
+	if now > k.headAt {
+		k.admitPred = d.lastFreed
+	}
+	coll := -1
+	if k.spec.Coll != nil {
+		coll = k.spec.Coll.id
+	}
+	dt.KernelDep(KernelDep{
+		ID: k.id, Device: d.id, Stream: k.stream.id, Coll: coll,
+		Issued: k.issuedAt, Delivered: k.deliveredAt,
+		Serialized: k.serialized, ConnPred: k.connPred,
+		HeadAt: k.headAt, HeadCause: k.headCause, HeadPred: k.headPred,
+		Admitted: now, AdmitPred: k.admitPred,
+	})
 }
 
 // admitBefore is the deterministic admission order of blocked streams:
@@ -321,6 +360,7 @@ func (d *Device) finish(k *kernelInstance, now simclock.Time) {
 		}
 	}
 	d.stats.KernelsRun++
+	d.lastFreed = k.id
 	d.emitSpan(k, now)
 	k.stream.completeHead(now)
 	d.admitPending(now)
@@ -343,7 +383,7 @@ func (d *Device) emitSpan(k *kernelInstance, end simclock.Time) {
 			coll = k.spec.Coll.id
 		}
 		st.KernelSpan(KernelSpan{
-			Device: d.id, Name: k.spec.Name, Class: k.spec.Class,
+			ID: k.id, Device: d.id, Name: k.spec.Name, Class: k.spec.Class,
 			Start: k.startedAt, End: end,
 			Batch: k.spec.Batch, Req: k.spec.Req, Coll: coll,
 			Cancelled: k.cancelled,

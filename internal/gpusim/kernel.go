@@ -74,9 +74,23 @@ const (
 
 // kernelInstance is a launched kernel tracked by the simulator.
 type kernelInstance struct {
+	id     int
 	spec   KernelSpec
 	stream *Stream
 	state  kernelState
+
+	// Dependency-edge bookkeeping for DepTracer (see KernelDep):
+	// issue/serialization from the launch connection, the head stamp
+	// from the first admission attempt, and the capacity predecessor.
+	issuedAt    simclock.Time
+	deliveredAt simclock.Time
+	serialized  simclock.Time
+	connPred    int
+	headAt      simclock.Time
+	headCause   string
+	headPred    int
+	headStamped bool
+	admitPred   int
 
 	// remainingNS is solo-time work left, in float nanoseconds.
 	remainingNS float64

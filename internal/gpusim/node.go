@@ -46,6 +46,10 @@ type Tracer interface {
 // scheduling metadata (batch, request, collective) and whether the span
 // was truncated by a cancellation instead of completing its work.
 type KernelSpan struct {
+	// ID is the node-unique kernel id (assigned in launch order), the
+	// join key against KernelDep records. -1 on the legacy KernelEnd
+	// path only.
+	ID     int
 	Device int
 	Name   string
 	Class  KernelClass
@@ -124,6 +128,77 @@ type QueueTracer interface {
 	QueueDepth(dev, depth int, at simclock.Time)
 }
 
+// Admission causes reported in KernelDep.HeadCause: what made the
+// kernel eligible for admission (reach the head of its stream with all
+// prior stream work retired).
+const (
+	// CauseDelivery: the kernel was eligible the instant it arrived on
+	// the device — nothing on its stream was ahead of it.
+	CauseDelivery = "delivery"
+	// CauseStream: the previous kernel on the same stream had to finish
+	// first (program order). HeadPred names it.
+	CauseStream = "stream"
+	// CauseEvent: an inter-stream Wait gated the kernel until the event
+	// fired. HeadPred names the kernel whose completion fired it (-1
+	// when the recording stream had run nothing).
+	CauseEvent = "event"
+)
+
+// KernelDep is the causal launch record of one kernel: the timestamps
+// and predecessor edges that explain when (and why) it started. One
+// record is emitted per admitted kernel; together with the KernelSpan
+// (which shares the same ID) it lets an offline analyzer reconstruct
+// the run's dependency graph — stream program order, event waits,
+// launch-queue serialization, SM-capacity waits, and collective
+// membership — without re-simulating.
+type KernelDep struct {
+	// ID is the node-unique kernel id, matching KernelSpan.ID.
+	ID     int
+	Device int
+	Stream int
+	// Coll is the collective id the kernel belongs to, -1 for local
+	// kernels (membership edges come from spans sharing a Coll).
+	Coll int
+
+	// Issued is the host-side Launch instant; Delivered is when the
+	// command arrived on the device (launch latency plus any
+	// serialization behind earlier commands on the same connection).
+	Issued    simclock.Time
+	Delivered simclock.Time
+	// Serialized is the part of the delivery delay caused by the
+	// connection's issue gap: Delivered minus (Issued + LaunchLatency).
+	// Zero when the launch queue was empty enough not to matter.
+	Serialized simclock.Time
+	// ConnPred is the id of the previous kernel delivered on the same
+	// host→device connection (-1 if none): the launch-queue
+	// serialization edge of §2.3.1.
+	ConnPred int
+
+	// HeadAt is when the kernel reached the head of its stream with all
+	// prior stream work retired — the first admission attempt.
+	HeadAt simclock.Time
+	// HeadCause classifies what ended the [Delivered, HeadAt] phase:
+	// CauseDelivery, CauseStream, or CauseEvent.
+	HeadCause string
+	// HeadPred is the blocking predecessor kernel id (-1 when none).
+	HeadPred int
+
+	// Admitted is when the device's left-over policy let the kernel in.
+	// When Admitted > HeadAt the kernel sat blocked on SM capacity;
+	// AdmitPred then names the kernel whose finish freed the capacity
+	// (-1 otherwise).
+	Admitted  simclock.Time
+	AdmitPred int
+}
+
+// DepTracer is an optional Tracer extension receiving one KernelDep
+// record per admitted kernel, at its admission instant. Kernels
+// cancelled before admission (delivered to an already-failed device)
+// emit only their truncated KernelSpan, never a dep record.
+type DepTracer interface {
+	KernelDep(dep KernelDep)
+}
+
 // Node is a simulated multi-GPU server attached to a simclock engine.
 type Node struct {
 	eng     *simclock.Engine
@@ -132,6 +207,7 @@ type Node struct {
 
 	nextStreamID int
 	nextCollID   int
+	nextKernelID int
 
 	// collTimeout, when positive, is the default watchdog applied to
 	// every new collective: if a group has not completed within this span
@@ -160,6 +236,7 @@ type Node struct {
 	collTracer  CollectiveTracer
 	faultTracer FaultTracer
 	queueTracer QueueTracer
+	depTracer   DepTracer
 }
 
 // New builds a simulated node from a hardware description.
@@ -250,6 +327,7 @@ func (n *Node) SetTracer(t Tracer) {
 	n.collTracer, _ = t.(CollectiveTracer)
 	n.faultTracer, _ = t.(FaultTracer)
 	n.queueTracer, _ = t.(QueueTracer)
+	n.depTracer, _ = t.(DepTracer)
 }
 
 // Tracer returns the installed tracer (nil when tracing is disabled).
@@ -272,6 +350,7 @@ func (n *Node) newCommand(s *Stream) *command {
 	cmd := &command{stream: s}
 	cmd.deliverFn = func(t simclock.Time) {
 		cmd.delivered = true
+		cmd.stream.advCause, cmd.stream.advPred = CauseDelivery, -1
 		cmd.stream.advance(t)
 	}
 	return cmd
@@ -306,7 +385,8 @@ func (n *Node) NewStreamOnConnection(dev, conn int) *Stream {
 	if conn < 0 || conn >= len(d.conns) {
 		panic(fmt.Sprintf("gpusim: connection %d out of range (device has %d)", conn, len(d.conns)))
 	}
-	s := &Stream{node: n, dev: d, id: n.nextStreamID, conn: d.conns[conn]}
+	s := &Stream{node: n, dev: d, id: n.nextStreamID, conn: d.conns[conn],
+		lastDone: -1, advCause: CauseDelivery, advPred: -1}
 	n.nextStreamID++
 	d.streams = append(d.streams, s)
 	return s

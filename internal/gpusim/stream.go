@@ -35,6 +35,10 @@ type Event struct {
 	node    *Node
 	fired   bool
 	firedAt simclock.Time
+	// firedBy is the id of the last kernel completed on the recording
+	// stream when the event fired (-1 if none): the predecessor edge a
+	// waiting kernel inherits.
+	firedBy int
 	subs    []func(simclock.Time)
 }
 
@@ -89,6 +93,16 @@ type Stream struct {
 	conn     *connection
 	queue    []*command
 	priority int
+
+	// lastDone is the id of the last kernel completed on this stream
+	// (-1 if none); events recorded on the stream inherit it as their
+	// firing cause.
+	lastDone int
+	// advCause/advPred carry the reason the current advance pass runs
+	// (delivery, predecessor finish, event fire) so a kernel's first
+	// admission attempt can stamp its head cause for DepTracer.
+	advCause string
+	advPred  int
 }
 
 // SetPriority raises (positive) or lowers the stream's scheduling
@@ -134,7 +148,9 @@ func (s *Stream) Launch(spec KernelSpec) {
 	if spec.ComputeDemand < 0 || spec.MemBWDemand < 0 || spec.Duration < 0 {
 		panic("gpusim: negative kernel demand or duration")
 	}
-	k := &kernelInstance{spec: spec, stream: s}
+	k := &kernelInstance{spec: spec, stream: s, id: s.node.nextKernelID,
+		connPred: s.conn.lastKernel, headPred: -1, admitPred: -1}
+	s.node.nextKernelID++
 	if c := spec.Coll; c != nil {
 		if ct := s.node.collTracer; ct != nil {
 			ct.CollectiveEnqueue(c.id, c.size, s.dev.id, s.node.eng.Now())
@@ -144,11 +160,20 @@ func (s *Stream) Launch(spec KernelSpec) {
 	cmd.kind = cmdKernel
 	cmd.kernel = k
 	s.issue(cmd)
+	// Dependency bookkeeping for DepTracer: the issue instant, the part
+	// of the delivery delay the connection's issue gap added on top of
+	// the base launch latency, and the serialization predecessor.
+	k.issuedAt = s.node.eng.Now()
+	k.deliveredAt = cmd.deliveredAt
+	if ser := cmd.deliveredAt - (k.issuedAt + s.node.spec.Host.LaunchLatency); ser > 0 {
+		k.serialized = ser
+	}
+	s.conn.lastKernel = k.id
 }
 
 // Record enqueues an event-record command and returns the event.
 func (s *Stream) Record() *Event {
-	ev := &Event{node: s.node}
+	ev := &Event{node: s.node, firedBy: -1}
 	cmd := s.node.newCommand(s)
 	cmd.kind = cmdRecord
 	cmd.event = ev
@@ -197,8 +222,12 @@ func (s *Stream) pop() {
 // completeHead is called by the device when the head kernel finishes.
 func (s *Stream) completeHead(now simclock.Time) {
 	if len(s.queue) > 0 && s.queue[0].kind == cmdKernel && s.queue[0].kernel.state == kDone {
+		s.lastDone = s.queue[0].kernel.id
 		s.pop()
 	}
+	// Whatever runs next on this stream was released by the finished
+	// predecessor (program order).
+	s.advCause, s.advPred = CauseStream, s.lastDone
 	s.advance(now)
 }
 
@@ -212,6 +241,7 @@ func (s *Stream) advance(now simclock.Time) {
 		switch cmd.kind {
 		case cmdRecord:
 			ev := cmd.event
+			ev.firedBy = s.lastDone
 			s.pop()
 			ev.fire(now)
 		case cmdWait:
@@ -221,12 +251,25 @@ func (s *Stream) advance(now simclock.Time) {
 			}
 			if !cmd.waitRegistered {
 				cmd.waitRegistered = true
-				cmd.event.onFire(func(t simclock.Time) { s.advance(t) })
+				ev := cmd.event
+				ev.onFire(func(t simclock.Time) {
+					s.advCause, s.advPred = CauseEvent, ev.firedBy
+					s.advance(t)
+				})
 			}
 			return
 		case cmdKernel:
 			switch cmd.kernel.state {
 			case kQueued:
+				// First admission attempt: the kernel just reached the head
+				// of its stream with all prior work retired. Stamp what got
+				// it here — the head cause of its KernelDep record.
+				if k := cmd.kernel; !k.headStamped {
+					k.headStamped = true
+					k.headAt = now
+					k.headCause = s.advCause
+					k.headPred = s.advPred
+				}
 				if s.dev.failed {
 					// The device is gone: the kernel cancels instead of
 					// executing, and a collective it would have joined can
@@ -256,6 +299,7 @@ func (s *Stream) advance(now simclock.Time) {
 			case kRunning:
 				return
 			case kDone:
+				s.lastDone = cmd.kernel.id
 				s.pop()
 			}
 		}

@@ -55,6 +55,10 @@ type Snapshot struct {
 	Gauges     map[string]float64   `json:"gauges"`
 	Histograms map[string]Histogram `json:"histograms"`
 	Requests   []Request            `json:"requests,omitempty"`
+	// WindowNS / Windows carry the fixed-window time-series when
+	// FromRunOpts is called with Options.Window set.
+	WindowNS int64    `json:"window_ns,omitempty"`
+	Windows  []Window `json:"windows,omitempty"`
 }
 
 func summarize(ds []time.Duration) Histogram {

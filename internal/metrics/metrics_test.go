@@ -95,3 +95,51 @@ func TestWriteJSONDeterministicAndValid(t *testing.T) {
 		t.Fatal("missing trailing newline")
 	}
 }
+
+func TestWindowedTimeSeries(t *testing.T) {
+	res, rec := sampleRun()
+	res.Deadline = 200 * time.Microsecond
+	s := FromRunOpts(res, rec, Options{Window: 250 * time.Microsecond})
+	if s.WindowNS != 250_000 {
+		t.Fatalf("window_ns %d, want 250000", s.WindowNS)
+	}
+	if len(s.Windows) != 4 {
+		t.Fatalf("%d windows over a 1ms run, want 4", len(s.Windows))
+	}
+	w0, w1 := s.Windows[0], s.Windows[1]
+	// Request 0 resolves at 140µs (window 0, within deadline), request
+	// 1 at 350µs (window 1, 300µs > 200µs deadline).
+	if w0.Completed != 1 || w0.P99NS != 140_000 || w0.SLOMissRate != 0 {
+		t.Fatalf("window 0 wrong: %+v", w0)
+	}
+	if w0.Throughput != 4000 {
+		t.Fatalf("window 0 throughput %v, want 4000/s", w0.Throughput)
+	}
+	if w1.Completed != 1 || w1.P99NS != 300_000 || w1.SLOMissRate != 1 {
+		t.Fatalf("window 1 wrong: %+v", w1)
+	}
+	// Device 0 is busy [0, 200µs]: 80% of window 0, idle afterwards.
+	if w0.Utilization != 0.8 {
+		t.Fatalf("window 0 utilization %v, want 0.8", w0.Utilization)
+	}
+	if s.Windows[2].Utilization != 0 || s.Windows[3].Completed != 0 {
+		t.Fatalf("tail windows should be empty: %+v", s.Windows[2:])
+	}
+}
+
+func TestWindowsDisabledByDefault(t *testing.T) {
+	res, rec := sampleRun()
+	if s := FromRun(res, rec); s.Windows != nil || s.WindowNS != 0 {
+		t.Fatal("FromRun must not emit windows")
+	}
+	if s := FromRunOpts(res, rec, Options{}); s.Windows != nil {
+		t.Fatal("zero window width must disable the series")
+	}
+	// Failed requests count as resolved misses in their window.
+	res.PerRequest = append(res.PerRequest, serve.RequestLat{
+		Req: 2, Arrival: 0, Done: 900 * time.Microsecond, Failed: true})
+	s := FromRunOpts(res, rec, Options{Window: 500 * time.Microsecond})
+	if len(s.Windows) != 2 || s.Windows[1].SLOMissRate != 1 || s.Windows[1].Completed != 0 {
+		t.Fatalf("failed request not accounted: %+v", s.Windows)
+	}
+}

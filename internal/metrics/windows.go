@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"sort"
+	"time"
+
+	"liger/internal/serve"
+	"liger/internal/trace"
+)
+
+// Options configures snapshot extras beyond the FromRun defaults.
+type Options struct {
+	// Window enables the windowed time-series: the run is cut into
+	// fixed-width buckets and each gets throughput, p99, SLO-miss rate
+	// and device utilization. Zero disables the series.
+	Window time.Duration
+}
+
+// Window is one fixed-width bucket of the run's time-series. Requests
+// are bucketed by their resolution instant; utilization is the busy
+// share of every device's time inside the bucket.
+type Window struct {
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// Completed counts batches resolving successfully in the window;
+	// Throughput is that count over the window width.
+	Completed  int     `json:"completed"`
+	Throughput float64 `json:"throughput_per_s"`
+	// P99NS summarizes the latencies of the window's completions (0
+	// when none completed).
+	P99NS int64 `json:"p99_ns"`
+	// SLOMissRate is the share of the window's resolved batches that
+	// failed or finished past the deadline (0 when no deadline is set
+	// and nothing failed).
+	SLOMissRate float64 `json:"slo_miss_rate"`
+	// Utilization is mean busy fraction across devices (kernel
+	// execution time over window width), 0 without a recorder.
+	Utilization float64 `json:"utilization"`
+}
+
+// FromRunOpts builds a snapshot like FromRun and, when opts.Window is
+// set, appends the windowed time-series.
+func FromRunOpts(res serve.Result, rec *trace.Recorder, opts Options) *Snapshot {
+	s := FromRun(res, rec)
+	if opts.Window > 0 {
+		s.WindowNS = opts.Window.Nanoseconds()
+		s.Windows = windows(res, rec, opts.Window)
+	}
+	return s
+}
+
+func windows(res serve.Result, rec *trace.Recorder, width time.Duration) []Window {
+	span := res.Makespan
+	if rec != nil {
+		for _, sp := range rec.Spans() {
+			if end := time.Duration(sp.End); end > span {
+				span = end
+			}
+		}
+	}
+	if span <= 0 {
+		return nil
+	}
+	n := int((span + width - 1) / width)
+	ws := make([]Window, n)
+	for i := range ws {
+		ws[i].StartNS = int64(i) * width.Nanoseconds()
+		ws[i].EndNS = int64(i+1) * width.Nanoseconds()
+	}
+	clamp := func(at time.Duration) int {
+		i := int(at / width)
+		if i >= n {
+			i = n - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+
+	lats := make([][]time.Duration, n)
+	resolved := make([]int, n)
+	missed := make([]int, n)
+	for _, pr := range res.PerRequest {
+		if pr.Shed {
+			continue
+		}
+		i := clamp(pr.Done)
+		resolved[i]++
+		total := pr.Done - pr.Arrival
+		if pr.Failed {
+			missed[i]++
+			continue
+		}
+		ws[i].Completed++
+		lats[i] = append(lats[i], total)
+		if res.Deadline > 0 && total > res.Deadline {
+			missed[i]++
+		}
+	}
+	for i := range ws {
+		ws[i].Throughput = float64(ws[i].Completed) / width.Seconds()
+		if len(lats[i]) > 0 {
+			sort.Slice(lats[i], func(a, b int) bool { return lats[i][a] < lats[i][b] })
+			// Nearest-rank p99, clamped to the max for small samples.
+			r := (99*len(lats[i]) + 99) / 100
+			if r > len(lats[i]) {
+				r = len(lats[i])
+			}
+			ws[i].P99NS = lats[i][r-1].Nanoseconds()
+		}
+		if resolved[i] > 0 {
+			ws[i].SLOMissRate = float64(missed[i]) / float64(resolved[i])
+		}
+	}
+
+	if rec != nil {
+		addUtilization(ws, rec, width)
+	}
+	return ws
+}
+
+// addUtilization fills each window's mean busy fraction: per device,
+// the union of kernel-execution intervals clipped to the window,
+// averaged over the devices seen in the trace.
+func addUtilization(ws []Window, rec *trace.Recorder, width time.Duration) {
+	type span struct{ s, e time.Duration }
+	perDev := map[int][]span{}
+	devices := 0
+	for _, sp := range rec.Spans() {
+		if sp.End <= sp.Start {
+			continue
+		}
+		perDev[sp.Device] = append(perDev[sp.Device], span{time.Duration(sp.Start), time.Duration(sp.End)})
+		if sp.Device >= devices {
+			devices = sp.Device + 1
+		}
+	}
+	if devices == 0 {
+		return
+	}
+	busy := make([]time.Duration, len(ws))
+	for _, spans := range perDev {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].s < spans[j].s })
+		// Merge overlaps, then spread each merged interval over the
+		// windows it crosses.
+		cur := spans[0]
+		flush := func(v span) {
+			for i := int(v.s / width); i < len(ws) && time.Duration(i)*width < v.e; i++ {
+				lo, hi := time.Duration(i)*width, time.Duration(i+1)*width
+				if v.s > lo {
+					lo = v.s
+				}
+				if v.e < hi {
+					hi = v.e
+				}
+				if hi > lo {
+					busy[i] += hi - lo
+				}
+			}
+		}
+		for _, v := range spans[1:] {
+			if v.s <= cur.e {
+				if v.e > cur.e {
+					cur.e = v.e
+				}
+				continue
+			}
+			flush(cur)
+			cur = v
+		}
+		flush(cur)
+	}
+	for i := range ws {
+		ws[i].Utilization = float64(busy[i]) / (float64(width.Nanoseconds()) * float64(devices))
+	}
+}

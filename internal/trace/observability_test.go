@@ -287,3 +287,45 @@ func TestReqBreakdown(t *testing.T) {
 		t.Fatalf("req 6 breakdown wrong: %+v", r6)
 	}
 }
+
+// The recorder captures DepTracer records and joins them to spans via
+// the kernel id; the KernelEnd fallback path carries id -1.
+func TestRecorderCapturesDeps(t *testing.T) {
+	eng, n, rec := obsNode(t, 1)
+	s := n.NewStream(0)
+	k := gpusim.KernelSpec{Name: "k", Class: gpusim.Compute,
+		Duration: 10 * time.Microsecond, ComputeDemand: 0.9, Req: -1}
+	s.Launch(k)
+	s.Launch(k)
+	eng.Run()
+
+	deps := rec.Deps()
+	spans := rec.Spans()
+	if len(deps) != 2 || len(spans) != 2 {
+		t.Fatalf("want 2 deps and 2 spans, got %d/%d", len(deps), len(spans))
+	}
+	ids := map[int]bool{}
+	for _, sp := range spans {
+		if sp.ID < 0 {
+			t.Fatalf("span missing kernel id: %+v", sp)
+		}
+		ids[sp.ID] = true
+	}
+	for _, d := range deps {
+		if !ids[d.ID] {
+			t.Fatalf("dep %+v has no matching span", d)
+		}
+	}
+	if deps[1].HeadCause != gpusim.CauseStream || deps[1].HeadPred != deps[0].ID {
+		t.Fatalf("second kernel should be stream-ordered behind the first: %+v", deps[1])
+	}
+
+	rec.Reset()
+	if len(rec.Deps()) != 0 {
+		t.Fatal("Reset did not clear deps")
+	}
+	rec.KernelEnd(0, "legacy", gpusim.Compute, 0, us(10))
+	if sp := rec.Spans()[0]; sp.ID != -1 {
+		t.Fatalf("KernelEnd path should carry id -1: %+v", sp)
+	}
+}

@@ -16,10 +16,30 @@ import (
 //
 //	gpu0 comp |####....####....|
 //	gpu0 comm |....====....====|
+//
+// When gap annotations are installed via SetGaps, a third row per
+// device marks idle intervals with their cause glyph:
+//
+//	gpu0 gaps |....rr......ll..|
 type Timeline struct {
 	rec   *Recorder
 	width int
+	gaps  []GapMark
 }
+
+// GapMark is one annotated idle interval on a device, rendered on the
+// gap lane with its cause glyph (e.g. 'l' launch queue, 'e' event
+// wait, 'r' rendezvous, 'R' recovery, '.' no work). Producers such as
+// internal/analyze map their gap taxonomy onto glyphs; Timeline is
+// agnostic to the cause set.
+type GapMark struct {
+	Device     int
+	Start, End simclock.Time
+	Glyph      byte
+}
+
+// SetGaps installs the gap-annotation lane. Passing nil removes it.
+func (tl *Timeline) SetGaps(gaps []GapMark) { tl.gaps = gaps }
 
 // NewTimeline builds a renderer of the given character width.
 func NewTimeline(rec *Recorder, width int) *Timeline {
@@ -48,6 +68,11 @@ func (tl *Timeline) Render(w io.Writer, from, until simclock.Time) error {
 	for _, s := range tl.rec.Spans() {
 		if s.Device >= devices {
 			devices = s.Device + 1
+		}
+	}
+	for _, g := range tl.gaps {
+		if g.Device >= devices {
+			devices = g.Device + 1
 		}
 	}
 	for d := 0; d < devices; d++ {
@@ -80,6 +105,32 @@ func (tl *Timeline) Render(w io.Writer, from, until simclock.Time) error {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "gpu%d comm |%s|\n", d, comm); err != nil {
+			return err
+		}
+		if tl.gaps == nil {
+			continue
+		}
+		lane := make([]byte, tl.width)
+		for i := range lane {
+			lane[i] = ' '
+		}
+		for _, g := range tl.gaps {
+			if g.Device != d || g.End <= from || g.Start >= until {
+				continue
+			}
+			lo := int(int64(g.Start-from) * int64(tl.width) / int64(span))
+			hi := int(int64(g.End-from) * int64(tl.width) / int64(span))
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= tl.width {
+				hi = tl.width - 1
+			}
+			for i := lo; i <= hi; i++ {
+				lane[i] = g.Glyph
+			}
+		}
+		if _, err := fmt.Fprintf(w, "gpu%d gaps |%s|\n", d, lane); err != nil {
 			return err
 		}
 	}

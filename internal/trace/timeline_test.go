@@ -76,3 +76,44 @@ func TestTimelineMinimumWidth(t *testing.T) {
 		t.Fatalf("width %d below minimum", tl.width)
 	}
 }
+
+func TestTimelineGapLane(t *testing.T) {
+	rec := NewRecorder()
+	us := func(n int) simclock.Time { return simclock.Time(n) * simclock.Time(time.Microsecond) }
+	rec.KernelEnd(0, "g", gpusim.Compute, us(0), us(50))
+	rec.KernelEnd(0, "g2", gpusim.Compute, us(80), us(100))
+
+	tl := NewTimeline(rec, 20)
+	tl.SetGaps([]GapMark{{Device: 0, Start: us(50), End: us(80), Glyph: 'l'}})
+	var sb strings.Builder
+	if err := tl.Render(&sb, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "gpu0 gaps") {
+		t.Fatalf("gap lane missing:\n%s", out)
+	}
+	var lane string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "gpu0 gaps") {
+			lane = line
+		}
+	}
+	if !strings.Contains(lane, "l") {
+		t.Fatalf("gap glyph missing from lane: %q", lane)
+	}
+	// The glyph must land mid-row: the device is busy at both edges.
+	if strings.HasPrefix(lane, "gpu0 gaps |l") || strings.HasSuffix(strings.TrimSuffix(lane, "|"), "l") {
+		t.Fatalf("gap glyph rendered at a busy edge: %q", lane)
+	}
+
+	// Without SetGaps the lane is absent.
+	tl.SetGaps(nil)
+	sb.Reset()
+	if err := tl.Render(&sb, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "gaps") {
+		t.Fatalf("gap lane rendered without annotations:\n%s", sb.String())
+	}
+}

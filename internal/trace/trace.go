@@ -21,6 +21,9 @@ import (
 // truncated by a teardown instead of completing (see
 // gpusim.CancelDeviceFail / gpusim.CancelCollectiveAbort).
 type Span struct {
+	// ID is the node-unique kernel id joining this span against its Dep
+	// record (-1 on the metadata-free KernelEnd path).
+	ID        int
 	Device    int
 	Name      string
 	Class     gpusim.KernelClass
@@ -67,6 +70,30 @@ type RecoveryWindow struct {
 	End   simclock.Time
 }
 
+// Dep is the recorded causal launch history of one kernel, mirroring
+// gpusim.KernelDep: when the host issued it, when the launch queue
+// delivered it (Serialized > 0 when the connection's issue gap pushed
+// it behind ConnPred), when and why it reached the head of its stream
+// (HeadCause is one of gpusim.CauseDelivery/CauseStream/CauseEvent,
+// HeadPred the enabling kernel id), and when the device admitted it
+// (AdmitPred names the kernel whose finish freed the SMs when
+// Admitted > HeadAt). Kernels cancelled before admission have no Dep.
+type Dep struct {
+	ID         int
+	Device     int
+	Stream     int
+	Coll       int
+	Issued     simclock.Time
+	Delivered  simclock.Time
+	Serialized simclock.Time
+	ConnPred   int
+	HeadAt     simclock.Time
+	HeadCause  string
+	HeadPred   int
+	Admitted   simclock.Time
+	AdmitPred  int
+}
+
 // QueueSample is one launch-queue depth observation (commands issued
 // to a device's streams and not yet retired).
 type QueueSample struct {
@@ -110,6 +137,7 @@ type ReqLatency struct {
 // QueueTracer.
 type Recorder struct {
 	spans    []Span
+	deps     []Dep
 	waits    []WaitSpan
 	rates    []RateSample
 	fails    []FailEvent
@@ -137,16 +165,28 @@ func (r *Recorder) KernelStart(int, string, gpusim.KernelClass, simclock.Time) {
 // scheduling metadata; the node prefers the KernelSpan path, so this
 // only runs for direct callers.
 func (r *Recorder) KernelEnd(dev int, name string, class gpusim.KernelClass, start, end simclock.Time) {
-	r.spans = append(r.spans, Span{Device: dev, Name: name, Class: class,
+	r.spans = append(r.spans, Span{ID: -1, Device: dev, Name: name, Class: class,
 		Start: start, End: end, Batch: -1, Req: -1, Coll: -1})
 }
 
 // KernelSpan implements gpusim.SpanTracer — the metadata-rich path the
 // node uses instead of KernelEnd.
 func (r *Recorder) KernelSpan(sp gpusim.KernelSpan) {
-	r.spans = append(r.spans, Span{Device: sp.Device, Name: sp.Name, Class: sp.Class,
-		Start: sp.Start, End: sp.End, Batch: sp.Batch, Req: sp.Req, Coll: sp.Coll,
-		Cancelled: sp.Cancelled})
+	r.spans = append(r.spans, Span{ID: sp.ID, Device: sp.Device, Name: sp.Name,
+		Class: sp.Class, Start: sp.Start, End: sp.End, Batch: sp.Batch, Req: sp.Req,
+		Coll: sp.Coll, Cancelled: sp.Cancelled})
+}
+
+// KernelDep implements gpusim.DepTracer, recording the causal launch
+// history each admitted kernel carries.
+func (r *Recorder) KernelDep(dep gpusim.KernelDep) {
+	r.deps = append(r.deps, Dep{
+		ID: dep.ID, Device: dep.Device, Stream: dep.Stream, Coll: dep.Coll,
+		Issued: dep.Issued, Delivered: dep.Delivered,
+		Serialized: dep.Serialized, ConnPred: dep.ConnPred,
+		HeadAt: dep.HeadAt, HeadCause: dep.HeadCause, HeadPred: dep.HeadPred,
+		Admitted: dep.Admitted, AdmitPred: dep.AdmitPred,
+	})
 }
 
 // CollectiveEnqueue implements gpusim.CollectiveTracer.
@@ -230,6 +270,9 @@ func (r *Recorder) QueueDepth(dev, depth int, at simclock.Time) {
 
 // Spans returns the recorded spans in completion order.
 func (r *Recorder) Spans() []Span { return r.spans }
+
+// Deps returns the recorded dependency records in admission order.
+func (r *Recorder) Deps() []Dep { return r.deps }
 
 // Waits returns the closed rendezvous-wait spans in close order.
 func (r *Recorder) Waits() []WaitSpan { return r.waits }

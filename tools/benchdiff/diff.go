@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// loadMetrics reads a JSON document and flattens every numeric leaf
+// into a dotted-path metric map.
+func loadMetrics(path string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	flatten("", doc, out)
+	return out, nil
+}
+
+// flatten walks a decoded JSON value, recording numeric leaves under
+// dotted object paths and indexed array paths. Booleans count as 0/1
+// so flag flips (e.g. a row turning "failed") register as deltas;
+// strings and nulls are structure, not metrics.
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, child, out)
+		}
+	case []any:
+		for i, child := range x {
+			flatten(fmt.Sprintf("%s[%d]", prefix, i), child, out)
+		}
+	case float64:
+		out[prefix] = x
+	case bool:
+		if x {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	}
+}
+
+// delta is one metric's movement between the two documents.
+type delta struct {
+	key      string
+	old, cur float64
+	rel      float64 // |cur-old| relative to |old| (or absolute when old == 0)
+}
+
+// report is the comparison result: per-metric deltas plus counts the
+// caller turns into an exit code.
+type report struct {
+	deltas      []delta
+	regressions []delta
+	onlyOld     []string
+	onlyNew     []string
+	compared    int
+	structural  int
+}
+
+// diffMetrics compares the documents' shared numeric metrics. A metric
+// whose relative change exceeds threshold is a regression; keys that
+// exist on only one side are structural drift.
+func diffMetrics(old, cur map[string]float64, threshold float64) report {
+	var rep report
+	for k, ov := range old {
+		cv, ok := cur[k]
+		if !ok {
+			rep.onlyOld = append(rep.onlyOld, k)
+			continue
+		}
+		rep.compared++
+		rel := relChange(ov, cv)
+		d := delta{key: k, old: ov, cur: cv, rel: rel}
+		rep.deltas = append(rep.deltas, d)
+		if rel > threshold {
+			rep.regressions = append(rep.regressions, d)
+		}
+	}
+	for k := range cur {
+		if _, ok := old[k]; !ok {
+			rep.onlyNew = append(rep.onlyNew, k)
+		}
+	}
+	sort.Slice(rep.deltas, func(i, j int) bool { return rep.deltas[i].key < rep.deltas[j].key })
+	sort.Slice(rep.regressions, func(i, j int) bool { return rep.regressions[i].key < rep.regressions[j].key })
+	sort.Strings(rep.onlyOld)
+	sort.Strings(rep.onlyNew)
+	rep.structural = len(rep.onlyOld) + len(rep.onlyNew)
+	return rep
+}
+
+// relChange measures how far cur drifted from old. Against a zero
+// baseline any nonzero value is an infinite relative change; report
+// the absolute value instead so tiny float dust still reads sensibly.
+func relChange(old, cur float64) float64 {
+	if old == cur {
+		return 0
+	}
+	if old == 0 {
+		return math.Abs(cur)
+	}
+	return math.Abs(cur-old) / math.Abs(old)
+}
+
+// format renders the report: regressions first, then sub-threshold
+// changes, then (with all) unchanged metrics, then structural drift.
+func (r report) format(all bool) []string {
+	over := map[string]bool{}
+	for _, d := range r.regressions {
+		over[d.key] = true
+	}
+	var lines []string
+	for _, d := range r.regressions {
+		lines = append(lines, fmt.Sprintf("REGRESSION %s: %g -> %g (%+.1f%%)", d.key, d.old, d.cur, signedPct(d)))
+	}
+	for _, d := range r.deltas {
+		switch {
+		case over[d.key]:
+		case d.rel > 0:
+			lines = append(lines, fmt.Sprintf("  changed  %s: %g -> %g (%+.1f%%)", d.key, d.old, d.cur, signedPct(d)))
+		case all:
+			lines = append(lines, fmt.Sprintf("  same     %s: %g", d.key, d.old))
+		}
+	}
+	for _, k := range r.onlyOld {
+		lines = append(lines, "  only-old "+k)
+	}
+	for _, k := range r.onlyNew {
+		lines = append(lines, "  only-new "+k)
+	}
+	return lines
+}
+
+func signedPct(d delta) float64 {
+	if d.old == 0 {
+		return 100 * d.cur
+	}
+	return 100 * (d.cur - d.old) / math.Abs(d.old)
+}

@@ -17,12 +17,19 @@
 //     batch count, proving the fault scenarios execute end to end
 //  7. a failover race pass: the permanent-device-failure paths across
 //     gpusim, runtimes, liger, and serve under -race
-//  8. an observability race pass: the tracer hook, per-request
-//     decomposition, and metrics-export paths under -race
+//  8. an observability race pass: the tracer hook, dependency-edge
+//     emission, per-request decomposition, trace-analysis, and
+//     metrics-export paths under -race
 //  9. a failover smoke + determinism check: `ligerbench -exp failover
 //     -quick -trace-dir` at -parallel 1 and -parallel 4 must produce
 //     identical BENCH_failover.json bytes AND identical per-runtime
-//     Chrome-trace/metrics artifacts, each of which must parse as JSON
+//     Chrome-trace/metrics/analysis artifacts, each of which must parse
+//     as JSON — the byte-compare of failover_*.analysis.json doubles as
+//     the analyzer determinism smoke; a warn-only benchdiff pass then
+//     diffs the two sweeps' BENCH_failover.json to prove the regression
+//     gate runs end to end
+//  10. an explain smoke: `ligersim -explain` twice on the same seed must
+//     print byte-identical critical-path/gap/overlap reports
 package main
 
 import (
@@ -54,9 +61,10 @@ func main() {
 			"-run", "Failover|FailDevice|Drain|Backoff|Quiesce",
 			"./internal/gpusim", "./internal/runtimes", "./internal/liger", "./internal/serve"}},
 		{"observability race", []string{"go", "test", "-race",
-			"-run", "Observability|ChromeTrace|Tracer|Truncated|Rendezvous|ReqBreakdown|RequestID|PerRequest|Percentiles|FromRun|WriteJSON",
+			"-run", "Observability|ChromeTrace|Tracer|Truncated|Rendezvous|ReqBreakdown|RequestID|PerRequest|Percentiles|FromRun|WriteJSON|Dep|CriticalPath|Gap|Overlap|Window|Determinism|Timeline",
 			"./internal/trace", "./internal/metrics", "./internal/gpusim",
-			"./internal/runtimes", "./internal/serve", "./internal/stats"}},
+			"./internal/runtimes", "./internal/serve", "./internal/stats",
+			"./internal/analyze"}},
 	}
 	if err := gofmtCheck(); err != nil {
 		fmt.Fprintf(os.Stderr, "FAIL gofmt: %v\n", err)
@@ -80,6 +88,12 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("ok   failover smoke (%v)\n", time.Since(start).Round(time.Millisecond))
+	start = time.Now()
+	if err := explainDeterminism(); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL explain smoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok   explain smoke (%v)\n", time.Since(start).Round(time.Millisecond))
 	fmt.Println("all checks passed")
 }
 
@@ -109,8 +123,8 @@ func failoverDeterminism() error {
 		if err != nil {
 			return err
 		}
-		if len(files) < 7 { // sweep JSON + a trace/metrics pair per runtime
-			return fmt.Errorf("-parallel %s: %d artifacts in %s, want >= 7", workers, len(files), dir)
+		if len(files) < 10 { // sweep JSON + a trace/metrics/analysis triple per runtime
+			return fmt.Errorf("-parallel %s: %d artifacts in %s, want >= 10", workers, len(files), dir)
 		}
 		artifacts = append(artifacts, files)
 	}
@@ -126,6 +140,38 @@ func failoverDeterminism() error {
 		if err := json.Unmarshal(buf, &doc); err != nil {
 			return fmt.Errorf("%s is not valid JSON: %v", name, err)
 		}
+	}
+	// Warn-only benchdiff pass over the two sweeps' JSON: the artifacts
+	// just proved byte-identical, so this asserts the regression gate
+	// itself runs clean on a no-change diff.
+	cmd := exec.Command("go", "run", "./tools/benchdiff", "-warn",
+		filepath.Join(tmp, "p1", "BENCH_failover.json"),
+		filepath.Join(tmp, "p4", "BENCH_failover.json"))
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("benchdiff: %v", err)
+	}
+	return nil
+}
+
+// explainDeterminism runs ligersim -explain twice on the same seed and
+// fails unless the printed report — critical path, gap table, overlap
+// summary, annotated timeline — is byte-identical.
+func explainDeterminism() error {
+	var outs [][]byte
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command("go", "run", "./cmd/ligersim",
+			"-runtime", "Liger", "-batches", "20", "-rate", "20", "-explain")
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("run %d: %v", i, err)
+		}
+		outs = append(outs, out)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		return fmt.Errorf("ligersim -explain output differs between identical runs")
 	}
 	return nil
 }
