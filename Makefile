@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench chaos failover trace analyze
+.PHONY: check build test race vet fmt bench chaos failover trace analyze descore
 
 check: ## full gate: gofmt + vet + build + race pass + full tests
 	$(GO) run ./tools/ci
@@ -50,3 +50,10 @@ trace:
 # efficiency and an annotated timeline for a saturated Liger run.
 analyze:
 	$(GO) run ./cmd/ligersim -runtime Liger -batches 40 -rate 20 -explain
+
+# DES-core throughput measurement: re-measures the frozen pre-rewrite
+# heap engine (internal/simclock/refheap) against the calendar queue on
+# this host and regenerates BENCH_descore.json at the repo root,
+# including the fig10 -quick wall-clock section. See docs/PERF.md.
+descore:
+	$(GO) run ./tools/descore -wall -o BENCH_descore.json

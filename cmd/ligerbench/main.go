@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"liger/internal/bench"
@@ -36,8 +38,37 @@ func main() {
 		plotDir  = flag.String("plots", "", "also render per-panel SVG charts into this directory")
 		jsonDir  = flag.String("json", "", "also write machine-readable artifacts (BENCH_failover.json) into this directory")
 		traceDir = flag.String("trace-dir", "", "failover experiment: also write per-runtime Chrome traces and metrics snapshots of one traced failure point into this directory")
+		shards   = flag.Int("shards", 0,
+			"request lookahead-sharded execution inside each simulation point; single-node specs fall back to the sequential engine (see docs/PERF.md) and output is identical at any value")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Print(err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
@@ -48,7 +79,7 @@ func main() {
 
 	cfg := bench.RunConfig{Batches: *batches, Quick: *quick, Parallel: *parallel,
 		Seed: *seed, StragglerDevice: *stragglerDev, CSVDir: *csvDir, PlotDir: *plotDir,
-		JSONDir: *jsonDir, TraceDir: *traceDir}
+		JSONDir: *jsonDir, TraceDir: *traceDir, Shards: *shards}
 	var exps []bench.Experiment
 	if *exp == "all" {
 		exps = bench.Experiments()

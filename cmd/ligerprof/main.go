@@ -15,11 +15,13 @@ import (
 	"os"
 	"time"
 
+	"liger/internal/core"
 	"liger/internal/gpusim"
 	"liger/internal/hw"
 	"liger/internal/model"
 	"liger/internal/nccl"
 	"liger/internal/parallel"
+	"liger/internal/serve"
 	"liger/internal/trace"
 )
 
@@ -43,6 +45,35 @@ type profile struct {
 	ComputeFactor    float64         `json:"compute_factor"`
 	CommFactor       float64         `json:"comm_factor"`
 	PairsProfiled    int             `json:"pairs_profiled"`
+	Engine           *engineStats    `json:"engine,omitempty"`
+}
+
+// engineStats is the -engine-stats section: DES-core counters measured
+// by serving a short calibration trace on the profiled configuration.
+type engineStats struct {
+	// EventsFired and WallNS give the headline events/sec.
+	EventsFired  uint64  `json:"events_fired"`
+	WallNS       int64   `json:"wall_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// SimulatedNS is the virtual time the calibration run covered.
+	SimulatedNS int64 `json:"simulated_ns"`
+	// MaxPending is the queue-occupancy high-water mark; Compactions,
+	// Reloads, Rebases, Resizes and FarPushes expose the calendar
+	// queue's adaptation behaviour (see docs/PERF.md).
+	MaxPending  int    `json:"max_pending"`
+	Compactions uint64 `json:"compactions"`
+	Reloads     uint64 `json:"reloads"`
+	Rebases     uint64 `json:"rebases"`
+	Resizes     uint64 `json:"resizes"`
+	FarPushes   uint64 `json:"far_pushes"`
+	// BySubsystem decomposes scheduled events by origin.
+	BySubsystem gpusim.EventCounters `json:"by_subsystem"`
+	// ShardDomains/ShardLookaheadNS echo the partition analysis;
+	// ShardStalls stays 0 until a multi-domain plan exists (the
+	// single-node fallback never stalls — it never windows).
+	ShardDomains     int    `json:"shard_domains"`
+	ShardLookaheadNS int64  `json:"shard_lookahead_ns"`
+	ShardStalls      uint64 `json:"shard_stalls"`
 }
 
 func main() {
@@ -54,6 +85,9 @@ func main() {
 		batch     = flag.Int("batch", 2, "batch size")
 		seq       = flag.Int("seq", 64, "sequence length")
 		layersOne = flag.Bool("onelayer", true, "profile a single layer (models stack identical layers)")
+		engStats  = flag.Bool("engine-stats", false,
+			"also serve a short calibration trace and report DES-core counters: events/sec, queue occupancy, per-subsystem event mix, shard plan")
+		engBatches = flag.Int("engine-batches", 50, "batch arrivals for the -engine-stats calibration run")
 	)
 	flag.Parse()
 
@@ -106,9 +140,61 @@ func main() {
 	doc.CommFactor = rep.CommFactor
 	doc.PairsProfiled = rep.Pairs
 
+	if *engStats {
+		es, err := measureEngine(node, spec, *batch, *engBatches)
+		if err != nil {
+			log.Fatal(err)
+		}
+		doc.Engine = es
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// measureEngine serves a short Liger trace on the profiled configuration
+// and collects the DES-core counters. Wall time (and therefore
+// events/sec) is host-dependent by nature; every other field is
+// deterministic.
+func measureEngine(node hw.Node, spec model.Spec, batch, batches int) (*engineStats, error) {
+	eng, err := core.NewEngine(core.Options{Node: node, Model: spec, Runtime: core.KindLiger})
+	if err != nil {
+		return nil, err
+	}
+	tc := serve.TraceConfig{Batches: batches, BatchSize: batch,
+		RatePerSec: 20, MinSeq: 16, MaxSeq: 128, Seed: 1}
+	trc, err := serve.Generate(tc)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if _, err := eng.Serve(trc); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	clk := eng.Clock()
+	st := clk.Stats()
+	plan := eng.ShardPlan()
+	es := &engineStats{
+		EventsFired: clk.Fired(),
+		WallNS:      wall.Nanoseconds(),
+		SimulatedNS: clk.Now().Nanoseconds(),
+		MaxPending:  st.MaxPending,
+		Compactions: st.Compactions,
+		Reloads:     st.Reloads,
+		Rebases:     st.Rebases,
+		Resizes:     st.Resizes,
+		FarPushes:   st.FarPushes,
+		BySubsystem: eng.SimNode().EventCounters(),
+
+		ShardDomains:     plan.Domains,
+		ShardLookaheadNS: plan.Lookahead.Nanoseconds(),
+	}
+	if wall > 0 {
+		es.EventsPerSec = float64(es.EventsFired) / wall.Seconds()
+	}
+	return es, nil
 }

@@ -56,6 +56,7 @@ func main() {
 		topN       = flag.Int("top", 10, "top-N critical-path contributors for -explain")
 		routing    = flag.String("routing", "earliest", "collective routing for -explain: earliest (surface rendezvous stalls) or binding (follow the gating member)")
 		window     = flag.Duration("window", 0, "windowed time-series bucket width for -metrics (0 disables)")
+		shards     = flag.Int("shards", 0, "request lookahead-sharded execution; single-node specs fall back to the sequential engine (see docs/PERF.md) and output is identical at any value")
 	)
 	flag.Parse()
 
@@ -92,7 +93,8 @@ func main() {
 		log.Fatalf("unknown sync mode %q", *syncMode)
 	}
 
-	opts := core.Options{Node: node, Model: spec, Runtime: kind, Liger: lcfg, LigerSet: true}
+	opts := core.Options{Node: node, Model: spec, Runtime: kind, Liger: lcfg, LigerSet: true,
+		Shards: *shards}
 	var recorder *trace.Recorder
 	if *traceOut != "" || *metricsOut != "" || *explain {
 		recorder = trace.NewRecorder()
@@ -101,6 +103,15 @@ func main() {
 	eng, err := core.NewEngine(opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *shards > 1 && !eng.ShardPlan().Parallel() {
+		// Diagnostics go to stderr: stdout is the determinism-pinned
+		// report surface and must not depend on the -shards setting.
+		plan := eng.ShardPlan()
+		log.Printf("note: -shards %d requested, but the partition analysis found %d domain(s); running on the sequential engine", *shards, plan.Domains)
+		for _, c := range plan.Couplings {
+			log.Printf("note:   zero-latency coupling: %s", c.Name)
+		}
 	}
 
 	if *journalN > 0 && kind == core.KindLiger {

@@ -56,6 +56,12 @@ type RunConfig struct {
 	// traced failure point per runtime and write a Chrome trace plus a
 	// metrics snapshot for each (see docs/OBSERVABILITY.md).
 	TraceDir string
+	// Shards requests lookahead-sharded execution inside each simulation
+	// point (core.Options.Shards). Single-node specs collapse to one
+	// shard (see gpusim.PlanShards), so today this is a determinism
+	// knob: output must stay byte-identical at any value, and the
+	// pinned tests + CI smoke enforce exactly that.
+	Shards int
 }
 
 // DefaultRunConfig returns the standard fidelity.
@@ -211,7 +217,7 @@ func runPanel(p panel, rates []float64, kinds []core.RuntimeKind, cfg RunConfig)
 // runPoint serves one (panel, rate, runtime) configuration. ligerCfg
 // overrides the scheduler configuration when non-nil.
 func runPoint(p panel, rate float64, kind core.RuntimeKind, cfg RunConfig, ligerCfg *liger.Config) (serve.Result, error) {
-	opts := core.Options{Node: p.node, Model: p.spec, Runtime: kind}
+	opts := core.Options{Node: p.node, Model: p.spec, Runtime: kind, Shards: cfg.Shards}
 	if ligerCfg != nil {
 		opts.Liger = *ligerCfg
 		opts.LigerSet = true

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"liger/internal/core"
+	"liger/internal/hw"
+	"liger/internal/model"
+)
+
+// TestSweepShardsIdentical is the pinned determinism test for the
+// -shards flag: results must be identical at any Shards setting. Today
+// the single-node shard plan collapses to one domain and the request
+// falls back to the plain engine (gpusim.PlanShards documents why), so
+// the property holds trivially — and this test keeps holding the door:
+// when a multi-domain plan arrives, any lookahead bug that lets the
+// windowed path diverge from the sequential one fails here first.
+func TestSweepShardsIdentical(t *testing.T) {
+	sweeps := []panelSweep{{
+		p:     panel{nodeKey: "v100", node: hw.V100Node(), spec: model.Tiny(), batch: 2, phase: model.Context},
+		rates: []float64{200, 400},
+		kinds: []core.RuntimeKind{core.KindLiger, core.KindIntraOp, core.KindInterOp},
+	}}
+	base := RunConfig{Batches: 30, Quick: true, Seed: 9}
+	ref, err := runSweeps(sweeps, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		cfg := base
+		cfg.Shards = shards
+		got, err := runSweeps(sweeps, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("Shards=%d sweep diverged from Shards=0:\nref: %+v\ngot: %+v", shards, ref, got)
+		}
+	}
+}
+
+// TestExperimentOutputShardsIdentical runs a full experiment driver at
+// Shards 0 and 4 — with the parallel sweep executor on as well, the
+// worst case — and requires byte-identical printed output.
+func TestExperimentOutputShardsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment run; skipped with -short")
+	}
+	cfg := RunConfig{Batches: 25, Quick: true, Seed: 3, Parallel: 4}
+	var ref, got bytes.Buffer
+	if err := RunFig10(cfg, &ref); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 4
+	if err := RunFig10(cfg, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref.Bytes(), got.Bytes()) {
+		t.Fatalf("fig10 output differs between -shards 0 and -shards 4:\n--- shards 0 ---\n%s\n--- shards 4 ---\n%s",
+			ref.String(), got.String())
+	}
+}
+
+// TestShardPlanSurfacedOnEngine checks the analysis is reachable from a
+// built engine — what ligersim prints its fallback note from.
+func TestShardPlanSurfacedOnEngine(t *testing.T) {
+	eng, err := core.NewEngine(core.Options{
+		Node: hw.V100Node(), Model: model.Tiny(), Runtime: core.KindLiger, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := eng.ShardPlan()
+	if plan.Domains != 1 || plan.Parallel() {
+		t.Fatalf("single-node plan = %+v, want 1 non-parallel domain", plan)
+	}
+	if eng.ShardsRequested() != 8 {
+		t.Fatalf("ShardsRequested = %d, want 8", eng.ShardsRequested())
+	}
+	if len(plan.Couplings) == 0 {
+		t.Fatal("plan gives no reason for the fallback")
+	}
+}

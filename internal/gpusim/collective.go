@@ -101,6 +101,7 @@ func (c *Collective) join(k *kernelInstance, now simclock.Time) {
 		ct.RendezvousBegin(c.id, k.stream.dev.id, k.spec.Batch, k.spec.Req, now)
 	}
 	if len(c.members) == 1 && c.timeout > 0 {
+		c.node.evCounts.Collective++
 		c.timeoutH = c.node.eng.After(c.timeout, func(t simclock.Time) { c.abort(t) })
 	}
 	if len(c.members) == c.size {
@@ -157,6 +158,7 @@ func (c *Collective) refreshRate(now simclock.Time) {
 		c.completionFn = func(t simclock.Time) { c.finish(t) }
 	}
 	delay := completionDelay(c.remainingNS, rate)
+	c.node.evCounts.Collective++
 	c.completion = c.node.eng.After(delay, c.completionFn)
 }
 

@@ -510,5 +510,6 @@ func (d *Device) setKernelRate(k *kernelInstance, rate float64, now simclock.Tim
 		}
 	}
 	delay := completionDelay(k.remainingNS, rate)
+	d.node.evCounts.Device++
 	k.completion = d.node.eng.After(delay, k.completionFn)
 }

@@ -229,6 +229,10 @@ type Node struct {
 	onFail      []func(dev int, now simclock.Time)
 	failedCount int
 
+	// evCounts classifies every event scheduled on the engine by
+	// subsystem; see EventCounters in shards.go.
+	evCounts EventCounters
+
 	tracer Tracer
 	// The optional tracer extensions, type-asserted once at SetTracer so
 	// the hot paths pay a nil check instead of an interface assertion.
@@ -457,6 +461,7 @@ func (n *Node) MinLinkHealth() float64 {
 // primitive used by the non-hybrid scheduler mode.
 func (n *Node) HostBarrier(events []*Event, fn func(now simclock.Time)) {
 	if len(events) == 0 {
+		n.evCounts.Host++
 		n.eng.After(0, fn)
 		return
 	}
@@ -467,6 +472,7 @@ func (n *Node) HostBarrier(events []*Event, fn func(now simclock.Time)) {
 		ev.onFire(func(simclock.Time) {
 			pending--
 			if pending == 0 {
+				n.evCounts.Host++
 				n.eng.After(jitter, fn)
 			}
 		})

@@ -81,6 +81,7 @@ func (e *Event) Observe(fn func(now simclock.Time)) { e.onFire(fn) }
 func (e *Event) OnHost(fn func(now simclock.Time)) {
 	lat := e.node.spec.Host.NotifyLatency
 	e.onFire(func(simclock.Time) {
+		e.node.evCounts.Host++
 		e.node.eng.After(lat, fn)
 	})
 }
@@ -138,6 +139,7 @@ func (s *Stream) issue(cmd *command) {
 	if qt := s.node.queueTracer; qt != nil {
 		qt.QueueDepth(s.dev.id, s.dev.queueDepth, now)
 	}
+	s.node.evCounts.Stream++
 	s.node.eng.At(cmd.deliveredAt, cmd.deliverFn)
 }
 

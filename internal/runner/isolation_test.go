@@ -1,4 +1,4 @@
-package runner
+package runner_test
 
 import (
 	"reflect"
@@ -7,6 +7,7 @@ import (
 	"liger/internal/core"
 	"liger/internal/hw"
 	"liger/internal/model"
+	"liger/internal/runner"
 	"liger/internal/serve"
 )
 
@@ -75,7 +76,7 @@ func TestConcurrentSweepsIdentical(t *testing.T) {
 	// Two full sweeps concurrently: every job of both sweeps in flight
 	// together on 8 workers.
 	const sweeps = 2
-	got, err := Map(8, sweeps*len(jobs), func(i int) (sweepOutcome, error) {
+	got, err := runner.Map(8, sweeps*len(jobs), func(i int) (sweepOutcome, error) {
 		j := jobs[i%len(jobs)]
 		return runOnce(t, j.kind, j.rate), nil
 	})

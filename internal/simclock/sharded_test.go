@@ -1,0 +1,231 @@
+package simclock
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// ringModel is a synthetic logical-process graph for exercising the
+// sharded executor: every shard runs a chain of local events and passes
+// tokens around the ring, each hop exactly at the lookahead bound (the
+// hardest legal case). All state is per-shard, mutated only by that
+// shard's events, matching the executor's isolation contract.
+type ringModel struct {
+	s         *Sharded
+	lookahead Time
+	logs      [][]firing // per-shard (token id, now) log
+	hops      int        // remaining hops per token when it arrives
+}
+
+func newRingModel(shards, workers int, lookahead Time) *ringModel {
+	m := &ringModel{
+		s:         NewSharded(shards, lookahead, workers),
+		lookahead: lookahead,
+		logs:      make([][]firing, shards),
+		hops:      40,
+	}
+	for i := 0; i < shards; i++ {
+		i := i
+		// Each shard starts several tokens at staggered, colliding
+		// instants (same-instant cross-shard arrivals stress the
+		// deterministic delivery order).
+		for t := 0; t < 3; t++ {
+			id := i*100 + t
+			hops := m.hops
+			m.s.Shard(i).At(Time(t)*time.Microsecond, m.tokenFn(i, id, hops))
+		}
+	}
+	return m
+}
+
+// tokenFn returns the event for one arrival of token id at shard i.
+func (m *ringModel) tokenFn(i, id, hops int) Event {
+	return func(now Time) {
+		m.logs[i] = append(m.logs[i], firing{id: id, now: now})
+		// A burst of local work before forwarding: each local event
+		// lands inside the shard's own near future, no lookahead needed.
+		for k := 1; k <= 3; k++ {
+			m.s.Shard(i).At(now+Time(k)*100*time.Nanosecond, func(n2 Time) {
+				m.logs[i] = append(m.logs[i], firing{id: -id, now: n2})
+			})
+		}
+		if hops == 0 {
+			return
+		}
+		next := (i + 1) % m.s.Shards()
+		// Forward exactly at the lookahead bound — the tightest legal post.
+		m.s.Post(i, next, now+m.lookahead, m.tokenFn(next, id, hops-1))
+	}
+}
+
+func (m *ringModel) run() [][]firing {
+	m.s.Run()
+	m.s.Close()
+	return m.logs
+}
+
+// TestShardedDeterministicAcrossWorkers pins the executor's core
+// guarantee: per-shard firing logs are byte-for-byte identical no matter
+// how many workers execute the windows.
+func TestShardedDeterministicAcrossWorkers(t *testing.T) {
+	const shards = 4
+	la := 2 * time.Microsecond
+	ref := newRingModel(shards, 1, la).run()
+	total := 0
+	for _, log := range ref {
+		total += len(log)
+	}
+	if total == 0 {
+		t.Fatal("reference run fired no events")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := newRingModel(shards, workers, la).run()
+		for i := range ref {
+			if len(got[i]) != len(ref[i]) {
+				t.Fatalf("workers=%d shard %d fired %d events, want %d", workers, i, len(got[i]), len(ref[i]))
+			}
+			for j := range ref[i] {
+				if got[i][j] != ref[i][j] {
+					t.Fatalf("workers=%d shard %d firing %d = %+v, want %+v", workers, i, j, got[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedLookaheadViolationPanics pins the contract enforcement: a
+// cross-shard post closer than the lookahead is a model bug and must
+// fail loudly, not corrupt causality.
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	s := NewSharded(2, time.Microsecond, 1)
+	defer s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sub-lookahead cross-shard post did not panic")
+		}
+	}()
+	s.Post(0, 1, 500*time.Nanosecond, func(Time) {})
+}
+
+// TestShardedSameShardPostUnrestricted: src == dst posts are ordinary
+// schedules, allowed at any time >= the shard's clock.
+func TestShardedSameShardPostUnrestricted(t *testing.T) {
+	s := NewSharded(2, time.Millisecond, 1)
+	defer s.Close()
+	fired := false
+	s.Post(0, 0, time.Nanosecond, func(Time) { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("same-shard post did not fire")
+	}
+}
+
+// TestShardedRunUntil checks the deadline semantics match the
+// single-engine RunUntil: events at the deadline fire, later ones do
+// not, and every shard's clock ends at the deadline.
+func TestShardedRunUntil(t *testing.T) {
+	s := NewSharded(3, 10*time.Microsecond, 2)
+	defer s.Close()
+	var fired []int
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Shard(i).At(Time(i+1)*time.Millisecond, func(Time) { fired = append(fired, i) })
+	}
+	s.RunUntil(2 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by the deadline, want 2 (deadline inclusive)", len(fired))
+	}
+	for i := 0; i < 3; i++ {
+		if now := s.Shard(i).Now(); now != 2*time.Millisecond {
+			t.Fatalf("shard %d clock = %v after RunUntil, want 2ms", i, now)
+		}
+	}
+	s.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events total, want 3", len(fired))
+	}
+}
+
+// TestShardedCrossPostTieOrder pins the deterministic delivery order of
+// same-instant cross-posts from different sources: (at, src, idx), which
+// fixes the destination's FIFO sequence numbers.
+func TestShardedCrossPostTieOrder(t *testing.T) {
+	s := NewSharded(3, time.Microsecond, 2)
+	defer s.Close()
+	var got []int
+	at := 5 * time.Microsecond
+	// Shards 1 and 2 each post two events to shard 0 at the same instant.
+	for src := 2; src >= 1; src-- {
+		src := src
+		for k := 0; k < 2; k++ {
+			k := k
+			s.Post(src, 0, at, func(Time) { got = append(got, src*10+k) })
+		}
+	}
+	s.Run()
+	want := []int{10, 11, 20, 21} // src 1 before src 2, posts in index order
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("same-instant cross-posts delivered as %v, want %v", got, want)
+		}
+	}
+}
+
+// TestShardedStats sanity-checks the instrumentation counters.
+func TestShardedStats(t *testing.T) {
+	m := newRingModel(4, 2, 2*time.Microsecond)
+	m.s.Run()
+	st := m.s.Stats()
+	m.s.Close()
+	if st.Windows == 0 {
+		t.Fatal("no windows executed")
+	}
+	if st.Posts == 0 {
+		t.Fatal("no cross-posts delivered")
+	}
+	// The staggered ring leaves most shards idle in most windows on this
+	// workload; the counter just has to be consistent.
+	if st.Stalls > st.Windows*4 {
+		t.Fatalf("stalls %d exceed windows x shards %d", st.Stalls, st.Windows*4)
+	}
+}
+
+// TestShardedZeroLookaheadRejected pins the honest-degenerate-case
+// behaviour: zero lookahead cannot be windowed, and the caller (see
+// gpusim.PlanShards / core.NewEngine) must fall back to one engine.
+func TestShardedZeroLookaheadRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSharded accepted a zero lookahead")
+		}
+	}()
+	NewSharded(2, 0, 1)
+}
+
+// BenchmarkShardedRing measures windowed-execution throughput on the
+// synthetic ring at 1 and 4 workers. On multi-core hosts the parallel
+// variant demonstrates the scaling headroom the 1-CPU CI container
+// cannot show (see docs/PERF.md).
+func BenchmarkShardedRing(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			events := 0
+			for i := 0; i < b.N; i++ {
+				m := newRingModel(4, workers, 2*time.Microsecond)
+				m.s.Run()
+				if events == 0 {
+					for _, log := range m.logs {
+						events += len(log)
+					}
+				}
+				m.s.Close()
+			}
+			b.ReportMetric(float64(events), "events/run")
+		})
+	}
+}

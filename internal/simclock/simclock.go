@@ -10,16 +10,38 @@
 // Engine instances, so independent simulations can run concurrently on
 // separate goroutines (one engine per goroutine) without synchronization.
 //
-// Hot-path notes: fired and cancelled heap entries are recycled through a
-// per-engine free list, so steady-state stepping allocates nothing, and
-// the heap is compacted when cancelled placeholders outnumber live
-// events (frequent re-timing — e.g. kernel rate changes — would
-// otherwise grow it without bound).
+// # Queue design
+//
+// Events live in a two-band calendar queue instead of a binary heap (see
+// docs/PERF.md for the full design and its measured throughput):
+//
+//   - the near band is a ring of fixed-width time buckets covering the
+//     window [winStart, winStart+nb·width). Enqueue into a future bucket
+//     is an O(1) append; a bucket is sorted once, lazily, when the clock
+//     reaches it, so the near-horizon events that dominate kernel
+//     scheduling cost O(1) amortized to enqueue and dequeue;
+//   - events beyond the window overflow into the far band, a min-heap
+//     ordered by (time, seq), and migrate into the ring as the window
+//     slides over them.
+//
+// The firing order is the total order on (time, seq) — exactly the order
+// the old heap produced — so the rewrite is semantically invisible: the
+// differential test in this package drives both engines side by side
+// through randomized workloads and asserts identical behaviour.
+//
+// Hot-path notes: fired and cancelled entries are recycled through a
+// per-engine free list, so steady-state stepping allocates nothing;
+// cancellation is O(1) (a tombstone flag), and the queue is compacted
+// when tombstones outnumber live events. Bucket width self-tunes: the
+// ring widens when events are too sparse for the window and narrows when
+// single buckets grow pathological.
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
+	"slices"
+	"sort"
 	"time"
 )
 
@@ -32,7 +54,7 @@ type Time = time.Duration
 // Event is a callback scheduled to fire at a virtual instant.
 type Event func(now Time)
 
-// item is a heap entry. seq breaks ties between events at the same
+// item is a queue entry. seq breaks ties between events at the same
 // instant. gen is bumped every time the item returns to the free list so
 // stale Handles to a recycled item become no-ops.
 type item struct {
@@ -40,9 +62,9 @@ type item struct {
 	seq uint64
 	fn  Event
 	gen uint64
-	// cancelled events stay in the heap but are skipped when popped;
-	// this is cheaper than heap removal and keeps Cancel O(1). The
-	// engine compacts the heap when they pile up.
+	// cancelled events stay queued but are skipped when reached; this is
+	// cheaper than removal and keeps Cancel O(1). The engine compacts
+	// the queue when they pile up.
 	cancelled bool
 }
 
@@ -67,49 +89,110 @@ func (h Handle) Cancel() {
 	}
 }
 
-type eventHeap []*item
+// Calendar geometry. The ring has nb buckets; bucket width is 1<<shift
+// nanoseconds, self-tuned between minShift and maxShift.
+const (
+	nbBits = 8
+	nb     = 1 << nbBits
+	nbMask = nb - 1
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*item)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
-}
+	// minShift = 64 ns buckets; maxShift = ~67 ms buckets (window ~17 s).
+	minShift  = 6
+	maxShift  = 26
+	initShift = 12 // ~4.1 µs buckets, window ~1 ms: kernel-scheduling scale
 
-// compactMinLen is the heap size below which compaction is never
+	// sortInline is the bucket size up to which insertion sort beats the
+	// general sort.
+	sortInline = 24
+
+	// fatBucket triggers a width halving when a single bucket's live
+	// population exceeds it (sorted inserts into the current bucket would
+	// otherwise degenerate into large memmoves).
+	fatBucket = 1024
+
+	// sparseWindow widens the ring at reload when the previous window
+	// turned over with this many advances per pop or more.
+	sparseWindow = 4
+)
+
+// compactMinLen is the queue size below which compaction is never
 // worthwhile (the walk costs more than the memory it reclaims).
 const compactMinLen = 64
+
+// bucket is one slot of the near-band ring. items[head:] are the entries
+// not yet consumed; sorted marks whether that slice is ordered by
+// (at, seq). head > 0 implies sorted.
+type bucket struct {
+	items  []*item
+	head   int
+	sorted bool
+}
+
+// Stats are engine-level instrumentation counters (see ligerprof
+// -engine-stats). All counters are cumulative over the engine's life.
+type Stats struct {
+	// Fired is the number of events executed.
+	Fired uint64
+	// MaxPending is the high-water mark of live queued events.
+	MaxPending int
+	// Compactions counts tombstone-compaction passes.
+	Compactions uint64
+	// Reloads counts window reloads from the far band (the near band
+	// drained and the window re-seeded at the next far event).
+	Reloads uint64
+	// Rebases counts window rebases (an event scheduled before the
+	// current window start forced a redistribution).
+	Rebases uint64
+	// Resizes counts bucket-width changes.
+	Resizes uint64
+	// FarPushes counts events that overflowed past the window into the
+	// far band.
+	FarPushes uint64
+}
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // ready; use New.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	fired  uint64
-	// cancelled counts cancelled placeholders still in the heap.
+	now   Time
+	seq   uint64
+	fired uint64
+
+	// Near band: ring of nb buckets. buckets[cur] holds events in
+	// [winStart, winStart+width); every stored near event e satisfies
+	// winStart <= e.at < winStart + nb*width.
+	buckets   []bucket
+	cur       int
+	winStart  Time
+	shift     uint
+	nearCount int // entries stored in buckets (live + cancelled)
+	// occ is the non-empty-bucket bitmap (by ring index), letting the
+	// window slide straight to the next populated bucket instead of
+	// scanning empties one by one.
+	occ [nb / 64]uint64
+
+	// Far band: min-heap on (at, seq) for events at or beyond the window
+	// end.
+	far []*item
+
+	// cancelled counts tombstones still stored across both bands.
 	cancelled int
 	// free recycles fired/cancelled items; At pops from it before
 	// allocating.
 	free []*item
+	// scratch is reused by rebase/resize redistribution passes.
+	scratch []*item
+
+	// Window-turnover counters driving width self-tuning.
+	advances  uint64
+	pops      uint64
+	maxBucket int
+
+	stats Stats
 }
 
 // New returns an engine with the clock at zero and no pending events.
 func New() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+	return &Engine{buckets: make([]bucket, nb), shift: initShift}
 }
 
 // Now returns the current virtual time.
@@ -119,9 +202,28 @@ func (e *Engine) Now() Time { return e.now }
 // instrumentation and run-away detection in tests.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still queued (including cancelled
-// placeholders not yet drained or compacted away).
-func (e *Engine) Pending() int { return e.events.Len() }
+// Pending returns the number of live events still queued. Cancelled
+// placeholders awaiting compaction are not counted — Pending is the
+// number of events that will still fire.
+func (e *Engine) Pending() int { return e.nearCount + len(e.far) - e.cancelled }
+
+// PendingRaw returns the number of stored queue entries including
+// cancelled placeholders not yet compacted away — the engine's physical
+// occupancy, which the compaction regression test bounds.
+func (e *Engine) PendingRaw() int { return e.nearCount + len(e.far) }
+
+// Stats returns the engine's instrumentation counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.Fired = e.fired
+	return s
+}
+
+// width returns the current bucket width.
+func (e *Engine) width() Time { return Time(1) << e.shift }
+
+// winEnd returns the first instant beyond the near window.
+func (e *Engine) winEnd() Time { return e.winStart + Time(1)<<(e.shift+nbBits) }
 
 // newItem takes an item from the free list (or allocates one) and arms it.
 func (e *Engine) newItem(at Time, fn Event) *item {
@@ -141,7 +243,7 @@ func (e *Engine) newItem(at Time, fn Event) *item {
 	return it
 }
 
-// recycle returns an item no longer in the heap to the free list,
+// recycle returns an item no longer queued to the free list,
 // invalidating outstanding Handles to it.
 func (e *Engine) recycle(it *item) {
 	it.gen++
@@ -149,27 +251,14 @@ func (e *Engine) recycle(it *item) {
 	e.free = append(e.free, it)
 }
 
-// maybeCompact rebuilds the heap without cancelled placeholders once they
-// exceed half the queue. Heap order is a total order on (at, seq), so the
-// rebuild cannot change the pop sequence of live events.
-func (e *Engine) maybeCompact() {
-	if len(e.events) < compactMinLen || e.cancelled*2 <= len(e.events) {
-		return
+// itemAfter is the total order on queue entries: (at, seq) ascending.
+// seq is unique, so this is a strict total order — the firing sequence
+// is fully determined no matter which data structure holds the entries.
+func itemAfter(a, b *item) bool {
+	if a.at != b.at {
+		return a.at > b.at
 	}
-	live := e.events[:0]
-	for _, it := range e.events {
-		if it.cancelled {
-			e.recycle(it)
-		} else {
-			live = append(live, it)
-		}
-	}
-	for i := len(live); i < len(e.events); i++ {
-		e.events[i] = nil
-	}
-	e.events = live
-	e.cancelled = 0
-	heap.Init(&e.events)
+	return a.seq > b.seq
 }
 
 // At schedules fn to run at the absolute virtual time at. Scheduling in
@@ -180,7 +269,10 @@ func (e *Engine) At(at Time, fn Event) Handle {
 		panic(fmt.Sprintf("simclock: schedule at %v before now %v", at, e.now))
 	}
 	it := e.newItem(at, fn)
-	heap.Push(&e.events, it)
+	e.schedule(it)
+	if live := e.nearCount + len(e.far) - e.cancelled; live > e.stats.MaxPending {
+		e.stats.MaxPending = live
+	}
 	return Handle{eng: e, it: it, gen: it.gen}
 }
 
@@ -189,24 +281,394 @@ func (e *Engine) After(d time.Duration, fn Event) Handle {
 	return e.At(e.now+d, fn)
 }
 
+// schedule places an armed item into the correct band. This is the only
+// place a width narrowing can trigger: insertNear is also called from
+// redistribution loops (pullFar, rebase, resize), where a reentrant
+// resize would corrupt the iteration in progress.
+func (e *Engine) schedule(it *item) {
+	if it.at < e.winStart {
+		// The window was slid or reloaded past this instant while the
+		// clock is still behind it (an idle peek jumped ahead, then a
+		// near-term event arrived). Rebase the window down to cover it.
+		e.rebase(it.at)
+	}
+	idx := uint64(it.at-e.winStart) >> e.shift
+	if idx >= nb {
+		e.farPush(it)
+		e.stats.FarPushes++
+		return
+	}
+	e.insertNear(it, int(idx))
+	if e.maxBucket > fatBucket && e.shift > minShift {
+		e.resize(e.shift - 2)
+	}
+}
+
+// insertNear stores an item whose window offset is idx buckets ahead of
+// cur. Future buckets take an O(1) append; the current, already-sorted
+// bucket takes an ordered insert so consumption stays correct.
+func (e *Engine) insertNear(it *item, idx int) {
+	b := &e.buckets[(e.cur+idx)&nbMask]
+	e.nearCount++
+	if len(b.items) == b.head {
+		// Empty (or fully consumed) bucket: mark occupancy, append.
+		e.setOcc((e.cur + idx) & nbMask)
+		if b.head > 0 {
+			// Fully consumed sorted bucket: appending one item keeps
+			// items[head:] trivially sorted.
+			b.items = append(b.items, it)
+			return
+		}
+		b.items = append(b.items, it)
+		b.sorted = true // single entry
+		return
+	}
+	if !b.sorted {
+		b.items = append(b.items, it)
+		return
+	}
+	// Sorted bucket (the one being consumed, typically). Fast path: the
+	// new entry is the latest seq, so it lands at the end unless an
+	// existing entry has a later timestamp.
+	if last := b.items[len(b.items)-1]; !itemAfter(last, it) {
+		b.items = append(b.items, it)
+	} else {
+		lo := b.head
+		j := lo + sort.Search(len(b.items)-lo, func(k int) bool {
+			return itemAfter(b.items[lo+k], it)
+		})
+		b.items = append(b.items, nil)
+		copy(b.items[j+1:], b.items[j:])
+		b.items[j] = it
+	}
+	if n := len(b.items) - b.head; n > e.maxBucket {
+		e.maxBucket = n
+	}
+}
+
+// setOcc / clearOcc maintain the non-empty-bucket bitmap.
+func (e *Engine) setOcc(i int)   { e.occ[i>>6] |= 1 << uint(i&63) }
+func (e *Engine) clearOcc(i int) { e.occ[i>>6] &^= 1 << uint(i&63) }
+
+// nextOcc returns the ring distance from cur to the nearest populated
+// bucket (0 when buckets[cur] itself is populated). Must only be called
+// with nearCount > 0.
+func (e *Engine) nextOcc() int {
+	for d := 0; d < nb; {
+		i := (e.cur + d) & nbMask
+		w := e.occ[i>>6] >> uint(i&63)
+		if w != 0 {
+			return d + bits.TrailingZeros64(w)
+		}
+		// Skip the rest of this word.
+		d += 64 - i&63
+	}
+	// Unreachable while the occupancy bitmap is consistent with
+	// nearCount; fall back to the current bucket.
+	return 0
+}
+
+// farPush adds an item to the far-band min-heap.
+func (e *Engine) farPush(it *item) {
+	e.far = append(e.far, it)
+	i := len(e.far) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !itemAfter(e.far[p], e.far[i]) {
+			break
+		}
+		e.far[p], e.far[i] = e.far[i], e.far[p]
+		i = p
+	}
+}
+
+// farPop removes and returns the far-band minimum.
+func (e *Engine) farPop() *item {
+	h := e.far
+	it := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	e.far = h[:n]
+	e.farSiftDown(0)
+	return it
+}
+
+// farSiftDown restores the heap property downward from i.
+func (e *Engine) farSiftDown(i int) {
+	h := e.far
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && itemAfter(h[l], h[r]) {
+			m = r
+		}
+		if !itemAfter(h[i], h[m]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// pullFar migrates far-band events that now fall inside the window.
+func (e *Engine) pullFar() {
+	end := e.winEnd()
+	for len(e.far) > 0 && e.far[0].at < end {
+		it := e.farPop()
+		e.insertNear(it, int(uint64(it.at-e.winStart)>>e.shift))
+	}
+}
+
+// sortBucket orders items[head:] by (at, seq). Unsorted buckets always
+// have head == 0. Small buckets use insertion sort; larger ones the
+// library sort.
+func (e *Engine) sortBucket(b *bucket) {
+	s := b.items
+	if len(s) <= sortInline {
+		for i := 1; i < len(s); i++ {
+			it := s[i]
+			j := i - 1
+			for j >= 0 && itemAfter(s[j], it) {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = it
+		}
+	} else {
+		slices.SortFunc(s, func(a, b *item) int {
+			if itemAfter(b, a) {
+				return -1
+			}
+			return 1
+		})
+	}
+	b.sorted = true
+}
+
+// settle positions the queue so the next live event sits at
+// buckets[cur].items[head], sliding the window and migrating the far
+// band as needed, and returns that event (nil when none remain).
+// Cancelled entries encountered on the way are reclaimed.
+func (e *Engine) settle() *item {
+	for {
+		if e.nearCount == 0 {
+			if len(e.far) == 0 {
+				return nil
+			}
+			e.reload()
+		}
+		if d := e.nextOcc(); d > 0 {
+			e.cur = (e.cur + d) & nbMask
+			e.winStart += Time(d) << e.shift
+			e.advances += uint64(d)
+			e.pullFar()
+		}
+		b := &e.buckets[e.cur]
+		for b.head < len(b.items) {
+			if !b.sorted {
+				e.sortBucket(b)
+			}
+			it := b.items[b.head]
+			if !it.cancelled {
+				return it
+			}
+			b.items[b.head] = nil
+			b.head++
+			e.nearCount--
+			e.cancelled--
+			e.recycle(it)
+		}
+		// Bucket exhausted (everything in it was cancelled): reset it and
+		// advance one slot.
+		e.resetBucket(e.cur)
+		e.cur = (e.cur + 1) & nbMask
+		e.winStart += e.width()
+		e.advances++
+		e.pullFar()
+	}
+}
+
+// resetBucket clears a consumed bucket for reuse, keeping its capacity.
+func (e *Engine) resetBucket(i int) {
+	b := &e.buckets[i]
+	b.items = b.items[:0]
+	b.head = 0
+	b.sorted = false
+	e.clearOcc(i)
+}
+
+// take removes the settled head event from the current bucket.
+func (e *Engine) take() *item {
+	b := &e.buckets[e.cur]
+	it := b.items[b.head]
+	b.items[b.head] = nil
+	b.head++
+	e.nearCount--
+	e.pops++
+	if b.head == len(b.items) {
+		e.resetBucket(e.cur)
+	}
+	return it
+}
+
+// reload re-seeds an empty window at the next far-band event, applying
+// width feedback from the window that just turned over: widen when the
+// window was mostly empty advances, narrow when a bucket went
+// pathological (narrowing is also triggered inline by insertNear).
+func (e *Engine) reload() {
+	if e.pops > 0 && e.advances > sparseWindow*e.pops && e.shift < maxShift {
+		e.shift += 2
+		if e.shift > maxShift {
+			e.shift = maxShift
+		}
+		e.stats.Resizes++
+	}
+	e.advances, e.pops, e.maxBucket = 0, 0, 0
+	e.cur = 0
+	e.winStart = e.far[0].at
+	e.stats.Reloads++
+	e.pullFar()
+}
+
+// rebase slides the window start down to at (an event arrived behind the
+// window while the clock still permits it), redistributing stored near
+// events. Rare: it takes an idle window jump followed by a near-term
+// schedule to get here.
+func (e *Engine) rebase(at Time) {
+	e.stats.Rebases++
+	e.collectNear()
+	e.cur = 0
+	e.winStart = at
+	tmp := e.scratch
+	for i, it := range tmp {
+		tmp[i] = nil
+		idx := uint64(it.at-at) >> e.shift
+		if idx >= nb {
+			e.farPush(it)
+		} else {
+			e.insertNear(it, int(idx))
+		}
+	}
+	e.scratch = tmp[:0]
+}
+
+// resize changes the bucket width to 1<<newShift, redistributing the
+// near band in place. Correctness does not depend on the width — only
+// the cost profile does — so resizing cannot affect firing order.
+func (e *Engine) resize(newShift uint) {
+	if newShift < minShift {
+		newShift = minShift
+	} else if newShift > maxShift {
+		newShift = maxShift
+	}
+	if newShift == e.shift {
+		return
+	}
+	e.stats.Resizes++
+	e.collectNear()
+	e.shift = newShift
+	e.cur = 0
+	e.maxBucket = 0
+	tmp := e.scratch
+	for i, it := range tmp {
+		tmp[i] = nil
+		idx := uint64(it.at-e.winStart) >> e.shift
+		if idx >= nb {
+			e.farPush(it)
+		} else {
+			e.insertNear(it, int(idx))
+		}
+	}
+	e.scratch = tmp[:0]
+}
+
+// collectNear drains every stored near entry into e.scratch and resets
+// the ring. nearCount drops to zero; callers reinsert.
+func (e *Engine) collectNear() {
+	tmp := e.scratch[:0]
+	for i := range e.buckets {
+		b := &e.buckets[i]
+		for _, it := range b.items[b.head:] {
+			tmp = append(tmp, it)
+		}
+		if len(b.items) > 0 || b.head > 0 {
+			e.resetBucket(i)
+		}
+	}
+	e.scratch = tmp
+	e.nearCount = 0
+}
+
+// maybeCompact rebuilds both bands without cancelled placeholders once
+// they exceed half the queue. The (at, seq) total order is untouched by
+// removal, so compaction cannot change the pop sequence of live events.
+func (e *Engine) maybeCompact() {
+	total := e.nearCount + len(e.far)
+	if total < compactMinLen || e.cancelled*2 <= total {
+		return
+	}
+	e.stats.Compactions++
+	for i := range e.buckets {
+		b := &e.buckets[i]
+		if b.head == len(b.items) {
+			continue
+		}
+		live := b.items[:0]
+		for _, it := range b.items[b.head:] {
+			if it.cancelled {
+				e.nearCount--
+				e.recycle(it)
+			} else {
+				live = append(live, it)
+			}
+		}
+		for j := len(live); j < len(b.items); j++ {
+			b.items[j] = nil
+		}
+		b.items = live
+		b.head = 0
+		if len(live) == 0 {
+			b.sorted = false
+			e.clearOcc(i)
+		}
+	}
+	liveFar := e.far[:0]
+	for _, it := range e.far {
+		if it.cancelled {
+			e.recycle(it)
+		} else {
+			liveFar = append(liveFar, it)
+		}
+	}
+	for j := len(liveFar); j < len(e.far); j++ {
+		e.far[j] = nil
+	}
+	e.far = liveFar
+	for i := len(e.far)/2 - 1; i >= 0; i-- {
+		e.farSiftDown(i)
+	}
+	e.cancelled = 0
+}
+
 // Step fires the earliest pending event. It reports whether an event
 // fired (false when the queue is empty).
 func (e *Engine) Step() bool {
-	for e.events.Len() > 0 {
-		it := heap.Pop(&e.events).(*item)
-		if it.cancelled {
-			e.cancelled--
-			e.recycle(it)
-			continue
-		}
-		e.now = it.at
-		e.fired++
-		fn := it.fn
-		e.recycle(it)
-		fn(e.now)
-		return true
+	it := e.settle()
+	if it == nil {
+		return false
 	}
-	return false
+	e.take()
+	e.now = it.at
+	e.fired++
+	fn := it.fn
+	e.recycle(it)
+	fn(e.now)
+	return true
 }
 
 // Run fires events until the queue is empty.
@@ -219,11 +681,16 @@ func (e *Engine) Run() {
 // clock to the deadline. Events scheduled at exactly the deadline fire.
 func (e *Engine) RunUntil(deadline Time) {
 	for {
-		next, ok := e.peek()
-		if !ok || next > deadline {
+		it := e.settle()
+		if it == nil || it.at > deadline {
 			break
 		}
-		e.Step()
+		e.take()
+		e.now = it.at
+		e.fired++
+		fn := it.fn
+		e.recycle(it)
+		fn(e.now)
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -233,19 +700,34 @@ func (e *Engine) RunUntil(deadline Time) {
 // RunFor is RunUntil(Now()+d).
 func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
 
+// RunBefore fires events with timestamps strictly below bound and stops,
+// leaving the clock at the last fired event (it does NOT advance the
+// idle clock to the bound — the caller owns the bound's meaning). This
+// is the primitive the lookahead-sharded executor uses to advance a
+// shard through one conservative window: every event below the horizon
+// is safe to fire; the horizon itself is not.
+func (e *Engine) RunBefore(bound Time) {
+	for {
+		it := e.settle()
+		if it == nil || it.at >= bound {
+			return
+		}
+		e.take()
+		e.now = it.at
+		e.fired++
+		fn := it.fn
+		e.recycle(it)
+		fn(e.now)
+	}
+}
+
 // peek returns the timestamp of the next live event.
 func (e *Engine) peek() (Time, bool) {
-	for e.events.Len() > 0 {
-		it := e.events[0]
-		if it.cancelled {
-			heap.Pop(&e.events)
-			e.cancelled--
-			e.recycle(it)
-			continue
-		}
-		return it.at, true
+	it := e.settle()
+	if it == nil {
+		return 0, false
 	}
-	return 0, false
+	return it.at, true
 }
 
 // NextEventAt reports the timestamp of the next pending event, if any.

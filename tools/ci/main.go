@@ -30,6 +30,15 @@
 //     gate runs end to end
 //  10. an explain smoke: `ligersim -explain` twice on the same seed must
 //     print byte-identical critical-path/gap/overlap reports
+//  11. a shards determinism smoke: `ligerbench -exp fig10 -quick` at
+//     -shards 0 and -shards 4 must print byte-identical output
+//     (timing lines stripped) — the lookahead-sharded path may never
+//     change results, only speed (hard fail)
+//  12. a descore regression pass: tools/descore re-measures DES-core
+//     events/sec (frozen heap baseline vs calendar queue) and benchdiff
+//     compares against the committed BENCH_descore.json — warn-only,
+//     because throughput on the 1-CPU CI container is noise; the
+//     determinism smokes above are the hard gates
 package main
 
 import (
@@ -94,7 +103,82 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("ok   explain smoke (%v)\n", time.Since(start).Round(time.Millisecond))
+	start = time.Now()
+	if err := shardsDeterminism(); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL shards smoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok   shards smoke (%v)\n", time.Since(start).Round(time.Millisecond))
+	start = time.Now()
+	if err := descoreRegression(); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL descore: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok   descore (%v)\n", time.Since(start).Round(time.Millisecond))
 	fmt.Println("all checks passed")
+}
+
+// shardsDeterminism runs the fig10 quick sweep at -shards 0 and
+// -shards 4 and fails unless stdout is byte-identical after stripping
+// the wall-clock timing lines. Today the single-node shard plan falls
+// back to the sequential engine, so this pins the fallback; when a
+// multi-domain plan lands, it pins the lookahead invariant.
+func shardsDeterminism() error {
+	var outs [][]byte
+	for _, shards := range []string{"0", "4"} {
+		cmd := exec.Command("go", "run", "./cmd/ligerbench",
+			"-exp", "fig10", "-quick", "-batches", "25", "-seed", "5", "-shards", shards)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("-shards %s: %v", shards, err)
+		}
+		outs = append(outs, stripTimingLines(out))
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		return fmt.Errorf("fig10 output differs between -shards 0 and -shards 4")
+	}
+	return nil
+}
+
+// stripTimingLines removes the "---- <exp> done in <wall> ----" lines,
+// the only output legitimately dependent on host speed.
+func stripTimingLines(out []byte) []byte {
+	var kept [][]byte
+	for _, line := range bytes.Split(out, []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("---- ")) && bytes.Contains(line, []byte(" done in ")) {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return bytes.Join(kept, []byte("\n"))
+}
+
+// descoreRegression re-measures DES-core throughput into a temp file
+// and benchdiffs it against the committed BENCH_descore.json, warn-only
+// (-threshold 0.5: only a halving of events/sec would even warn, and a
+// warn never fails the gate — CI container timing is not a benchmark).
+func descoreRegression() error {
+	tmp, err := os.MkdirTemp("", "ci-descore-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	fresh := filepath.Join(tmp, "BENCH_descore.json")
+	cmd := exec.Command("go", "run", "./tools/descore", "-o", fresh)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("descore run: %v", err)
+	}
+	cmd = exec.Command("go", "run", "./tools/benchdiff", "-warn", "-threshold", "0.5",
+		"BENCH_descore.json", fresh)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("benchdiff: %v", err)
+	}
+	return nil
 }
 
 // failoverDeterminism runs the traced failover sweep at two worker

@@ -1,0 +1,255 @@
+// Command descore measures the DES core's event throughput and writes
+// the machine-readable BENCH_descore.json artifact the CI regression
+// gate diffs (tools/benchdiff, warn-only — event throughput is a timing
+// measurement and the 1-CPU CI container is noisy; determinism, unlike
+// speed, is gated hard by the byte-compare smokes in tools/ci).
+//
+// Methodology: the frozen pre-rewrite engine is kept verbatim at
+// internal/simclock/refheap, so both the baseline and the calendar
+// queue are re-measured on the SAME host at the SAME instant with the
+// SAME workloads — the ratio is like-for-like by construction, not a
+// number copied from an old run. Three microbenchmarks cover the hot
+// patterns of real simulations:
+//
+//   - step: a self-rescheduling event population (the kernel
+//     completion/re-arm steady state) — pure Step + At throughput;
+//   - cancel: cancel + re-arm churn against a standing population (the
+//     setKernelRate pattern that dominates contention recompute);
+//   - churn: bulk schedule of a clustered batch then drain (arrival
+//     bursts).
+//
+// An optional wall-clock section (-wall) times the fig10 -quick sweep
+// in-process on the current engine.
+//
+//	go run ./tools/descore -wall -o BENCH_descore.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"liger/internal/bench"
+	"liger/internal/simclock"
+	"liger/internal/simclock/refheap"
+)
+
+// result is one workload measured on both engines.
+type result struct {
+	HeapNsOp     float64 `json:"heap_ns_op"`
+	CalendarNsOp float64 `json:"calendar_ns_op"`
+	// Speedup is heap/calendar: >1 means the calendar queue is faster.
+	Speedup float64 `json:"speedup"`
+	// HeapEventsPerSec / CalendarEventsPerSec restate the same numbers
+	// as throughput (each benchmark iteration fires exactly one event).
+	HeapEventsPerSec     float64 `json:"heap_events_per_sec"`
+	CalendarEventsPerSec float64 `json:"calendar_events_per_sec"`
+}
+
+// doc is the emitted artifact.
+type doc struct {
+	Methodology string            `json:"methodology"`
+	Host        host              `json:"host"`
+	Microbench  map[string]result `json:"microbench"`
+	// MinSpeedup is the smallest microbenchmark speedup — the headline
+	// the ≥3x acceptance bar reads (BenchmarkEngineStep-class).
+	StepSpeedup float64 `json:"step_speedup"`
+	Wall        *wall   `json:"wall,omitempty"`
+}
+
+type host struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+}
+
+type wall struct {
+	// Fig10QuickSeconds is the fig10 -quick -batches 150 sweep timed
+	// in-process on the current (calendar) engine, serial executor.
+	Fig10QuickSeconds float64 `json:"fig10_quick_seconds"`
+	Batches           int     `json:"batches"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_descore.json", "output artifact path")
+	withWall := flag.Bool("wall", false, "also time the fig10 -quick sweep in-process (slow)")
+	wallBatches := flag.Int("wall-batches", 150, "batch arrivals per point for -wall")
+	flag.Parse()
+
+	d := doc{
+		Methodology: "baseline re-measured live from the frozen pre-rewrite heap engine " +
+			"(internal/simclock/refheap) on the same host and workloads as the calendar queue; " +
+			"ns/op from testing.Benchmark, one event fired per iteration; speedup = heap/calendar",
+		Host:       host{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()},
+		Microbench: map[string]result{},
+	}
+
+	for _, w := range []struct {
+		name     string
+		heap     func(b *testing.B)
+		calendar func(b *testing.B)
+	}{
+		{"step", heapStep, calStep},
+		{"cancel", heapCancel, calCancel},
+		{"churn", heapChurn, calChurn},
+	} {
+		r := measure(w.heap, w.calendar)
+		d.Microbench[w.name] = r
+		fmt.Fprintf(os.Stderr, "descore: %-7s heap %8.1f ns/op  calendar %8.1f ns/op  speedup %.2fx\n",
+			w.name, r.HeapNsOp, r.CalendarNsOp, r.Speedup)
+	}
+	d.StepSpeedup = d.Microbench["step"].Speedup
+
+	if *withWall {
+		cfg := bench.RunConfig{Batches: *wallBatches, Quick: true, Seed: 1}
+		start := time.Now()
+		exp, err := bench.ByID("fig10")
+		if err == nil {
+			err = exp.Run(cfg, discard{})
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "descore: fig10 wall run:", err)
+			os.Exit(1)
+		}
+		d.Wall = &wall{Fig10QuickSeconds: time.Since(start).Seconds(), Batches: *wallBatches}
+		fmt.Fprintf(os.Stderr, "descore: fig10 -quick -batches %d wall %.2fs\n", *wallBatches, d.Wall.Fig10QuickSeconds)
+	}
+
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "descore:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "descore:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "descore: wrote %s\n", *out)
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// measure runs both variants under testing.Benchmark (which self-scales
+// b.N to roughly a second of measurement) and folds the ns/op pair into
+// a result. Each variant gets a discarded warm-up pass so neither side
+// pays the cold-cache penalty.
+func measure(heap, calendar func(b *testing.B)) result {
+	run := func(fn func(b *testing.B)) float64 {
+		testing.Benchmark(fn) // warm-up, discarded
+		final := testing.Benchmark(fn)
+		return float64(final.T.Nanoseconds()) / float64(final.N)
+	}
+	h := run(heap)
+	c := run(calendar)
+	r := result{HeapNsOp: h, CalendarNsOp: c}
+	if c > 0 {
+		r.Speedup = h / c
+	}
+	if h > 0 {
+		r.HeapEventsPerSec = 1e9 / h
+	}
+	if c > 0 {
+		r.CalendarEventsPerSec = 1e9 / c
+	}
+	return r
+}
+
+// ---- workloads, written twice (the two engines are distinct types on
+// purpose: refheap must stay frozen, not parameterized) ----
+
+// step: 64 events, each rescheduling itself 1µs ahead.
+func calStep(b *testing.B) {
+	e := simclock.New()
+	var fns []simclock.Event
+	for j := 0; j < 64; j++ {
+		j := j
+		var fn simclock.Event
+		fn = func(now simclock.Time) { e.At(now+time.Microsecond, fns[j]) }
+		fns = append(fns, fn)
+		e.At(simclock.Time(j)*time.Nanosecond, fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func heapStep(b *testing.B) {
+	e := refheap.New()
+	var fns []refheap.Event
+	for j := 0; j < 64; j++ {
+		j := j
+		var fn refheap.Event
+		fn = func(now refheap.Time) { e.At(now+time.Microsecond, fns[j]) }
+		fns = append(fns, fn)
+		e.At(refheap.Time(j)*time.Nanosecond, fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// cancel: a standing population of 128 far events under cancel + re-arm
+// churn (the kernel re-time pattern).
+func calCancel(b *testing.B) {
+	e := simclock.New()
+	noop := func(simclock.Time) {}
+	handles := make([]simclock.Handle, 128)
+	for j := range handles {
+		handles[j] = e.At(time.Duration(1000+j)*time.Microsecond, noop)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(handles)
+		handles[j].Cancel()
+		handles[j] = e.At(time.Duration(2000+i%1000)*time.Microsecond, noop)
+	}
+}
+
+func heapCancel(b *testing.B) {
+	e := refheap.New()
+	noop := func(refheap.Time) {}
+	handles := make([]refheap.Handle, 128)
+	for j := range handles {
+		handles[j] = e.At(time.Duration(1000+j)*time.Microsecond, noop)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(handles)
+		handles[j].Cancel()
+		handles[j] = e.At(time.Duration(2000+i%1000)*time.Microsecond, noop)
+	}
+}
+
+// churn: bulk-schedule a clustered batch, then drain it.
+func calChurn(b *testing.B) {
+	noop := func(simclock.Time) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := simclock.New()
+		for j := 0; j < 1000; j++ {
+			e.At(simclock.Time(j%97)*time.Microsecond, noop)
+		}
+		e.Run()
+	}
+}
+
+func heapChurn(b *testing.B) {
+	noop := func(refheap.Time) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := refheap.New()
+		for j := 0; j < 1000; j++ {
+			e.At(refheap.Time(j%97)*time.Microsecond, noop)
+		}
+		e.Run()
+	}
+}
