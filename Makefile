@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench chaos failover trace analyze descore
+.PHONY: check build test race vet fmt bench chaos failover trace analyze descore scenarios stress
 
 check: ## full gate: gofmt + vet + build + race pass + full tests
 	$(GO) run ./tools/ci
@@ -50,6 +50,17 @@ trace:
 # efficiency and an annotated timeline for a saturated Liger run.
 analyze:
 	$(GO) run ./cmd/ligersim -runtime Liger -batches 40 -rate 20 -explain
+
+# Robustness acceptance suite: run every scenario in the corpus and
+# fail if any assertion fails. See docs/SCENARIOS.md.
+scenarios:
+	$(GO) run ./cmd/ligersim run scenarios/*.yaml
+
+# Randomized fleet stress harness: 25 seeded scenario instances across
+# all runtimes with an aggregate survival report (reproducible: the
+# same -n/-seed always prints identical bytes).
+stress:
+	$(GO) run ./cmd/ligersim stress -n 25 -seed 42
 
 # DES-core throughput measurement: re-measures the frozen pre-rewrite
 # heap engine (internal/simclock/refheap) against the calendar queue on

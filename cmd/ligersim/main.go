@@ -27,6 +27,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ligersim: ")
+	if dispatchScenario() {
+		return
+	}
 
 	var (
 		nodeName   = flag.String("node", "v100", "node preset: v100 (4x NVLink) or a100 (4x PCIe)")

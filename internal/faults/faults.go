@@ -131,7 +131,7 @@ func (s Schedule) Validate(numDevices int) error {
 	if s.CollTimeout < 0 {
 		return fmt.Errorf("faults: negative collective timeout %v", s.CollTimeout)
 	}
-	failed := make(map[int]bool)
+	failed := make(map[int]int)
 	for i, e := range s.Events {
 		switch {
 		case e.Device < 0 || e.Device >= numDevices:
@@ -139,6 +139,11 @@ func (s Schedule) Validate(numDevices int) error {
 				i, e.Kind, e.Device, numDevices)
 		case e.Start < 0:
 			return fmt.Errorf("faults: event %d (%s) starts at negative time %v", i, e.Kind, e.Start)
+		case e.Kind != DeviceFail && e.Duration < 0:
+			// An empty window would silently never apply; name the event
+			// and its range so a scenario author can find the bad line.
+			return fmt.Errorf("faults: event %d (%s dev%d) has an empty window [%v, %v): negative duration %v (use Duration 0 to persist to end of run)",
+				i, e.Kind, e.Device, e.Start, e.Start+e.Duration, e.Duration)
 		case e.Kind == Slowdown || e.Kind == LinkDegrade:
 			if e.Factor <= 0 || e.Factor > 1 {
 				return fmt.Errorf("faults: event %d (%s) factor %v outside (0, 1]", i, e.Kind, e.Factor)
@@ -148,10 +153,11 @@ func (s Schedule) Validate(numDevices int) error {
 		case e.Kind == DeviceFail:
 			// Permanent: failing an already-failed device is a schedule bug,
 			// not an idempotent no-op.
-			if failed[e.Device] {
-				return fmt.Errorf("faults: event %d fails device %d twice", i, e.Device)
+			if prev, dup := failed[e.Device]; dup {
+				return fmt.Errorf("faults: event %d (%s dev%d at %v) fails device %d twice (first failed by event %d at %v)",
+					i, e.Kind, e.Device, e.Start, e.Device, prev, s.Events[prev].Start)
 			}
-			failed[e.Device] = true
+			failed[e.Device] = i
 		default:
 			return fmt.Errorf("faults: event %d has unknown kind %d", i, int(e.Kind))
 		}

@@ -1,0 +1,368 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"liger/internal/core"
+	"liger/internal/faults"
+	"liger/internal/hw"
+	"liger/internal/model"
+	"liger/internal/nccl"
+	"liger/internal/parallel"
+	"liger/internal/serve"
+)
+
+// Compiled is a scenario lowered onto the existing stack: a concrete
+// node and model, resolved trace and policy, one faults.Schedule, and
+// the runtime kinds to serve. Everything here is a pure function of
+// the scenario value, so two compiles of the same file are identical.
+type Compiled struct {
+	Scenario *Scenario
+	Node     hw.Node
+	Model    model.Spec
+	Kinds    []core.RuntimeKind
+	Trace    serve.TraceConfig
+	Policy   serve.Policy
+	Schedule faults.Schedule
+	// Horizon is the nominal trace span (batches / rate); fractional
+	// times resolve against it.
+	Horizon time.Duration
+	// Solo is the analytic duration of one batch on an idle node under
+	// the intra-op baseline; "4x" times resolve against it.
+	Solo time.Duration
+	// Rate is the resolved arrival rate in batches/second.
+	Rate float64
+	// assertions are pre-parsed from Scenario.Assert.
+	assertions []*assertion
+}
+
+// kindByAlias maps scenario runtime aliases to engine kinds.
+var kindByAlias = map[string]core.RuntimeKind{
+	"Liger":    core.KindLiger,
+	"Intra-Op": core.KindIntraOp,
+	"Inter-Op": core.KindInterOp,
+	"Inter-Th": core.KindInterTh,
+}
+
+// faultKindByName maps scenario kind names to faults kinds.
+var faultKindByName = map[string]faults.Kind{
+	"slowdown":     faults.Slowdown,
+	"link-degrade": faults.LinkDegrade,
+	"device-drop":  faults.DeviceDrop,
+	"coll-stall":   faults.CollStall,
+	"device-fail":  faults.DeviceFail,
+}
+
+// Compile lowers a validated scenario. It performs the checks that
+// need resolved absolute times — zero-length windows, overlapping
+// same-channel windows, device bounds — and reports each with the
+// offending section index, kind, and time range.
+func Compile(sc *Scenario) (*Compiled, error) {
+	c := &Compiled{Scenario: sc}
+
+	preset := sc.Node.Preset
+	if preset == "" {
+		preset = "v100"
+	}
+	node, err := hw.Preset(preset)
+	if err != nil {
+		return nil, fmt.Errorf("node.preset: %w", err)
+	}
+	if sc.Node.GPUs > 0 {
+		node = node.WithGPUs(sc.Node.GPUs)
+	}
+	c.Node = node
+
+	modelName := sc.Model
+	if modelName == "" {
+		modelName = "OPT-30B"
+	}
+	spec, err := model.ByName(modelName)
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	c.Model = spec
+
+	for _, name := range sc.ResultRuntimes() {
+		c.Kinds = append(c.Kinds, kindByAlias[name])
+	}
+
+	// Workload defaults mirror the paper's general evaluation.
+	w := sc.Workload
+	if w.Batch == 0 {
+		w.Batch = 2
+	}
+	if w.MinSeq == 0 && w.MaxSeq == 0 {
+		w.MinSeq, w.MaxSeq = 16, 128
+	}
+	phase := model.Context
+	if w.Phase == "decode" {
+		phase = model.Decode
+		if w.CtxLen == 0 {
+			w.CtxLen = 16
+		}
+	}
+
+	capacity := intraCapacity(node, spec, w.Batch, phase, w.CtxLen, (w.MinSeq+w.MaxSeq)/2)
+	c.Solo = time.Duration(float64(time.Second) / capacity)
+	c.Rate = w.Rate.Resolve(capacity)
+	if c.Rate <= 0 {
+		return nil, fmt.Errorf("workload.rate: resolves to %v batches/s", c.Rate)
+	}
+	batches := w.Batches
+	if batches == 0 {
+		batches = int(math.Ceil(w.Duration.Seconds() * c.Rate))
+		if batches == 0 {
+			return nil, fmt.Errorf("workload.duration %v at rate %.3g/s yields no arrivals", w.Duration, c.Rate)
+		}
+	}
+	c.Horizon = time.Duration(float64(batches) / c.Rate * float64(time.Second))
+
+	c.Trace = serve.TraceConfig{
+		Batches:    batches,
+		BatchSize:  w.Batch,
+		RatePerSec: c.Rate,
+		MinSeq:     w.MinSeq,
+		MaxSeq:     w.MaxSeq,
+		Phase:      phase,
+		CtxLen:     w.CtxLen,
+		Seed:       w.Seed,
+	}
+	switch w.Process {
+	case "poisson":
+		c.Trace.Process = serve.Poisson
+	case "bursty":
+		c.Trace.Process = serve.Bursty
+	case "diurnal":
+		c.Trace.Process = serve.Diurnal
+	}
+	if err := c.Trace.Validate(); err != nil {
+		return nil, err
+	}
+
+	c.Policy = serve.Policy{
+		Deadline:   sc.Policy.Deadline.Resolve(c.Horizon, c.Solo),
+		MaxRetries: sc.Policy.Retries,
+		Backoff:    sc.Policy.Backoff.Resolve(c.Horizon, c.Solo),
+		BackoffCap: sc.Policy.BackoffCap.Resolve(c.Horizon, c.Solo),
+		QueueLimit: sc.Policy.QueueLimit,
+	}
+	if err := c.Policy.Validate(); err != nil {
+		return nil, err
+	}
+
+	if err := c.compileChaos(sc); err != nil {
+		return nil, err
+	}
+
+	for i, expr := range sc.Assert {
+		a, err := parseAssertion(expr)
+		if err != nil {
+			return nil, fmt.Errorf("assert[%d]: %w", i, err)
+		}
+		for _, ref := range []*metricRef{&a.lhs, a.rhs} {
+			if ref == nil {
+				continue
+			}
+			if !containsString(sc.ResultRuntimes(), ref.runtime) {
+				return nil, fmt.Errorf("assert[%d]: %q references runtime %q, which this scenario does not run", i, expr, ref.alias)
+			}
+		}
+		c.assertions = append(c.assertions, a)
+	}
+	return c, nil
+}
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// compileChaos resolves device overrides, explicit events, and random
+// generators into one faults.Schedule with absolute times.
+func (c *Compiled) compileChaos(sc *Scenario) error {
+	numDev := c.Node.NumGPUs
+	sched := faults.Schedule{CollTimeout: sc.Chaos.CollTimeout.Resolve(c.Horizon, c.Solo)}
+
+	// Static per-device overrides: persist-to-end windows from t=0.
+	for i, d := range sc.Node.Devices {
+		if d.Device >= numDev {
+			return fmt.Errorf("node.devices[%d]: device %d of a %d-GPU node", i, d.Device, numDev)
+		}
+		if d.Speed > 0 {
+			sched.Events = append(sched.Events, faults.Event{
+				Kind: faults.Slowdown, Device: d.Device, Factor: d.Speed})
+		}
+		if d.Link > 0 {
+			sched.Events = append(sched.Events, faults.Event{
+				Kind: faults.LinkDegrade, Device: d.Device, Factor: d.Link})
+		}
+	}
+
+	// Explicit timed events. Windows of the same (kind, device) may not
+	// overlap and may not be empty — both are author mistakes that the
+	// multiplicative fault composition would otherwise silently absorb.
+	type window struct {
+		idx        int
+		start, end time.Duration // end 0 = persists to run end
+	}
+	open := make(map[[2]int][]window) // (kind, device) -> windows
+	failedBy := make(map[int]int)
+	for i, e := range sc.Chaos.Events {
+		kind := faultKindByName[e.Kind]
+		if e.Device >= numDev {
+			return fmt.Errorf("chaos.events[%d] (%s): device %d of a %d-GPU node", i, e.Kind, e.Device, numDev)
+		}
+		start := e.Start.Resolve(c.Horizon, c.Solo)
+		ev := faults.Event{Kind: kind, Device: e.Device, Start: start, Factor: e.Factor}
+		if kind == faults.DeviceFail {
+			failedBy[e.Device] = i
+			sched.Events = append(sched.Events, ev)
+			continue
+		}
+		var end time.Duration
+		if !e.Duration.IsZero() {
+			ev.Duration = e.Duration.Resolve(c.Horizon, c.Solo)
+			if ev.Duration <= 0 {
+				return fmt.Errorf("chaos.events[%d] (%s dev%d): zero-duration window [%v, %v) — the fault would never apply; drop the duration to persist to end of run",
+					i, e.Kind, e.Device, start, start)
+			}
+			end = start + ev.Duration
+		}
+		key := [2]int{int(kind), e.Device}
+		for _, prev := range open[key] {
+			prevOpenEnded := prev.end == 0
+			overlaps := (prevOpenEnded || start < prev.end) && (end == 0 || prev.start < end)
+			if overlaps {
+				return fmt.Errorf("chaos.events[%d] (%s dev%d, window [%v, %s)) overlaps chaos.events[%d] (window [%v, %s))",
+					i, e.Kind, e.Device, start, windowEnd(end), prev.idx, prev.start, windowEnd(prev.end))
+			}
+		}
+		open[key] = append(open[key], window{idx: i, start: start, end: end})
+		sched.Events = append(sched.Events, ev)
+	}
+	if len(failedBy) >= numDev && numDev > 0 {
+		return fmt.Errorf("chaos.events fail all %d devices — nothing would survive to serve", numDev)
+	}
+
+	// Seeded random generators. Each generator draws from its own
+	// stream (workload seed mixed with the generator's seed and index),
+	// so inserting a generator never perturbs its neighbours.
+	for i, g := range sc.Chaos.Random {
+		kind := faultKindByName[g.Kind]
+		rng := rand.New(rand.NewSource(mixSeed(sc.Workload.Seed, g.Seed, i)))
+		pool := g.Devices
+		if len(pool) == 0 {
+			pool = make([]int, numDev)
+			for d := range pool {
+				pool[d] = d
+			}
+		}
+		for j, d := range pool {
+			if d >= numDev {
+				return fmt.Errorf("chaos.random[%d].devices[%d]: device %d of a %d-GPU node", i, j, d, numDev)
+			}
+		}
+		lo := g.Window[0].Resolve(c.Horizon, c.Solo)
+		hi := g.Window[1].Resolve(c.Horizon, c.Solo)
+		if g.Window[0].IsZero() && g.Window[1].IsZero() {
+			lo, hi = 0, c.Horizon
+		}
+		if hi <= lo {
+			return fmt.Errorf("chaos.random[%d] (%s): empty window [%v, %v)", i, g.Kind, lo, hi)
+		}
+		dur := g.Duration.Resolve(c.Horizon, c.Solo)
+		if kind != faults.DeviceFail && dur <= 0 {
+			return fmt.Errorf("chaos.random[%d] (%s): window duration resolves to %v", i, g.Kind, dur)
+		}
+		if kind == faults.DeviceFail {
+			// Draw distinct devices not already failed; leaving at least
+			// one survivor is the generator's job, not the runtime's.
+			alive := make([]int, 0, len(pool))
+			for _, d := range pool {
+				if _, dead := failedBy[d]; !dead {
+					alive = append(alive, d)
+				}
+			}
+			if g.Count >= numDev-len(failedBy) {
+				return fmt.Errorf("chaos.random[%d] (device-fail): count %d would leave no survivor on a %d-GPU node", i, g.Count, numDev)
+			}
+			if g.Count > len(alive) {
+				return fmt.Errorf("chaos.random[%d] (device-fail): count %d exceeds the %d eligible devices", i, g.Count, len(alive))
+			}
+			for j := 0; j < g.Count; j++ {
+				pick := rng.Intn(len(alive))
+				dev := alive[pick]
+				alive = append(alive[:pick], alive[pick+1:]...)
+				failedBy[dev] = -1
+				sched.Events = append(sched.Events, faults.Event{
+					Kind:   faults.DeviceFail,
+					Device: dev,
+					Start:  lo + time.Duration(rng.Float64()*float64(hi-lo)),
+				})
+			}
+			continue
+		}
+		for j := 0; j < g.Count; j++ {
+			sched.Events = append(sched.Events, faults.Event{
+				Kind:     kind,
+				Device:   pool[rng.Intn(len(pool))],
+				Start:    lo + time.Duration(rng.Float64()*float64(hi-lo)),
+				Duration: dur,
+				Factor:   g.Factor,
+			})
+		}
+	}
+
+	if err := sched.Validate(numDev); err != nil {
+		return err
+	}
+	c.Schedule = sched
+	return nil
+}
+
+func windowEnd(end time.Duration) string {
+	if end == 0 {
+		return "end"
+	}
+	return end.String()
+}
+
+// mixSeed derives a generator's stream from the workload seed, the
+// generator's declared seed, and its position (splitmix-style odd
+// constants keep nearby seeds far apart).
+func mixSeed(workload, gen int64, idx int) int64 {
+	h := uint64(workload)*0x9E3779B97F4A7C15 ^ uint64(gen)*0xBF58476D1CE4E5B9 ^ uint64(idx+1)*0x94D049BB133111EB
+	return int64(h >> 1)
+}
+
+// intraCapacity is the analytic saturated throughput (batches/s) of
+// the intra-op baseline on an idle node — the normalizer behind
+// capacity-relative rates and solo-multiple times (the Go chaos bench
+// computes the same quantity to center its sweeps).
+func intraCapacity(node hw.Node, spec model.Spec, batch int, phase model.Phase, ctxLen, meanSeq int) float64 {
+	comp := parallel.NewCompiler(node, nccl.Config{})
+	w := model.Workload{Batch: batch, Phase: phase}
+	if phase == model.Decode {
+		w.CtxLen = ctxLen
+	} else {
+		w.SeqLen = meanSeq
+	}
+	ks, err := comp.IntraOp(spec, node.NumGPUs, w)
+	if err != nil {
+		return 1
+	}
+	compute, comm := parallel.TotalDurations(ks)
+	total := compute + comm
+	if total <= 0 {
+		return 1
+	}
+	return float64(time.Second) / float64(total)
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"liger/internal/serve"
+)
+
+// WriteText renders the deterministic human-readable report: header,
+// compiled chaos plan, per-runtime serving table, assertion outcomes,
+// and the verdict line. The bytes are a pure function of the scenario
+// and seed — CI compares them across -parallel and -shards settings.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "scenario  : %s", r.Scenario); err != nil {
+		return err
+	}
+	if r.Description != "" {
+		fmt.Fprintf(w, " — %s", r.Description)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "node      : %s (%d GPUs), model %s\n", r.Node, r.GPUs, r.Model)
+	fmt.Fprintf(w, "trace     : %d batches, %s rate %.3f/s, seed %d, horizon %s\n",
+		r.Batches, r.Process, r.Rate, r.Seed, fmtDur(r.Horizon))
+	if c := r.Compiled; c != nil {
+		pol := c.Policy
+		if pol.Deadline > 0 || pol.MaxRetries > 0 || pol.QueueLimit > 0 {
+			fmt.Fprintf(w, "policy    : deadline %s, %d retries, backoff %s (cap %s), queue limit %d\n",
+				fmtDur(pol.Deadline), pol.MaxRetries, fmtDur(pol.Backoff), fmtDur(pol.BackoffCap), pol.QueueLimit)
+		}
+		if !c.Schedule.Empty() {
+			fmt.Fprintf(w, "chaos     : %d events, watchdog %s\n", len(c.Schedule.Events), fmtDur(c.Schedule.CollTimeout))
+			for i, e := range c.Schedule.Events {
+				fmt.Fprintf(w, "  [%d] %s\n", i, e)
+			}
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "runtime\tgoodput\tp99\tslo-miss\tcompleted\tfailed\tshed\tretries\trecovery")
+	for _, res := range r.Results {
+		fmt.Fprintf(tw, "%s\t%.3f\t%s\t%.1f%%\t%d\t%d\t%d\t%d\t%s\n",
+			res.Runtime, res.PolicyGoodput(), fmtDur(res.P99), 100*res.SLOMissRate(),
+			res.Completed, res.Failed, res.Shed, res.Retries, fmtDur(res.RecoveryTime))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if len(r.Assertions) > 0 {
+		fmt.Fprintln(w, "assert:")
+		for _, a := range r.Assertions {
+			verdict := "PASS"
+			if !a.Pass {
+				verdict = "FAIL"
+			}
+			fmt.Fprintf(w, "  %s  %-40s  (%s)\n", verdict, a.Expr, a.Detail)
+		}
+	}
+	_, err := fmt.Fprintln(w, r.Verdict())
+	return err
+}
+
+// reportDoc is the JSON layout. Results key by runtime name so
+// tools/benchdiff can diff scenario artifacts by dotted path
+// (results.Liger.goodput, assertions[2].lhs, ...); encoding/json sorts
+// map keys, so the bytes are a pure function of the report value.
+type reportDoc struct {
+	Scenario    string                  `json:"scenario"`
+	Description string                  `json:"description,omitempty"`
+	Node        string                  `json:"node"`
+	GPUs        int                     `json:"gpus"`
+	Model       string                  `json:"model"`
+	Seed        int64                   `json:"seed"`
+	Batches     int                     `json:"batches"`
+	Rate        float64                 `json:"rate"`
+	Process     string                  `json:"process"`
+	HorizonMs   float64                 `json:"horizon_ms"`
+	SoloMs      float64                 `json:"solo_ms"`
+	Pass        bool                    `json:"pass"`
+	Results     map[string]serve.Result `json:"results"`
+	Assertions  []AssertionResult       `json:"assertions"`
+}
+
+// WriteJSON renders the machine-readable report.
+func (r *Report) WriteJSON(w io.Writer) error {
+	doc := reportDoc{
+		Scenario:    r.Scenario,
+		Description: r.Description,
+		Node:        r.Node,
+		GPUs:        r.GPUs,
+		Model:       r.Model,
+		Seed:        r.Seed,
+		Batches:     r.Batches,
+		Rate:        r.Rate,
+		Process:     r.Process,
+		HorizonMs:   ms(r.Horizon),
+		SoloMs:      ms(r.Solo),
+		Pass:        r.Pass,
+		Results:     make(map[string]serve.Result, len(r.Results)),
+		Assertions:  r.Assertions,
+	}
+	for _, res := range r.Results {
+		doc.Results[res.Runtime] = res
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// fmtDur rounds for display stability (full-precision nanoseconds are
+// deterministic too, but unreadable in a table).
+func fmtDur(d time.Duration) string {
+	if d == 0 {
+		return "0s"
+	}
+	return d.Round(time.Microsecond).String()
+}

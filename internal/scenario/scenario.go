@@ -1,0 +1,385 @@
+// Package scenario is the declarative robustness DSL: a YAML/JSON
+// format describing one chaos experiment — node, workload, timed and
+// randomized fault events, and end-of-run assertions — plus the loader,
+// the compiler that lowers a scenario onto the faults/serve/runtimes
+// stack, the assertion evaluator, and a seeded fleet stress harness.
+//
+// PRs 2–3 made fault injection and elastic failover deterministic, but
+// every chaos experiment was still hand-coded Go. A scenario file turns
+// that machinery into data: the `scenarios/` corpus doubles as the
+// repo's robustness acceptance suite (run in CI), and `ligersim stress`
+// generates whole randomized fleets of scenarios from one master seed.
+// Everything downstream of a scenario — schedules, traces, reports — is
+// a pure function of the file and the seed, byte-identical at any
+// -parallel or -shards setting.
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Scenario is the typed form of one scenario file.
+type Scenario struct {
+	// Name identifies the scenario in reports; defaults to the file's
+	// base name without extension.
+	Name string
+	// Description is free text echoed into reports.
+	Description string
+	// Model names the transformer to serve (model.ByName); defaults to
+	// OPT-30B, the paper's common testbed model.
+	Model string
+	// Runtimes lists the engines to run: liger, intra, inter, interth.
+	// Empty means the paper's three headline runtimes.
+	Runtimes []string
+	Node     NodeSpec
+	Workload Workload
+	Policy   PolicySpec
+	Chaos    Chaos
+	// Assert holds the end-of-run assertions, one expression per line
+	// (see assert.go for the grammar).
+	Assert []string
+}
+
+// NodeSpec selects and optionally degrades the simulated hardware.
+type NodeSpec struct {
+	// Preset is the hw preset name (v100, a100); defaults to v100.
+	Preset string
+	// GPUs overrides the preset's device count when positive.
+	GPUs int
+	// Devices holds static per-device overrides, applied as
+	// persist-to-end fault windows before any chaos event.
+	Devices []DeviceOverride
+}
+
+// DeviceOverride statically degrades one device for the whole run.
+type DeviceOverride struct {
+	Device int
+	// Speed scales the device's overall progress rate in (0, 1]; 0
+	// means no speed override.
+	Speed float64
+	// Link scales only the device's communication rate in (0, 1]; 0
+	// means no link override.
+	Link float64
+}
+
+// Workload describes the request trace. It lowers onto
+// serve.TraceConfig verbatim, so goodput/SLO accounting is the serving
+// layer's own.
+type Workload struct {
+	// Batches is the number of batch arrivals. Exactly one of Batches
+	// and Duration must be set; Duration derives Batches from Rate.
+	Batches int
+	// Duration is the nominal trace span (alternative to Batches).
+	Duration time.Duration
+	// Batch is requests per batch (default 2, the paper's setting).
+	Batch int
+	// Rate is the batch arrival rate: either absolute batches/second or
+	// relative to the node's analytic intra-op capacity ("0.8x").
+	Rate RateSpec
+	// Process is the arrival process: constant, poisson, bursty,
+	// diurnal (default constant).
+	Process string
+	// MinSeq/MaxSeq bound the uniform per-batch sequence length
+	// (defaults 16–128, the paper's range).
+	MinSeq, MaxSeq int
+	// Phase is context (default) or decode.
+	Phase string
+	// CtxLen is the KV-cache length for decode traces.
+	CtxLen int
+	// Seed drives the trace and every seeded chaos generator.
+	Seed int64
+}
+
+// PolicySpec is the deadline/retry serving policy. Durations accept
+// the solo-multiple form ("10x" = ten solo batch durations), so a
+// scenario stays meaningful when the cost model moves.
+type PolicySpec struct {
+	Deadline   TimeSpec
+	Retries    int
+	Backoff    TimeSpec
+	BackoffCap TimeSpec
+	QueueLimit int
+}
+
+// Chaos is the fault plan: explicit timed events plus seeded
+// randomized generators.
+type Chaos struct {
+	// CollTimeout arms the collective watchdog (required by stall/drop
+	// shapes so hung rendezvous abort instead of waiting out windows).
+	CollTimeout TimeSpec
+	Events      []ChaosEvent
+	Random      []RandomChaos
+}
+
+// ChaosEvent is one explicit timed fault.
+type ChaosEvent struct {
+	// Kind is a faults.Kind name: slowdown, link-degrade, device-drop,
+	// coll-stall, device-fail.
+	Kind   string
+	Device int
+	// Start opens the window ("30%" of the horizon or "12ms").
+	Start TimeSpec
+	// Duration is the window length; omitted means persist-to-end.
+	// device-fail ignores it. An explicitly zero-length window is a
+	// validation error (the author almost certainly meant something).
+	Duration TimeSpec
+	// Factor is the rate multiplier for slowdown/link-degrade.
+	Factor float64
+}
+
+// RandomChaos is a seeded generator expanding into Count events of one
+// kind with starts drawn uniformly from Window.
+type RandomChaos struct {
+	Kind  string
+	Count int
+	// Window bounds the generated start instants [lo, hi).
+	Window [2]TimeSpec
+	// Duration is each generated window's length.
+	Duration TimeSpec
+	Factor   float64
+	// Devices restricts the target devices; empty means any device.
+	Devices []int
+	// Seed offsets the workload seed for this generator; generators
+	// with equal seeds at different positions still draw independently.
+	Seed int64
+}
+
+// Load reads and validates a scenario file (YAML or JSON).
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	sc, err := Parse(data, name)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return sc, nil
+}
+
+// Parse decodes scenario bytes. defaultName names the scenario when
+// the file omits `name:`.
+func Parse(data []byte, defaultName string) (*Scenario, error) {
+	doc, err := parseDocument(data)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := decodeScenario(doc)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Name == "" {
+		sc.Name = defaultName
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// runtimeAliases maps scenario runtime names to result names.
+var runtimeAliases = map[string]string{
+	"liger":    "Liger",
+	"intra":    "Intra-Op",
+	"intra-op": "Intra-Op",
+	"inter":    "Inter-Op",
+	"inter-op": "Inter-Op",
+	"interth":  "Inter-Th",
+	"inter-th": "Inter-Th",
+}
+
+// faultKinds maps scenario kind names to faults kinds; values are the
+// faults.Kind ints (kept as names here to avoid an import cycle in
+// docs; compile.go resolves them).
+var faultKindNames = []string{"slowdown", "link-degrade", "device-drop", "coll-stall", "device-fail"}
+
+func knownFaultKind(kind string) bool {
+	for _, k := range faultKindNames {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks everything that needs no resolved horizon; window
+// overlap and zero-length checks that need absolute times live in
+// Compile. Errors name the section, index, and field so authors can
+// find the offending line.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario needs a name")
+	}
+	for i, rt := range s.Runtimes {
+		if _, ok := runtimeAliases[strings.ToLower(rt)]; !ok {
+			return fmt.Errorf("runtimes[%d]: unknown runtime %q (want liger, intra, inter, or interth)", i, rt)
+		}
+	}
+	if err := s.Node.validate(); err != nil {
+		return err
+	}
+	if err := s.Workload.validate(); err != nil {
+		return err
+	}
+	if err := s.Policy.validate(); err != nil {
+		return err
+	}
+	if err := s.Chaos.validate(); err != nil {
+		return err
+	}
+	for i, expr := range s.Assert {
+		if _, err := parseAssertion(expr); err != nil {
+			return fmt.Errorf("assert[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (n NodeSpec) validate() error {
+	if n.GPUs < 0 {
+		return fmt.Errorf("node.gpus: negative GPU count %d", n.GPUs)
+	}
+	seen := make(map[int]int)
+	for i, d := range n.Devices {
+		if d.Device < 0 {
+			return fmt.Errorf("node.devices[%d]: negative device index %d", i, d.Device)
+		}
+		if prev, dup := seen[d.Device]; dup {
+			return fmt.Errorf("node.devices[%d]: device %d already overridden by node.devices[%d]", i, d.Device, prev)
+		}
+		seen[d.Device] = i
+		if d.Speed == 0 && d.Link == 0 {
+			return fmt.Errorf("node.devices[%d]: override needs a speed or link factor", i)
+		}
+		if d.Speed != 0 && (d.Speed <= 0 || d.Speed > 1) {
+			return fmt.Errorf("node.devices[%d]: speed %v outside (0, 1]", i, d.Speed)
+		}
+		if d.Link != 0 && (d.Link <= 0 || d.Link > 1) {
+			return fmt.Errorf("node.devices[%d]: link %v outside (0, 1]", i, d.Link)
+		}
+	}
+	return nil
+}
+
+func (w Workload) validate() error {
+	switch {
+	case w.Batches < 0:
+		return fmt.Errorf("workload.batches: negative count %d", w.Batches)
+	case w.Duration < 0:
+		return fmt.Errorf("workload.duration: negative span %v", w.Duration)
+	case w.Batches == 0 && w.Duration == 0:
+		return fmt.Errorf("workload: set batches or duration")
+	case w.Batches > 0 && w.Duration > 0:
+		return fmt.Errorf("workload: batches and duration are mutually exclusive")
+	case w.Rate.IsZero():
+		return fmt.Errorf("workload.rate: required (absolute batches/s or capacity-relative like \"0.8x\")")
+	case w.Batch < 0:
+		return fmt.Errorf("workload.batch: negative batch size %d", w.Batch)
+	case w.MinSeq < 0 || w.MaxSeq < 0 || (w.MaxSeq > 0 && w.MaxSeq < w.MinSeq):
+		return fmt.Errorf("workload.seq: bad range [%d, %d]", w.MinSeq, w.MaxSeq)
+	case w.CtxLen < 0:
+		return fmt.Errorf("workload.ctx: negative context length %d", w.CtxLen)
+	}
+	switch w.Process {
+	case "", "constant", "poisson", "bursty", "diurnal":
+	default:
+		return fmt.Errorf("workload.process: unknown process %q (want constant, poisson, bursty, or diurnal)", w.Process)
+	}
+	switch w.Phase {
+	case "", "context", "decode":
+	default:
+		return fmt.Errorf("workload.phase: unknown phase %q (want context or decode)", w.Phase)
+	}
+	return nil
+}
+
+func (p PolicySpec) validate() error {
+	switch {
+	case p.Retries < 0:
+		return fmt.Errorf("policy.retries: negative budget %d", p.Retries)
+	case p.QueueLimit < 0:
+		return fmt.Errorf("policy.queue_limit: negative limit %d", p.QueueLimit)
+	case p.Retries > 0 && p.Backoff.IsZero():
+		return fmt.Errorf("policy: retries without a backoff would resubmit at the failure instant")
+	}
+	return nil
+}
+
+func (c Chaos) validate() error {
+	for i, e := range c.Events {
+		if !knownFaultKind(e.Kind) {
+			return fmt.Errorf("chaos.events[%d]: unknown kind %q (want %s)", i, e.Kind, strings.Join(faultKindNames, ", "))
+		}
+		if e.Device < 0 {
+			return fmt.Errorf("chaos.events[%d] (%s): negative device index %d", i, e.Kind, e.Device)
+		}
+		switch e.Kind {
+		case "slowdown", "link-degrade":
+			if e.Factor <= 0 || e.Factor > 1 {
+				return fmt.Errorf("chaos.events[%d] (%s): factor %v outside (0, 1]", i, e.Kind, e.Factor)
+			}
+		case "device-fail":
+			if !e.Duration.IsZero() {
+				return fmt.Errorf("chaos.events[%d] (device-fail): a permanent failure has no duration", i)
+			}
+		}
+	}
+	// Duplicate device-fail is a plan bug, not an idempotent no-op:
+	// report both offending indices so the author can find the lines.
+	failed := make(map[int]int)
+	for i, e := range c.Events {
+		if e.Kind != "device-fail" {
+			continue
+		}
+		if prev, dup := failed[e.Device]; dup {
+			return fmt.Errorf("chaos.events[%d] fails device %d twice (first failed by chaos.events[%d])", i, e.Device, prev)
+		}
+		failed[e.Device] = i
+	}
+	for i, g := range c.Random {
+		if !knownFaultKind(g.Kind) {
+			return fmt.Errorf("chaos.random[%d]: unknown kind %q (want %s)", i, g.Kind, strings.Join(faultKindNames, ", "))
+		}
+		if g.Count <= 0 {
+			return fmt.Errorf("chaos.random[%d] (%s): count must be positive, got %d", i, g.Kind, g.Count)
+		}
+		switch g.Kind {
+		case "slowdown", "link-degrade":
+			if g.Factor <= 0 || g.Factor > 1 {
+				return fmt.Errorf("chaos.random[%d] (%s): factor %v outside (0, 1]", i, g.Kind, g.Factor)
+			}
+		case "device-fail":
+			if !g.Duration.IsZero() {
+				return fmt.Errorf("chaos.random[%d] (device-fail): a permanent failure has no duration", i)
+			}
+		default:
+			if g.Duration.IsZero() {
+				return fmt.Errorf("chaos.random[%d] (%s): generated windows need a duration", i, g.Kind)
+			}
+		}
+		for j, d := range g.Devices {
+			if d < 0 {
+				return fmt.Errorf("chaos.random[%d].devices[%d]: negative device index %d", i, j, d)
+			}
+		}
+	}
+	return nil
+}
+
+// ResultRuntimes returns the resolved runtime result names in scenario
+// order (defaulting to the paper's three headline runtimes).
+func (s *Scenario) ResultRuntimes() []string {
+	if len(s.Runtimes) == 0 {
+		return []string{"Liger", "Intra-Op", "Inter-Op"}
+	}
+	out := make([]string, len(s.Runtimes))
+	for i, rt := range s.Runtimes {
+		out[i] = runtimeAliases[strings.ToLower(rt)]
+	}
+	return out
+}

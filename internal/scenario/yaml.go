@@ -1,0 +1,348 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Scenario files are YAML for humans and JSON for machines. The repo
+// carries no external dependencies, so this file implements the small
+// YAML subset the scenario grammar needs — block mappings, block
+// sequences, flow sequences of scalars, quoted strings, comments —
+// rather than a full YAML 1.2 parser. A document whose first
+// non-space byte is '{' is parsed as JSON instead, so generated
+// scenarios can skip YAML entirely.
+//
+// The parser produces the generic tree (map[string]any, []any, string,
+// float64, bool, nil) that the strict decoder in decode.go consumes.
+// Numbers stay float64 like encoding/json's, so both front ends feed
+// the decoder identically. Anything outside the subset — anchors,
+// aliases, multi-line scalars, flow mappings — is a syntax error with
+// a line number, not a silent misparse.
+
+// parseDocument parses YAML-or-JSON bytes into the generic tree.
+func parseDocument(data []byte) (any, error) {
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	if strings.HasPrefix(trimmed, "{") {
+		var doc any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("bad JSON: %w", err)
+		}
+		return doc, nil
+	}
+	lines, err := splitYAMLLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty document")
+	}
+	p := &yamlParser{lines: lines}
+	doc, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("line %d: unexpected indentation (got %d spaces)", l.num, l.indent)
+	}
+	return doc, nil
+}
+
+// yamlLine is one non-blank line with its comment stripped.
+type yamlLine struct {
+	num     int
+	indent  int
+	content string
+}
+
+// splitYAMLLines strips comments and blank lines and measures
+// indentation. Tabs in indentation are an error (as in real YAML).
+func splitYAMLLines(src string) ([]yamlLine, error) {
+	var out []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		stripped, err := stripComment(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		body := strings.TrimLeft(stripped, " ")
+		if body == "" {
+			continue
+		}
+		if body == "---" { // document marker: ignore a leading one
+			continue
+		}
+		if strings.HasPrefix(body, "\t") {
+			return nil, fmt.Errorf("line %d: tab in indentation (use spaces)", i+1)
+		}
+		indent := len(stripped) - len(body)
+		out = append(out, yamlLine{num: i + 1, indent: indent, content: body})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing " #..." comment, respecting quotes.
+func stripComment(line string) (string, error) {
+	var quote byte
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || line[i-1] == ' ' || line[i-1] == '\t'):
+			return strings.TrimRight(line[:i], " \t"), nil
+		}
+	}
+	if quote != 0 {
+		return "", fmt.Errorf("unterminated %c-quoted string", quote)
+	}
+	return line, nil
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseBlock parses the run of lines at exactly the given indent as a
+// mapping or a sequence (whichever the first line announces).
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, fmt.Errorf("unexpected end of document")
+	}
+	first := p.lines[p.pos]
+	if first.indent != indent {
+		return nil, fmt.Errorf("line %d: expected indent %d, got %d", first.num, indent, first.indent)
+	}
+	if first.content == "-" || strings.HasPrefix(first.content, "- ") {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+// parseMapping parses `key: value` lines at the given indent.
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	out := make(map[string]any)
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("line %d: unexpected indentation inside mapping", l.num)
+		}
+		if l.content == "-" || strings.HasPrefix(l.content, "- ") {
+			return nil, fmt.Errorf("line %d: sequence item inside a mapping", l.num)
+		}
+		key, rest, err := splitKey(l.content)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", l.num, err)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalar(rest)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", l.num, err)
+			}
+			out[key] = v
+			continue
+		}
+		// No inline value: a nested block follows, or the value is null.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+		} else {
+			out[key] = nil
+		}
+	}
+	return out, nil
+}
+
+// parseSequence parses `- item` lines at the given indent.
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	var out []any
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (l.content != "-" && !strings.HasPrefix(l.content, "- ")) {
+			if l.indent > indent {
+				return nil, fmt.Errorf("line %d: unexpected indentation inside sequence", l.num)
+			}
+			break
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(l.content, "-"), " ")
+		if rest == "" {
+			// `-` alone: the item is the nested block below.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("line %d: empty sequence item", l.num)
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		if key, inline, err := splitKey(rest); err == nil {
+			// `- key: ...`: a mapping whose first entry sits on the dash
+			// line; its remaining entries are indented past the dash.
+			item := make(map[string]any)
+			if inline != "" {
+				v, err := parseScalar(inline)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %w", l.num, err)
+				}
+				item[key] = v
+			} else {
+				item[key] = nil
+			}
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				more, err := p.parseMapping(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+				for k, v := range more.(map[string]any) {
+					if _, dup := item[k]; dup {
+						return nil, fmt.Errorf("line %d: duplicate key %q", l.num, k)
+					}
+					item[k] = v
+				}
+			} else if item[key] == nil && inline == "" {
+				return nil, fmt.Errorf("line %d: sequence item key %q has no value", l.num, key)
+			}
+			out = append(out, item)
+			continue
+		}
+		// Plain scalar item.
+		v, err := parseScalar(rest)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", l.num, err)
+		}
+		out = append(out, v)
+		p.pos++
+	}
+	return out, nil
+}
+
+// splitKey splits "key: rest" (or "key:" with empty rest). The key may
+// be quoted; a colon inside quotes or brackets does not split.
+func splitKey(s string) (key, rest string, err error) {
+	var quote byte
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '[':
+			depth++
+		case c == ']':
+			depth--
+		case c == ':' && depth == 0 && (i+1 == len(s) || s[i+1] == ' '):
+			key = strings.TrimSpace(s[:i])
+			rest = strings.TrimSpace(s[i+1:])
+			if key == "" {
+				return "", "", fmt.Errorf("empty key")
+			}
+			key = unquote(key)
+			return key, rest, nil
+		}
+	}
+	return "", "", fmt.Errorf("expected 'key: value', got %q", s)
+}
+
+// parseScalar interprets an inline value: flow sequence, quoted string,
+// bool, null, number, or plain string.
+func parseScalar(s string) (any, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("unterminated flow sequence %q", s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		var out []any
+		for _, part := range splitFlow(inner) {
+			v, err := parseScalar(strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("flow mappings are not supported (use block form): %q", s)
+	}
+	if strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") {
+		return nil, fmt.Errorf("YAML anchors/aliases are not supported: %q", s)
+	}
+	if len(s) >= 2 && (s[0] == '\'' || s[0] == '"') {
+		if s[len(s)-1] != s[0] {
+			return nil, fmt.Errorf("unterminated quoted string %q", s)
+		}
+		return s[1 : len(s)-1], nil
+	}
+	switch s {
+	case "true", "True":
+		return true, nil
+	case "false", "False":
+		return false, nil
+	case "null", "~", "Null":
+		return nil, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// splitFlow splits a flow-sequence body on top-level commas.
+func splitFlow(s string) []string {
+	var parts []string
+	var quote byte
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ',':
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// unquote removes matching surrounding quotes, if any.
+func unquote(s string) string {
+	if len(s) >= 2 && (s[0] == '\'' || s[0] == '"') && s[len(s)-1] == s[0] {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestYAMLBlockMapping(t *testing.T) {
+	doc, err := parseDocument([]byte(`
+name: demo
+node:
+  preset: v100
+  gpus: 4
+workload:
+  rate: 0.8x
+  seq: [16, 128]
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doc.(map[string]any)
+	if m["name"] != "demo" {
+		t.Errorf("name = %v", m["name"])
+	}
+	node := m["node"].(map[string]any)
+	if node["preset"] != "v100" || node["gpus"] != float64(4) {
+		t.Errorf("node = %v", node)
+	}
+	wl := m["workload"].(map[string]any)
+	if wl["rate"] != "0.8x" {
+		t.Errorf("rate = %v", wl["rate"])
+	}
+	if !reflect.DeepEqual(wl["seq"], []any{float64(16), float64(128)}) {
+		t.Errorf("seq = %v", wl["seq"])
+	}
+}
+
+func TestYAMLSequenceOfMappings(t *testing.T) {
+	doc, err := parseDocument([]byte(`
+events:
+  - kind: slowdown
+    device: 0
+    factor: 0.5
+  - kind: device-fail
+    device: 2
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := doc.(map[string]any)["events"].([]any)
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	e0 := events[0].(map[string]any)
+	if e0["kind"] != "slowdown" || e0["factor"] != 0.5 {
+		t.Errorf("events[0] = %v", e0)
+	}
+	e1 := events[1].(map[string]any)
+	if e1["kind"] != "device-fail" || e1["device"] != float64(2) {
+		t.Errorf("events[1] = %v", e1)
+	}
+}
+
+func TestYAMLScalars(t *testing.T) {
+	doc, err := parseDocument([]byte(`
+str: plain text
+quoted: "has: colon"
+single: 'single quoted'
+num: -3.5
+yes: true
+no: false
+nothing: null
+commented: value  # trailing comment
+pct: 30%
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doc.(map[string]any)
+	want := map[string]any{
+		"str": "plain text", "quoted": "has: colon", "single": "single quoted",
+		"num": -3.5, "yes": true, "no": false, "nothing": nil,
+		"commented": "value", "pct": "30%",
+	}
+	for k, v := range want {
+		if got := m[k]; !reflect.DeepEqual(got, v) {
+			t.Errorf("%s = %#v, want %#v", k, got, v)
+		}
+	}
+}
+
+func TestYAMLSequenceOfScalars(t *testing.T) {
+	doc, err := parseDocument([]byte(`
+runtimes:
+  - liger
+  - intra
+assert:
+  - liger.goodput >= 8
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doc.(map[string]any)
+	if !reflect.DeepEqual(m["runtimes"], []any{"liger", "intra"}) {
+		t.Errorf("runtimes = %v", m["runtimes"])
+	}
+	if !reflect.DeepEqual(m["assert"], []any{"liger.goodput >= 8"}) {
+		t.Errorf("assert = %v", m["assert"])
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"duplicate key", "a: 1\na: 2\n", "duplicate key"},
+		{"tab indent", "a:\n\tb: 1\n", "tab"},
+		{"flow mapping", "a: {b: 1}\n", "flow mapping"},
+		{"anchor", "a: &x 1\n", "anchor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseDocument([]byte(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestYAMLJSONPassthrough(t *testing.T) {
+	doc, err := parseDocument([]byte(`{"name": "js", "workload": {"batches": 5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := doc.(map[string]any)
+	if m["name"] != "js" {
+		t.Errorf("name = %v", m["name"])
+	}
+	if m["workload"].(map[string]any)["batches"] != float64(5) {
+		t.Errorf("workload = %v", m["workload"])
+	}
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func diurnalConfig(batches int) TraceConfig {
+	return TraceConfig{
+		Batches: batches, BatchSize: 2, RatePerSec: 10,
+		MinSeq: 16, MaxSeq: 128, Process: Diurnal, Seed: 3,
+	}
+}
+
+func TestDiurnalDeterministic(t *testing.T) {
+	a, err := Generate(diurnalConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(diurnalConfig(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestDiurnalModulatesRate checks the process actually swings: the
+// densest quarter of the trace must hold meaningfully more arrivals
+// than the sparsest quarter.
+func TestDiurnalModulatesRate(t *testing.T) {
+	arr, err := Generate(diurnalConfig(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := time.Duration(arr[len(arr)-1].At)
+	counts := make([]int, 4)
+	for _, a := range arr {
+		q := int(4 * time.Duration(a.At) / (span + 1))
+		counts[q]++
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max) < 1.3*float64(min) {
+		t.Errorf("quartile counts %v: expected a pronounced peak/trough swing", counts)
+	}
+}
+
+// TestDiurnalPreservesSeqStream pins that the deterministic gap
+// modulation draws nothing from the RNG: the sequence-length stream
+// must match the constant-rate trace exactly.
+func TestDiurnalPreservesSeqStream(t *testing.T) {
+	d, err := Generate(diurnalConfig(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := diurnalConfig(100)
+	cc.Process = ConstantRate
+	c, err := Generate(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d {
+		if d[i].Workload.SeqLen != c[i].Workload.SeqLen {
+			t.Fatalf("seq stream diverges at %d: %d vs %d", i, d[i].Workload.SeqLen, c[i].Workload.SeqLen)
+		}
+	}
+}
+
+func TestDiurnalMeanRateNearNominal(t *testing.T) {
+	arr, err := Generate(diurnalConfig(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := time.Duration(arr[len(arr)-1].At).Seconds()
+	nominal := 400.0 / 10 // batches / rate
+	if span < 0.7*nominal || span > 1.4*nominal {
+		t.Errorf("trace span %.2fs too far from nominal %.2fs", span, nominal)
+	}
+}
+
+func TestResultMarshalJSON(t *testing.T) {
+	r := Result{
+		Scenario: "demo", Runtime: "Liger",
+		Completed: 10, Requests: 20, Failed: 2, Retries: 3,
+		Deadline: 100 * time.Millisecond, DeadlineMisses: 1,
+		AvgLatency: 40 * time.Millisecond,
+		P50:        30 * time.Millisecond, P95: 80 * time.Millisecond, P99: 90 * time.Millisecond,
+		Makespan: 2 * time.Second, RecoveryTime: 150 * time.Millisecond,
+	}
+	buf, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"completed": 10, "requests": 20, "failed": 2, "retries": 3,
+		"deadline_ms": 100, "avg_latency_ms": 40, "p99_ms": 90,
+		"makespan_ms": 2000, "recovery_ms": 150,
+		"goodput": r.PolicyGoodput(), "slo_miss": r.SLOMissRate(),
+	}
+	for k, v := range want {
+		got, ok := m[k].(float64)
+		if !ok || got != v {
+			t.Errorf("%s = %v, want %v", k, m[k], v)
+		}
+	}
+	if m["scenario"] != "demo" || m["runtime"] != "Liger" {
+		t.Errorf("identity fields = %v / %v", m["scenario"], m["runtime"])
+	}
+	// The heavyweight slices must not ride into artifacts.
+	for _, k := range []string{"Latencies", "latencies", "PerRequest", "per_request"} {
+		if _, present := m[k]; present {
+			t.Errorf("slice field %s leaked into JSON", k)
+		}
+	}
+}
+
+func TestResultMarshalJSONOmitsEmptyScenario(t *testing.T) {
+	buf, err := json.Marshal(Result{Runtime: "Liger"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := m["scenario"]; present {
+		t.Error("empty scenario should be omitted")
+	}
+}

@@ -80,6 +80,11 @@ func (p Policy) backoffFor(attempt int) time.Duration {
 // Result summarizes one serving run.
 type Result struct {
 	Runtime string
+	// Scenario names the declarative scenario this run served, when it
+	// was driven by one (internal/scenario); empty otherwise. It rides
+	// along in the JSON encoding so scenario artifacts are
+	// self-identifying and tools/benchdiff can diff them by dotted path.
+	Scenario string
 	// Completed is the number of batches that finished successfully.
 	Completed int
 	// Requests is successful batches × batch size.

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Result's JSON encoding is a flat summary — the scalar metrics plus
+// the derived goodput/SLO accounting, with durations in milliseconds —
+// rather than a dump of the struct: the per-batch Latencies and
+// PerRequest slices would swamp an artifact with data the scenario
+// reports never read, and derived metrics (goodput, SLO-miss) are what
+// tools/benchdiff diffs by dotted path (results.Liger.goodput). The
+// scenario name rides along so artifacts are self-identifying.
+
+// resultJSON is the serialized layout.
+type resultJSON struct {
+	Scenario       string  `json:"scenario,omitempty"`
+	Runtime        string  `json:"runtime"`
+	Completed      int     `json:"completed"`
+	Requests       int     `json:"requests"`
+	Failed         int     `json:"failed"`
+	Shed           int     `json:"shed"`
+	Retries        int     `json:"retries"`
+	Deferred       int     `json:"deferred"`
+	Failovers      int     `json:"failovers"`
+	DeadlineMisses int     `json:"deadline_misses"`
+	DeadlineMs     float64 `json:"deadline_ms,omitempty"`
+	AvgLatencyMs   float64 `json:"avg_latency_ms"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MakespanMs     float64 `json:"makespan_ms"`
+	RecoveryMs     float64 `json:"recovery_ms"`
+	Goodput        float64 `json:"goodput"`
+	Throughput     float64 `json:"throughput"`
+	ReqThroughput  float64 `json:"req_throughput"`
+	SLOMiss        float64 `json:"slo_miss"`
+	SuccessRate    float64 `json:"success_rate"`
+}
+
+func toMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// MarshalJSON implements json.Marshaler.
+func (r Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultJSON{
+		Scenario:       r.Scenario,
+		Runtime:        r.Runtime,
+		Completed:      r.Completed,
+		Requests:       r.Requests,
+		Failed:         r.Failed,
+		Shed:           r.Shed,
+		Retries:        r.Retries,
+		Deferred:       r.Deferred,
+		Failovers:      r.Failovers,
+		DeadlineMisses: r.DeadlineMisses,
+		DeadlineMs:     toMs(r.Deadline),
+		AvgLatencyMs:   toMs(r.AvgLatency),
+		P50Ms:          toMs(r.P50),
+		P95Ms:          toMs(r.P95),
+		P99Ms:          toMs(r.P99),
+		MakespanMs:     toMs(r.Makespan),
+		RecoveryMs:     toMs(r.RecoveryTime),
+		Goodput:        r.PolicyGoodput(),
+		Throughput:     r.ThroughputBatches(),
+		ReqThroughput:  r.ThroughputRequests(),
+		SLOMiss:        r.SLOMissRate(),
+		SuccessRate:    r.SuccessRate(),
+	})
+}

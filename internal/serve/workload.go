@@ -7,12 +7,16 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
 	"liger/internal/model"
 	"liger/internal/simclock"
 )
+
+// diurnalAmplitude is the Diurnal process's rate swing around nominal.
+const diurnalAmplitude = 0.6
 
 // Arrival is one batch arriving at a virtual instant.
 type Arrival struct {
@@ -59,6 +63,11 @@ const (
 	// Bursty alternates dense bursts with quiet gaps at the same mean
 	// rate.
 	Bursty
+	// Diurnal modulates the arrival rate sinusoidally — two full
+	// day/night cycles over the nominal trace span, instantaneous rate
+	// swinging between 0.4x and 1.6x nominal. Deterministic (no random
+	// draws), so it never perturbs the sequence-length stream.
+	Diurnal
 )
 
 func (p ArrivalProcess) String() string {
@@ -67,6 +76,8 @@ func (p ArrivalProcess) String() string {
 		return "poisson"
 	case Bursty:
 		return "bursty"
+	case Diurnal:
+		return "diurnal"
 	default:
 		return "constant"
 	}
@@ -114,6 +125,13 @@ func Generate(c TraceConfig) ([]Arrival, error) {
 			if (i+1)%4 == 0 {
 				at += 4 * gap
 			}
+		case Diurnal:
+			// Two sinusoidal cycles over the nominal span: the gap
+			// stretches through the trough and compresses through the
+			// peak, modelling day/night traffic.
+			span := float64(gap) * float64(c.Batches)
+			phase := 2 * math.Pi * float64(at) / (span / 2)
+			at += time.Duration(float64(gap) / (1 + diurnalAmplitude*math.Sin(phase)))
 		default:
 			at += gap
 		}

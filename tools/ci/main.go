@@ -39,6 +39,15 @@
 //     compares against the committed BENCH_descore.json — warn-only,
 //     because throughput on the 1-CPU CI container is noise; the
 //     determinism smokes above are the hard gates
+//  13. scenario acceptance: every scenarios/*.yaml must PASS its
+//     assertions, the scenarios/fixtures/impossible-slo.yaml negative
+//     fixture must FAIL (exit 1) — a gate that cannot reject is not a
+//     gate — and `ligersim run scenarios/cascading-failures.yaml` must
+//     print byte-identical reports at -parallel 1 and -parallel 4
+//     -shards 4
+//  14. a stress smoke: `ligersim stress -n 25 -seed 42` twice must
+//     produce byte-identical aggregate survival reports, plus a small
+//     -race pass (`stress -n 3 -seed 7`) over the randomized fleet
 package main
 
 import (
@@ -115,7 +124,99 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("ok   descore (%v)\n", time.Since(start).Round(time.Millisecond))
+	start = time.Now()
+	if err := scenarioAcceptance(); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL scenario acceptance: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok   scenario acceptance (%v)\n", time.Since(start).Round(time.Millisecond))
+	start = time.Now()
+	if err := stressSmoke(); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL stress smoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok   stress smoke (%v)\n", time.Since(start).Round(time.Millisecond))
 	fmt.Println("all checks passed")
+}
+
+// scenarioAcceptance is the robustness gate: the whole corpus must
+// pass its assertions, the negative fixture must fail, and one
+// scenario's report must be byte-identical across -parallel/-shards.
+func scenarioAcceptance() error {
+	corpus, err := filepath.Glob(filepath.Join("scenarios", "*.yaml"))
+	if err != nil {
+		return err
+	}
+	if len(corpus) < 8 {
+		return fmt.Errorf("only %d corpus files in scenarios/ (want >= 8)", len(corpus))
+	}
+	cmd := exec.Command("go", append([]string{"run", "./cmd/ligersim", "run", "-q"}, corpus...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("corpus: %v", err)
+	}
+	// The negative fixture must be rejected: exit status 1, no other
+	// error. A passing impossible-slo means the assertion engine is
+	// vacuous.
+	cmd = exec.Command("go", "run", "./cmd/ligersim", "run", "-q",
+		filepath.Join("scenarios", "fixtures", "impossible-slo.yaml"))
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return fmt.Errorf("impossible-slo fixture PASSED; the assertion gate cannot reject\n%s", out)
+	}
+	if exit, ok := err.(*exec.ExitError); !ok || exit.ExitCode() != 1 {
+		return fmt.Errorf("impossible-slo fixture: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("FAIL")) {
+		return fmt.Errorf("impossible-slo fixture exited 1 without a FAIL verdict:\n%s", out)
+	}
+	// Determinism: the flagship chaos scenario must render the same
+	// bytes at any -parallel or -shards setting.
+	var reports [][]byte
+	for _, extra := range [][]string{{"-parallel", "1"}, {"-parallel", "4", "-shards", "4"}} {
+		args := append([]string{"run", "./cmd/ligersim", "run"}, extra...)
+		args = append(args, filepath.Join("scenarios", "cascading-failures.yaml"))
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("cascading-failures %v: %v", extra, err)
+		}
+		reports = append(reports, out)
+	}
+	if !bytes.Equal(reports[0], reports[1]) {
+		return fmt.Errorf("cascading-failures report differs between -parallel 1 and -parallel 4 -shards 4")
+	}
+	return nil
+}
+
+// stressSmoke reruns the acceptance-sized stress campaign and fails
+// unless the survival report reproduces byte-for-byte, then runs a
+// small campaign under the race detector (the harness fans instances
+// out across workers).
+func stressSmoke() error {
+	var outs [][]byte
+	for _, workers := range []string{"1", "4"} {
+		cmd := exec.Command("go", "run", "./cmd/ligersim",
+			"stress", "-n", "25", "-seed", "42", "-parallel", workers)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("-parallel %s: %v", workers, err)
+		}
+		outs = append(outs, out)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		return fmt.Errorf("stress -n 25 -seed 42 report differs between -parallel 1 and -parallel 4")
+	}
+	cmd := exec.Command("go", "run", "-race", "./cmd/ligersim",
+		"stress", "-n", "3", "-seed", "7", "-parallel", "4")
+	cmd.Stderr = os.Stderr
+	if _, err := cmd.Output(); err != nil {
+		return fmt.Errorf("-race stress: %v", err)
+	}
+	return nil
 }
 
 // shardsDeterminism runs the fig10 quick sweep at -shards 0 and
