@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench chaos failover trace analyze descore scenarios stress
+.PHONY: check build test race vet fmt bench chaos failover fleet trace analyze descore scenarios stress
 
 check: ## full gate: gofmt + vet + build + race pass + full tests
 	$(GO) run ./tools/ci
@@ -19,7 +19,7 @@ test:
 # engine) plus the fault-injection, deadline/retry, and observability
 # layers get a dedicated -race pass.
 race:
-	$(GO) test -race ./internal/runner ./internal/simclock ./internal/faults ./internal/serve ./internal/trace ./internal/metrics ./internal/analyze
+	$(GO) test -race ./internal/runner ./internal/simclock ./internal/faults ./internal/serve ./internal/cluster ./internal/trace ./internal/metrics ./internal/analyze
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,12 @@ chaos:
 # instants x runtime; regenerates BENCH_failover.json at the repo root.
 failover:
 	$(GO) run ./cmd/ligerbench -exp failover -json .
+
+# Full-fidelity fleet-failover sweep: replicas x node-loss instant x
+# runtime behind the health-aware router; regenerates BENCH_fleet.json
+# at the repo root. See docs/FLEET.md.
+fleet:
+	$(GO) run ./cmd/ligerbench -exp fleet -json .
 
 # Traced failover demo: one fully traced failure point per runtime,
 # written as Chrome traces (open in Perfetto) plus metrics snapshots

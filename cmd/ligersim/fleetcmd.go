@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"liger/internal/cluster"
+	"liger/internal/core"
+	"liger/internal/hw"
+	"liger/internal/liger"
+	"liger/internal/model"
+	"liger/internal/serve"
+)
+
+// fleetOpts carries the -nodes fleet flags from main. When Nodes > 0
+// the classic single-node path is replaced by a cluster of replicas
+// behind the health-aware router.
+type fleetOpts struct {
+	Nodes   int
+	Spares  int
+	Network string
+	Probe   time.Duration
+	Hedge   time.Duration
+	Retries int
+}
+
+// runFleetCLI serves the generated trace on a replicated fleet and
+// prints the router-level metrics. Output is deterministic at any
+// -shards setting (the shard count maps to executor workers, which by
+// construction cannot change results).
+func runFleetCLI(node hw.Node, spec model.Spec, kind core.RuntimeKind, lcfg liger.Config,
+	arrivals []serve.Arrival, deadline time.Duration, fo fleetOpts, shards int, seed int64) {
+	net, err := hw.NetworkPreset(fo.Network)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl := hw.Cluster{
+		Name:    fmt.Sprintf("%s-x%d", node.Name, fo.Nodes),
+		Node:    node,
+		Nodes:   fo.Nodes,
+		Spares:  fo.Spares,
+		Network: net,
+	}
+	f, err := cluster.New(cluster.Config{
+		Cluster:  cl,
+		Model:    spec,
+		Runtime:  kind,
+		Liger:    lcfg,
+		LigerSet: kind == core.KindLiger,
+		Probe:    fo.Probe,
+		Workers:  shards,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol := serve.Policy{Deadline: deadline, MaxRetries: fo.Retries}
+	if pol.MaxRetries > 0 {
+		// The CLI exposes only the retry budget; the backoff curve uses
+		// serving-scale defaults (2ms doubling, 32ms cap).
+		pol.Backoff = 2 * time.Millisecond
+		pol.BackoffCap = 32 * time.Millisecond
+	}
+	res, err := serve.RunFleet(f, arrivals, pol, serve.RouterPolicy{
+		Hedge: fo.Hedge,
+		Seed:  seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fleet     : %d replicas + %d spares of %s (%d GPUs each) over %s\n",
+		cl.Nodes, cl.Spares, node.Name, node.NumGPUs, net.Name)
+	fmt.Printf("network   : %.0f GB/s effective, %s one-way\n", net.EffectiveBWGBs(), net.Latency)
+	fmt.Printf("model     : %s (%.0fB params)\n", spec.Name, float64(spec.Params())/1e9)
+	fmt.Printf("runtime   : %s\n", res.Runtime)
+	fmt.Printf("avg lat   : %v\n", res.AvgLatency)
+	fmt.Printf("p50/95/99 : %v / %v / %v\n", res.P50, res.P95, res.P99)
+	fmt.Printf("throughput: %.3f batches/s (%.3f req/s)\n", res.ThroughputBatches(), res.ThroughputRequests())
+	fmt.Printf("makespan  : %v\n", res.Makespan)
+	fmt.Printf("outcomes  : %d completed, %d failed, %d shed, %d retries, %d hedges\n",
+		res.Completed, res.Failed, res.Shed, res.Retries, res.Hedges)
+	if res.Failovers > 0 || res.RecoveryTime > 0 {
+		fmt.Printf("failover  : %d failovers, recovery %v\n", res.Failovers, res.RecoveryTime)
+	}
+	if deadline > 0 {
+		fmt.Printf("SLO %v    : %.1f%% missed, goodput %.3f batches/s\n",
+			deadline, 100*res.SLOMissRate(), res.PolicyGoodput())
+	}
+}

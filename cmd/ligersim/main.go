@@ -60,6 +60,12 @@ func main() {
 		routing    = flag.String("routing", "earliest", "collective routing for -explain: earliest (surface rendezvous stalls) or binding (follow the gating member)")
 		window     = flag.Duration("window", 0, "windowed time-series bucket width for -metrics (0 disables)")
 		shards     = flag.Int("shards", 0, "request lookahead-sharded execution; single-node specs fall back to the sequential engine (see docs/PERF.md) and output is identical at any value")
+		nodes      = flag.Int("nodes", 0, "serve on a fleet of N replica nodes behind the health-aware router (0 = classic single-node path; see docs/FLEET.md)")
+		spares     = flag.Int("spares", 0, "spare nodes for whole-node failover (with -nodes)")
+		network    = flag.String("network", "ib", "inter-node network preset for -nodes: ib or ethernet")
+		probe      = flag.Duration("probe", 0, "router health-probe interval for -nodes (0 = cluster default)")
+		hedge      = flag.Duration("hedge", 0, "router hedging delay for -nodes (0 disables)")
+		retries    = flag.Int("retries", 3, "router retry budget per request (with -nodes)")
 	)
 	flag.Parse()
 
@@ -107,7 +113,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *shards > 1 && !eng.ShardPlan().Parallel() {
+	if *nodes == 0 && *shards > 1 && !eng.ShardPlan().Parallel() {
 		// Diagnostics go to stderr: stdout is the determinism-pinned
 		// report surface and must not depend on the -shards setting.
 		plan := eng.ShardPlan()
@@ -173,6 +179,18 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *nodes > 0 {
+		runFleetCLI(node, spec, kind, lcfg, arrivals, *deadline, fleetOpts{
+			Nodes:   *nodes,
+			Spares:  *spares,
+			Network: *network,
+			Probe:   *probe,
+			Hedge:   *hedge,
+			Retries: *retries,
+		}, *shards, *seed)
+		return
 	}
 
 	res, err := eng.Serve(arrivals)

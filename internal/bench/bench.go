@@ -95,6 +95,7 @@ func Experiments() []Experiment {
 		{"straggler", "extension: failure injection — one slow GPU", RunStraggler},
 		{"chaos", "extension: deterministic fault scenarios with deadline/retry serving", RunChaos},
 		{"failover", "extension: permanent device failure, re-planning onto survivors, overload protection", RunFailover},
+		{"fleet", "extension: whole-node loss in a replicated fleet, router failover onto a spare", RunFleet},
 	}
 }
 

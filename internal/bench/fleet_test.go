@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFleetOutputDeterministic pins the fleet sweep's determinism
+// promise: table AND JSON artifact are byte-identical across
+// invocations, sweep-executor worker counts, and executor shard
+// (worker) settings inside each fleet simulation.
+func TestFleetOutputDeterministic(t *testing.T) {
+	dirSerial, dirPar := t.TempDir(), t.TempDir()
+	cfg := RunConfig{Batches: 25, Quick: true, Seed: 5, Parallel: 0, Shards: 1, JSONDir: dirSerial}
+	var first, again, par bytes.Buffer
+	if err := RunFleet(cfg, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunFleet(cfg, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), again.Bytes()) {
+		t.Fatal("two seeded fleet runs differ")
+	}
+	cfg.Parallel = 4
+	cfg.Shards = 4
+	cfg.JSONDir = dirPar
+	if err := RunFleet(cfg, &par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), par.Bytes()) {
+		t.Fatalf("fleet output differs between serial and -parallel 4 -shards 4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			first.String(), par.String())
+	}
+	js1, err := os.ReadFile(filepath.Join(dirSerial, FleetJSONName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	js2, err := os.ReadFile(filepath.Join(dirPar, FleetJSONName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1, js2) {
+		t.Fatal("BENCH_fleet.json differs between worker settings")
+	}
+	out := first.String()
+	for _, want := range []string{"none", "node0@", "Liger", "Intra-Op", "Inter-Op", "headline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("%q missing from the report:\n%s", want, out)
+		}
+	}
+}
+
+// TestFleetLigerLeadsEveryLossPoint is the tentpole acceptance check:
+// at every node-loss point of the sweep, the interleaved runtime's
+// fleet goodput must be at least each baseline's at the same point —
+// the survivors' interleaved headroom absorbs the re-dispatched load
+// where intra-op saturates, and the tight SLO punishes inter-op's
+// pipeline latency.
+func TestFleetLigerLeadsEveryLossPoint(t *testing.T) {
+	cfg := RunConfig{Batches: 40, Quick: true, Seed: 1}
+	s := newFleetSetup(cfg)
+	rep, _, _, err := buildFleetReport(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		replicas int
+		atFrac   float64
+	}
+	liger := make(map[key]fleetRow)
+	for _, row := range rep.Rows {
+		if row.AtFrac >= 0 && row.Runtime == "Liger" {
+			liger[key{row.Replicas, row.AtFrac}] = row
+		}
+	}
+	if len(liger) == 0 {
+		t.Fatal("sweep produced no Liger loss points")
+	}
+	for _, row := range rep.Rows {
+		if row.AtFrac < 0 {
+			continue
+		}
+		if row.Failovers < 1 {
+			t.Errorf("%s %dx@%.0f%%: node loss produced %d failovers", row.Runtime, row.Replicas, 100*row.AtFrac, row.Failovers)
+		}
+		if row.RecoveryMs <= 0 {
+			t.Errorf("%s %dx@%.0f%%: no time-to-recover reported", row.Runtime, row.Replicas, 100*row.AtFrac)
+		}
+		if row.Runtime == "Liger" {
+			continue
+		}
+		lg, ok := liger[key{row.Replicas, row.AtFrac}]
+		if !ok {
+			t.Fatalf("no Liger row for %dx@%.0f%%", row.Replicas, 100*row.AtFrac)
+		}
+		if lg.Goodput < row.Goodput {
+			t.Errorf("%dx@%.0f%%: Liger goodput %.2f below %s's %.2f",
+				row.Replicas, 100*row.AtFrac, lg.Goodput, row.Runtime, row.Goodput)
+		}
+	}
+}
+
+// TestFleetCommittedArtifactHeadline pins the committed repo-root
+// BENCH_fleet.json: it must exist, parse, and show Liger's fleet
+// goodput at or above each baseline's at every node-loss point (the
+// acceptance criterion the artifact exists to document).
+func TestFleetCommittedArtifactHeadline(t *testing.T) {
+	buf, err := os.ReadFile(filepath.Join("..", "..", FleetJSONName))
+	if err != nil {
+		t.Fatalf("committed artifact missing (regenerate with `make fleet`): %v", err)
+	}
+	var rep fleetReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("committed artifact has no rows")
+	}
+	type key struct {
+		replicas int
+		atFrac   float64
+	}
+	liger := make(map[key]float64)
+	lossPoints := 0
+	for _, row := range rep.Rows {
+		if row.AtFrac >= 0 && row.Runtime == "Liger" {
+			liger[key{row.Replicas, row.AtFrac}] = row.Goodput
+			lossPoints++
+		}
+	}
+	if lossPoints == 0 {
+		t.Fatal("committed artifact has no node-loss points")
+	}
+	for _, row := range rep.Rows {
+		if row.AtFrac < 0 || row.Runtime == "Liger" {
+			continue
+		}
+		lg, ok := liger[key{row.Replicas, row.AtFrac}]
+		if !ok {
+			t.Fatalf("no Liger row for %dx@%.0f%%", row.Replicas, 100*row.AtFrac)
+		}
+		if lg < row.Goodput {
+			t.Errorf("committed artifact: %dx@%.0f%%: Liger goodput %.2f below %s's %.2f",
+				row.Replicas, 100*row.AtFrac, lg, row.Runtime, row.Goodput)
+		}
+	}
+	if rep.Headline.LigerVsIntraRetained <= 0 {
+		t.Errorf("headline Liger−Intra retained %.3f, want positive", rep.Headline.LigerVsIntraRetained)
+	}
+}

@@ -120,6 +120,12 @@ type Options struct {
 	// sequential queue, so results are byte-identical at any Shards
 	// setting. ShardPlan() reports what the analysis decided.
 	Shards int
+	// Clock, when non-nil, is the simulation engine to build on instead
+	// of a fresh one. The fleet layer (internal/cluster) uses it to give
+	// each node of a cluster its own shard engine of one
+	// simclock.Sharded executor; the caller then drives the executor
+	// itself instead of Engine.Serve.
+	Clock *simclock.Engine
 }
 
 // Engine is a ready-to-serve simulation instance.
@@ -152,7 +158,10 @@ func NewEngine(opts Options) (*Engine, error) {
 	if !opts.NCCLSet {
 		ncclCfg = nccl.Config{ReducedChannels: opts.Runtime == KindLiger}
 	}
-	eng := simclock.New()
+	eng := opts.Clock
+	if eng == nil {
+		eng = simclock.New()
+	}
 	node, err := gpusim.New(eng, opts.Node)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,183 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateClusterBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Schedule
+		want []string // substrings the error must carry
+	}{
+		{
+			name: "node out of range",
+			s: Schedule{Events: []Event{
+				{Kind: NodeFail, Node: 4, Start: time.Second},
+			}},
+			want: []string{"event 0", "node-fail", "node 4", "4-node cluster"},
+		},
+		{
+			name: "negative node",
+			s: Schedule{Events: []Event{
+				{Kind: Slowdown, Node: -1, Device: 0, Start: 0, Duration: time.Second, Factor: 0.5},
+			}},
+			want: []string{"event 0", "slowdown", "node -1"},
+		},
+		{
+			name: "device out of range on a cluster node",
+			s: Schedule{Events: []Event{
+				{Kind: DeviceFail, Node: 2, Device: 9, Start: time.Second},
+			}},
+			want: []string{"event 0", "device-fail", "device 9", "4-GPU node"},
+		},
+		{
+			name: "duplicate node fail",
+			s: Schedule{Events: []Event{
+				{Kind: NodeFail, Node: 1, Start: time.Second},
+				{Kind: NodeFail, Node: 1, Start: 2 * time.Second},
+			}},
+			want: []string{"event 1", "fails node 1 twice", "event 0", "1s"},
+		},
+		{
+			name: "node fail at negative time",
+			s: Schedule{Events: []Event{
+				{Kind: NodeFail, Node: 1, Start: -time.Second},
+			}},
+			want: []string{"event 0", "node-fail", "negative time"},
+		},
+		{
+			name: "same device index on different nodes is fine to fail twice only per node",
+			s: Schedule{Events: []Event{
+				{Kind: DeviceFail, Node: 0, Device: 1, Start: time.Second},
+				{Kind: DeviceFail, Node: 1, Device: 1, Start: time.Second},
+				{Kind: DeviceFail, Node: 0, Device: 1, Start: 2 * time.Second},
+			}},
+			want: []string{"event 2", "node0/dev1", "fails device 1 twice"},
+		},
+	}
+	for _, c := range cases {
+		err := c.s.ValidateCluster(4, 4)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		for _, w := range c.want {
+			if !strings.Contains(err.Error(), w) {
+				t.Errorf("%s: error %q misses %q", c.name, err, w)
+			}
+		}
+	}
+}
+
+func TestValidateClusterAcceptsFleetSchedule(t *testing.T) {
+	s := Schedule{
+		CollTimeout: time.Second,
+		Events: []Event{
+			{Kind: NodeFail, Node: 2, Start: time.Second},
+			{Kind: DeviceFail, Node: 0, Device: 3, Start: 2 * time.Second},
+			{Kind: Slowdown, Node: 1, Device: 0, Start: 0, Duration: time.Second, Factor: 0.5},
+		},
+	}
+	if err := s.ValidateCluster(3, 4); err != nil {
+		t.Fatalf("valid fleet schedule rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsClusterEventsOnSingleNode(t *testing.T) {
+	// The single-node Validate is the 1-node cluster special case:
+	// NodeFail and nonzero Node targets have no meaning there.
+	nf := Schedule{Events: []Event{{Kind: NodeFail, Node: 0, Start: time.Second}}}
+	err := nf.Validate(4)
+	if err == nil || !strings.Contains(err.Error(), "needs a cluster") {
+		t.Fatalf("single-node NodeFail error = %v", err)
+	}
+	off := Schedule{Events: []Event{
+		{Kind: Slowdown, Node: 1, Device: 0, Duration: time.Second, Factor: 0.5},
+	}}
+	if off.Validate(4) == nil {
+		t.Fatal("single-node schedule with a nonzero node target accepted")
+	}
+}
+
+func TestSplitByNode(t *testing.T) {
+	s := Schedule{
+		CollTimeout: 250 * time.Millisecond,
+		Events: []Event{
+			{Kind: Slowdown, Node: 1, Device: 2, Start: time.Second, Duration: time.Second, Factor: 0.5},
+			{Kind: NodeFail, Node: 0, Start: 3 * time.Second},
+			{Kind: DeviceFail, Node: 1, Device: 0, Start: 2 * time.Second},
+			{Kind: CollStall, Node: 0, Device: 1, Start: time.Second, Duration: time.Second},
+		},
+	}
+	parts := s.SplitByNode(3)
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	for n, p := range parts {
+		if p.CollTimeout != s.CollTimeout {
+			t.Errorf("node %d lost the collective timeout", n)
+		}
+		for _, e := range p.Events {
+			if e.Node != 0 {
+				t.Errorf("node %d event kept node target %d", n, e.Node)
+			}
+			if e.Kind == NodeFail {
+				t.Errorf("node %d got a NodeFail event", n)
+			}
+		}
+		// Each part must pass single-node validation as-is.
+		if err := p.Validate(4); err != nil {
+			t.Errorf("node %d split invalid: %v", n, err)
+		}
+	}
+	if len(parts[0].Events) != 1 || parts[0].Events[0].Kind != CollStall {
+		t.Errorf("node 0 events wrong: %v", parts[0].Events)
+	}
+	if len(parts[1].Events) != 2 {
+		t.Errorf("node 1 got %d events, want 2", len(parts[1].Events))
+	}
+	if len(parts[2].Events) != 0 {
+		t.Errorf("node 2 got %d events, want none", len(parts[2].Events))
+	}
+}
+
+func TestNodeFailsCanonicalOrder(t *testing.T) {
+	s := Schedule{Events: []Event{
+		{Kind: NodeFail, Node: 2, Start: 2 * time.Second},
+		{Kind: DeviceFail, Node: 0, Device: 1, Start: time.Second},
+		{Kind: NodeFail, Node: 3, Start: time.Second},
+		{Kind: NodeFail, Node: 1, Start: time.Second},
+	}}
+	got := s.NodeFails()
+	if len(got) != 3 {
+		t.Fatalf("got %d node fails", len(got))
+	}
+	wantNodes := []int{1, 3, 2} // (start, node) order
+	for i, e := range got {
+		if e.Node != wantNodes[i] {
+			t.Fatalf("order %v, want nodes %v", got, wantNodes)
+		}
+	}
+	// Permuting the schedule must not change the canonical order.
+	s.Events[0], s.Events[2], s.Events[3] = s.Events[3], s.Events[0], s.Events[2]
+	again := s.NodeFails()
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatal("NodeFails depends on event permutation")
+		}
+	}
+}
+
+func TestEventStringNamesClusterTargets(t *testing.T) {
+	nf := Event{Kind: NodeFail, Node: 2, Start: time.Second}
+	if got := nf.String(); !strings.Contains(got, "node-fail node2") {
+		t.Errorf("NodeFail renders %q", got)
+	}
+	df := Event{Kind: DeviceFail, Node: 1, Device: 3, Start: time.Second}
+	if got := df.String(); !strings.Contains(got, "node1/dev3") {
+		t.Errorf("cluster DeviceFail renders %q", got)
+	}
+}

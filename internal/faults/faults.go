@@ -46,9 +46,16 @@ const (
 	CollStall
 	// DeviceFail permanently removes the device at Start: in-flight
 	// kernels cancel, its collective memberships abort, and — unlike
-	// DeviceDrop — there is no restore. Duration and Factor are ignored.
-	// Runtimes observe the failure and re-plan onto the survivors.
+	// DeviceDrop — there is no restore. Runtimes observe the failure and
+	// re-plan onto the survivors. Duration and Factor are ignored.
 	DeviceFail
+	// NodeFail permanently removes a whole node of a cluster at Start:
+	// every in-flight request on it is lost, the router evicts its
+	// replica, and the control plane re-places the replica onto spare
+	// capacity (internal/cluster). Device, Duration, and Factor are
+	// ignored; the target is Event.Node. NodeFail is a cluster-level
+	// fault — single-node injection (Inject) rejects it.
+	NodeFail
 )
 
 // String implements fmt.Stringer.
@@ -64,6 +71,8 @@ func (k Kind) String() string {
 		return "coll-stall"
 	case DeviceFail:
 		return "device-fail"
+	case NodeFail:
+		return "node-fail"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -77,7 +86,11 @@ const freezeFactor = 1e-6
 // Event is one fault: a window [Start, Start+Duration) during which a
 // device's speed or link rate is scaled by Factor.
 type Event struct {
-	Kind   Kind
+	Kind Kind
+	// Node is the cluster node the event targets. Single-node schedules
+	// leave it 0; a cluster run splits its schedule per node
+	// (SplitByNode) and NodeFail events target Node directly.
+	Node   int
 	Device int
 	// Start is the window's opening sim time.
 	Start time.Duration
@@ -103,14 +116,21 @@ func (e Event) onSpeed() bool { return e.Kind == Slowdown || e.Kind == DeviceDro
 
 // String renders the event for logs and experiment headers.
 func (e Event) String() string {
-	if e.Kind == DeviceFail {
-		return fmt.Sprintf("%s dev%d at %v", e.Kind, e.Device, e.Start)
+	target := fmt.Sprintf("dev%d", e.Device)
+	if e.Node > 0 {
+		target = fmt.Sprintf("node%d/%s", e.Node, target)
+	}
+	switch e.Kind {
+	case NodeFail:
+		return fmt.Sprintf("%s node%d at %v", e.Kind, e.Node, e.Start)
+	case DeviceFail:
+		return fmt.Sprintf("%s %s at %v", e.Kind, target, e.Start)
 	}
 	end := "end"
 	if e.Duration > 0 {
 		end = (e.Start + e.Duration).String()
 	}
-	return fmt.Sprintf("%s dev%d [%v, %s) x%.3g", e.Kind, e.Device, e.Start, end, e.factor())
+	return fmt.Sprintf("%s %s [%v, %s) x%.3g", e.Kind, target, e.Start, end, e.factor())
 }
 
 // Schedule is a full fault plan for one run.
@@ -126,17 +146,49 @@ type Schedule struct {
 // Empty reports whether the schedule injects nothing.
 func (s Schedule) Empty() bool { return len(s.Events) == 0 && s.CollTimeout == 0 }
 
-// Validate bounds-checks the schedule against a node size.
+// Validate bounds-checks the schedule against a single node size. It
+// is the one-node special case of ValidateCluster, so NodeFail events
+// and nonzero Node targets are rejected — they need a cluster.
 func (s Schedule) Validate(numDevices int) error {
+	return s.ValidateCluster(1, numDevices)
+}
+
+// ValidateCluster bounds-checks the schedule against a cluster of
+// numNodes identical nodes with devicesPerNode GPUs each. Every error
+// names the event index, kind, target, and time so a scenario author
+// can find the offending line.
+func (s Schedule) ValidateCluster(numNodes, devicesPerNode int) error {
 	if s.CollTimeout < 0 {
 		return fmt.Errorf("faults: negative collective timeout %v", s.CollTimeout)
 	}
-	failed := make(map[int]int)
+	failedDev := make(map[[2]int]int) // (node, device) -> first DeviceFail index
+	failedNode := make(map[int]int)   // node -> first NodeFail index
 	for i, e := range s.Events {
+		if e.Node < 0 || e.Node >= numNodes {
+			return fmt.Errorf("faults: event %d (%s at %v) targets node %d of a %d-node cluster",
+				i, e.Kind, e.Start, e.Node, numNodes)
+		}
+		if e.Kind == NodeFail {
+			if numNodes == 1 {
+				return fmt.Errorf("faults: event %d (%s at %v) needs a cluster — a single-node run has no node to lose",
+					i, e.Kind, e.Start)
+			}
+			if e.Start < 0 {
+				return fmt.Errorf("faults: event %d (%s node%d) starts at negative time %v", i, e.Kind, e.Node, e.Start)
+			}
+			// Permanent: failing an already-failed node is a schedule bug,
+			// not an idempotent no-op.
+			if prev, dup := failedNode[e.Node]; dup {
+				return fmt.Errorf("faults: event %d (%s node%d at %v) fails node %d twice (first failed by event %d at %v)",
+					i, e.Kind, e.Node, e.Start, e.Node, prev, s.Events[prev].Start)
+			}
+			failedNode[e.Node] = i
+			continue
+		}
 		switch {
-		case e.Device < 0 || e.Device >= numDevices:
+		case e.Device < 0 || e.Device >= devicesPerNode:
 			return fmt.Errorf("faults: event %d (%s) targets device %d of a %d-GPU node",
-				i, e.Kind, e.Device, numDevices)
+				i, e.Kind, e.Device, devicesPerNode)
 		case e.Start < 0:
 			return fmt.Errorf("faults: event %d (%s) starts at negative time %v", i, e.Kind, e.Start)
 		case e.Kind != DeviceFail && e.Duration < 0:
@@ -153,16 +205,56 @@ func (s Schedule) Validate(numDevices int) error {
 		case e.Kind == DeviceFail:
 			// Permanent: failing an already-failed device is a schedule bug,
 			// not an idempotent no-op.
-			if prev, dup := failed[e.Device]; dup {
-				return fmt.Errorf("faults: event %d (%s dev%d at %v) fails device %d twice (first failed by event %d at %v)",
-					i, e.Kind, e.Device, e.Start, e.Device, prev, s.Events[prev].Start)
+			key := [2]int{e.Node, e.Device}
+			if prev, dup := failedDev[key]; dup {
+				return fmt.Errorf("faults: event %d (%s node%d/dev%d at %v) fails device %d twice (first failed by event %d at %v)",
+					i, e.Kind, e.Node, e.Device, e.Start, e.Device, prev, s.Events[prev].Start)
 			}
-			failed[e.Device] = i
+			failedDev[key] = i
 		default:
 			return fmt.Errorf("faults: event %d has unknown kind %d", i, int(e.Kind))
 		}
 	}
 	return nil
+}
+
+// SplitByNode partitions the schedule of a cluster run: element n holds
+// node n's device-level events with Node cleared (ready for Inject into
+// that node's simulation), and every node inherits the collective
+// timeout. NodeFail events are cluster-level and are NOT included —
+// read them with NodeFails.
+func (s Schedule) SplitByNode(numNodes int) []Schedule {
+	out := make([]Schedule, numNodes)
+	for n := range out {
+		out[n].CollTimeout = s.CollTimeout
+	}
+	for _, e := range s.Events {
+		if e.Kind == NodeFail || e.Node < 0 || e.Node >= numNodes {
+			continue
+		}
+		n := e.Node
+		e.Node = 0
+		out[n].Events = append(out[n].Events, e)
+	}
+	return out
+}
+
+// NodeFails returns the schedule's NodeFail events in canonical
+// (Start, Node) order, so arming them is permutation-invariant.
+func (s Schedule) NodeFails() []Event {
+	var out []Event
+	for _, e := range s.Events {
+		if e.Kind == NodeFail {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
 }
 
 // Static returns the degenerate schedule of the former SetSpeed-style

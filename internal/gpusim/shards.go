@@ -93,6 +93,33 @@ func PlanShards(spec hw.Node) ShardPlan {
 	return plan
 }
 
+// PlanCluster is the fleet-scale partition analysis: a cluster of N
+// nodes behind an inter-node network supports one shard per node plus
+// a frontend shard (the router/control plane), because every coupling
+// that crosses a node boundary — a routed request, a completion
+// notice, a health probe, a weight transfer — pays at least the
+// network's one-way latency. That latency is the conservative
+// lookahead simclock.Sharded runs with, so the fleet simulation is
+// parallel AND byte-identical at any worker count.
+func PlanCluster(c hw.Cluster) ShardPlan {
+	plan := ShardPlan{
+		// One shard per physical node plus the frontend shard.
+		Domains:   c.TotalNodes() + 1,
+		Lookahead: c.Network.Latency,
+		Boundary: []Coupling{
+			{Name: "network-one-way-latency", Latency: c.Network.Latency},
+		},
+	}
+	// The intra-node couplings still pin each node to a single shard.
+	plan.Couplings = PlanShards(c.Node).Couplings
+	if plan.Lookahead <= 0 {
+		// Degenerate network: no safe window, fall back to one domain.
+		plan.Domains = 1
+		plan.Lookahead = 0
+	}
+	return plan
+}
+
 // InterNodeLookahead returns the lookahead a node-per-shard partition of
 // the given spec would get: the smallest positive boundary latency.
 // Zero when the spec gives every boundary interaction zero latency (a

@@ -1,0 +1,61 @@
+package hw
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNetworkPresetsValidate(t *testing.T) {
+	for name, n := range NetworkPresets() {
+		if err := n.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+	if _, err := NetworkPreset("token-ring"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestNetworkTransfer(t *testing.T) {
+	n := NetworkSpec{Name: "t", LinkBWGBs: 10, Latency: time.Microsecond, Oversubscription: 2}
+	// 5 GB/s effective: 5e9 bytes stream in 1 s, plus the latency.
+	got := n.Transfer(5e9)
+	want := time.Second + time.Microsecond
+	if got != want {
+		t.Errorf("Transfer(5e9) = %v, want %v", got, want)
+	}
+	if n.Transfer(0) != time.Microsecond {
+		t.Errorf("zero-byte transfer should cost one latency, got %v", n.Transfer(0))
+	}
+}
+
+func TestNetworkValidate(t *testing.T) {
+	cases := []NetworkSpec{
+		{Name: "no-bw", Latency: time.Microsecond},
+		{Name: "no-lat", LinkBWGBs: 10},
+		{Name: "under", LinkBWGBs: 10, Latency: time.Microsecond, Oversubscription: 0.5},
+	}
+	for _, n := range cases {
+		if err := n.Validate(); err == nil {
+			t.Errorf("%s: invalid spec accepted", n.Name)
+		}
+	}
+}
+
+func TestClusterValidate(t *testing.T) {
+	c := Cluster{Name: "fleet", Node: V100Node(), Nodes: 3, Spares: 1, Network: IBNetwork()}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid cluster rejected: %v", err)
+	}
+	if c.TotalNodes() != 4 {
+		t.Errorf("TotalNodes = %d, want 4", c.TotalNodes())
+	}
+	c.Nodes = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero-replica cluster accepted")
+	}
+	c = Cluster{Name: "fleet", Node: V100Node(), Nodes: 2, Network: NetworkSpec{Name: "zero-lat", LinkBWGBs: 10}}
+	if err := c.Validate(); err == nil {
+		t.Error("zero-latency network accepted (no lookahead)")
+	}
+}

@@ -50,6 +50,7 @@ var metricDefs = map[string]metricDef{
 	"retries":        {get: func(r serve.Result) float64 { return float64(r.Retries) }},
 	"deferred":       {get: func(r serve.Result) float64 { return float64(r.Deferred) }},
 	"failovers":      {get: func(r serve.Result) float64 { return float64(r.Failovers) }},
+	"hedges":         {get: func(r serve.Result) float64 { return float64(r.Hedges) }},
 	"deadline_misses": {get: func(r serve.Result) float64 {
 		return float64(r.DeadlineMisses)
 	}},

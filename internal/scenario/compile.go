@@ -22,6 +22,14 @@ import (
 type Compiled struct {
 	Scenario *Scenario
 	Node     hw.Node
+	// Cluster is non-nil for fleet scenarios: N replica nodes (plus
+	// spares) of Node each, joined by the named network preset.
+	Cluster *hw.Cluster
+	// Probe is the router's health-probe interval (fleet only; zero
+	// means the cluster default).
+	Probe time.Duration
+	// Hedge is the router's hedging delay (fleet only; zero disables).
+	Hedge    time.Duration
 	Model    model.Spec
 	Kinds    []core.RuntimeKind
 	Trace    serve.TraceConfig
@@ -54,6 +62,7 @@ var faultKindByName = map[string]faults.Kind{
 	"device-drop":  faults.DeviceDrop,
 	"coll-stall":   faults.CollStall,
 	"device-fail":  faults.DeviceFail,
+	"node-fail":    faults.NodeFail,
 }
 
 // Compile lowers a validated scenario. It performs the checks that
@@ -108,7 +117,13 @@ func Compile(sc *Scenario) (*Compiled, error) {
 
 	capacity := intraCapacity(node, spec, w.Batch, phase, w.CtxLen, (w.MinSeq+w.MaxSeq)/2)
 	c.Solo = time.Duration(float64(time.Second) / capacity)
-	c.Rate = w.Rate.Resolve(capacity)
+	// A fleet's capacity-relative rate scales with the replica count:
+	// "80%" means 80% of what the whole serving pool can absorb.
+	effCapacity := capacity
+	if sc.Cluster != nil {
+		effCapacity = capacity * float64(sc.Cluster.Nodes)
+	}
+	c.Rate = w.Rate.Resolve(effCapacity)
 	if c.Rate <= 0 {
 		return nil, fmt.Errorf("workload.rate: resolves to %v batches/s", c.Rate)
 	}
@@ -154,6 +169,36 @@ func Compile(sc *Scenario) (*Compiled, error) {
 		return nil, err
 	}
 
+	if sc.Cluster != nil {
+		netName := sc.Cluster.Network
+		if netName == "" {
+			netName = "ib"
+		}
+		net, err := hw.NetworkPreset(netName)
+		if err != nil {
+			return nil, fmt.Errorf("cluster.network: %w", err)
+		}
+		cl := hw.Cluster{
+			Name:    sc.Name,
+			Node:    node,
+			Nodes:   sc.Cluster.Nodes,
+			Spares:  sc.Cluster.Spares,
+			Network: net,
+		}
+		if err := cl.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		c.Cluster = &cl
+		c.Probe = sc.Cluster.Probe.Resolve(c.Horizon, c.Solo)
+		if c.Probe < 0 {
+			return nil, fmt.Errorf("cluster.probe_interval: resolves to %v", c.Probe)
+		}
+		c.Hedge = sc.Policy.Hedge.Resolve(c.Horizon, c.Solo)
+		if c.Hedge < 0 {
+			return nil, fmt.Errorf("policy.hedge: resolves to %v", c.Hedge)
+		}
+	}
+
 	if err := c.compileChaos(sc); err != nil {
 		return nil, err
 	}
@@ -189,6 +234,10 @@ func containsString(xs []string, s string) bool {
 // generators into one faults.Schedule with absolute times.
 func (c *Compiled) compileChaos(sc *Scenario) error {
 	numDev := c.Node.NumGPUs
+	totalNodes := 1
+	if c.Cluster != nil {
+		totalNodes = c.Cluster.TotalNodes()
+	}
 	sched := faults.Schedule{CollTimeout: sc.Chaos.CollTimeout.Resolve(c.Horizon, c.Solo)}
 
 	// Static per-device overrides: persist-to-end windows from t=0.
@@ -206,24 +255,35 @@ func (c *Compiled) compileChaos(sc *Scenario) error {
 		}
 	}
 
-	// Explicit timed events. Windows of the same (kind, device) may not
-	// overlap and may not be empty — both are author mistakes that the
-	// multiplicative fault composition would otherwise silently absorb.
+	// Explicit timed events. Windows of the same (kind, node, device)
+	// may not overlap and may not be empty — both are author mistakes
+	// that the multiplicative fault composition would otherwise silently
+	// absorb.
 	type window struct {
 		idx        int
 		start, end time.Duration // end 0 = persists to run end
 	}
-	open := make(map[[2]int][]window) // (kind, device) -> windows
-	failedBy := make(map[int]int)
+	open := make(map[[3]int][]window) // (kind, node, device) -> windows
+	failedBy := make(map[[2]int]int)  // (node, device) -> event index
+	failedNode := make(map[int]int)   // node -> event index
 	for i, e := range sc.Chaos.Events {
 		kind := faultKindByName[e.Kind]
+		if e.Node >= totalNodes {
+			return fmt.Errorf("chaos.events[%d] (%s): node %d of a %d-node cluster", i, e.Kind, e.Node, totalNodes)
+		}
 		if e.Device >= numDev {
 			return fmt.Errorf("chaos.events[%d] (%s): device %d of a %d-GPU node", i, e.Kind, e.Device, numDev)
 		}
 		start := e.Start.Resolve(c.Horizon, c.Solo)
-		ev := faults.Event{Kind: kind, Device: e.Device, Start: start, Factor: e.Factor}
+		ev := faults.Event{Kind: kind, Node: e.Node, Device: e.Device, Start: start, Factor: e.Factor}
+		if kind == faults.NodeFail {
+			ev.Device = 0
+			failedNode[e.Node] = i
+			sched.Events = append(sched.Events, ev)
+			continue
+		}
 		if kind == faults.DeviceFail {
-			failedBy[e.Device] = i
+			failedBy[[2]int{e.Node, e.Device}] = i
 			sched.Events = append(sched.Events, ev)
 			continue
 		}
@@ -236,7 +296,7 @@ func (c *Compiled) compileChaos(sc *Scenario) error {
 			}
 			end = start + ev.Duration
 		}
-		key := [2]int{int(kind), e.Device}
+		key := [3]int{int(kind), e.Node, e.Device}
 		for _, prev := range open[key] {
 			prevOpenEnded := prev.end == 0
 			overlaps := (prevOpenEnded || start < prev.end) && (end == 0 || prev.start < end)
@@ -248,8 +308,11 @@ func (c *Compiled) compileChaos(sc *Scenario) error {
 		open[key] = append(open[key], window{idx: i, start: start, end: end})
 		sched.Events = append(sched.Events, ev)
 	}
-	if len(failedBy) >= numDev && numDev > 0 {
+	if c.Cluster == nil && len(failedBy) >= numDev && numDev > 0 {
 		return fmt.Errorf("chaos.events fail all %d devices — nothing would survive to serve", numDev)
+	}
+	if len(failedNode) >= totalNodes && len(failedNode) > 0 {
+		return fmt.Errorf("chaos.events fail all %d nodes — nothing would survive to serve", totalNodes)
 	}
 
 	// Seeded random generators. Each generator draws from its own
@@ -283,15 +346,23 @@ func (c *Compiled) compileChaos(sc *Scenario) error {
 			return fmt.Errorf("chaos.random[%d] (%s): window duration resolves to %v", i, g.Kind, dur)
 		}
 		if kind == faults.DeviceFail {
-			// Draw distinct devices not already failed; leaving at least
-			// one survivor is the generator's job, not the runtime's.
+			// Random faults always target node 0 (explicit events carry
+			// node targets; generators predate the fleet). Draw distinct
+			// devices not already failed; leaving at least one survivor is
+			// the generator's job, not the runtime's.
 			alive := make([]int, 0, len(pool))
+			failedHere := 0
 			for _, d := range pool {
-				if _, dead := failedBy[d]; !dead {
+				if _, dead := failedBy[[2]int{0, d}]; !dead {
 					alive = append(alive, d)
 				}
 			}
-			if g.Count >= numDev-len(failedBy) {
+			for key := range failedBy {
+				if key[0] == 0 {
+					failedHere++
+				}
+			}
+			if g.Count >= numDev-failedHere {
 				return fmt.Errorf("chaos.random[%d] (device-fail): count %d would leave no survivor on a %d-GPU node", i, g.Count, numDev)
 			}
 			if g.Count > len(alive) {
@@ -301,7 +372,7 @@ func (c *Compiled) compileChaos(sc *Scenario) error {
 				pick := rng.Intn(len(alive))
 				dev := alive[pick]
 				alive = append(alive[:pick], alive[pick+1:]...)
-				failedBy[dev] = -1
+				failedBy[[2]int{0, dev}] = -1
 				sched.Events = append(sched.Events, faults.Event{
 					Kind:   faults.DeviceFail,
 					Device: dev,
@@ -321,7 +392,11 @@ func (c *Compiled) compileChaos(sc *Scenario) error {
 		}
 	}
 
-	if err := sched.Validate(numDev); err != nil {
+	if c.Cluster != nil {
+		if err := sched.ValidateCluster(totalNodes, numDev); err != nil {
+			return err
+		}
+	} else if err := sched.Validate(numDev); err != nil {
 		return err
 	}
 	c.Schedule = sched

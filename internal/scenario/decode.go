@@ -194,7 +194,7 @@ func decodeScenario(doc any) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	top.expect("name", "description", "model", "runtimes", "node", "workload", "policy", "chaos", "assert")
+	top.expect("name", "description", "model", "runtimes", "node", "cluster", "workload", "policy", "chaos", "assert")
 	sc := &Scenario{}
 	if sc.Name, err = top.str("name"); err != nil {
 		return nil, err
@@ -220,6 +220,13 @@ func decodeScenario(doc any) (*Scenario, error) {
 		if sc.Node, err = decodeNode(v); err != nil {
 			return nil, err
 		}
+	}
+	if v, ok := top.get("cluster"); ok && v != nil {
+		cl, err := decodeCluster(v)
+		if err != nil {
+			return nil, err
+		}
+		sc.Cluster = &cl
 	}
 	if v, ok := top.get("workload"); ok && v != nil {
 		if sc.Workload, err = decodeWorkload(v); err != nil {
@@ -291,6 +298,28 @@ func decodeNode(v any) (NodeSpec, error) {
 		n.Devices = append(n.Devices, d)
 	}
 	return n, s.finish()
+}
+
+func decodeCluster(v any) (ClusterSpec, error) {
+	s, err := asSection(v, "cluster")
+	if err != nil {
+		return ClusterSpec{}, err
+	}
+	s.expect("nodes", "spares", "network", "probe_interval")
+	var c ClusterSpec
+	if c.Nodes, err = s.integer("nodes"); err != nil {
+		return c, err
+	}
+	if c.Spares, err = s.integer("spares"); err != nil {
+		return c, err
+	}
+	if c.Network, err = s.str("network"); err != nil {
+		return c, err
+	}
+	if c.Probe, err = s.timeSpec("probe_interval"); err != nil {
+		return c, err
+	}
+	return c, s.finish()
 }
 
 func decodeWorkload(v any) (Workload, error) {
@@ -376,7 +405,7 @@ func decodePolicy(v any) (PolicySpec, error) {
 	if err != nil {
 		return PolicySpec{}, err
 	}
-	s.expect("deadline", "retries", "backoff", "backoff_cap", "queue_limit")
+	s.expect("deadline", "retries", "backoff", "backoff_cap", "queue_limit", "hedge")
 	var p PolicySpec
 	if p.Deadline, err = s.timeSpec("deadline"); err != nil {
 		return p, err
@@ -391,6 +420,9 @@ func decodePolicy(v any) (PolicySpec, error) {
 		return p, err
 	}
 	if p.QueueLimit, err = s.integer("queue_limit"); err != nil {
+		return p, err
+	}
+	if p.Hedge, err = s.timeSpec("hedge"); err != nil {
 		return p, err
 	}
 	return p, s.finish()
@@ -416,9 +448,12 @@ func decodeChaos(v any) (Chaos, error) {
 		if err != nil {
 			return c, err
 		}
-		es.expect("kind", "device", "start", "duration", "factor")
+		es.expect("kind", "node", "device", "start", "duration", "factor")
 		var e ChaosEvent
 		if e.Kind, err = es.str("kind"); err != nil {
+			return c, err
+		}
+		if e.Node, err = es.integer("node"); err != nil {
 			return c, err
 		}
 		if e.Device, err = es.integer("device"); err != nil {

@@ -21,7 +21,9 @@ func TestCorpusGolden(t *testing.T) {
 		{"healthy-baseline.yaml", true},
 		{"cascading-failures.yaml", true},
 		{"mid-run-device-loss.yaml", true},
+		{"fleet-node-loss.yaml", true},
 		{"fixtures/impossible-slo.yaml", false},
+		{"fixtures/no-spare-capacity.yaml", false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.file, func(t *testing.T) {
@@ -97,6 +99,41 @@ func TestRunParallelInvariant(t *testing.T) {
 		}
 		if js != baseJSON {
 			t.Errorf("JSON report differs at parallel=%d shards=%d", cfg.parallel, cfg.shards)
+		}
+	}
+}
+
+// TestFleetParallelInvariant pins the fleet determinism contract: the
+// cluster scenario — router, node shards, mid-run node loss and all —
+// renders byte-identical text and JSON reports at any -parallel or
+// -shards setting.
+func TestFleetParallelInvariant(t *testing.T) {
+	sc, err := Load(filepath.Join("..", "..", "scenarios", "fleet-node-loss.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(parallel, shards int) string {
+		c, err := Compile(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(c, RunOptions{Parallel: parallel, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text, js bytes.Buffer
+		if err := rep.WriteText(&text); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		return text.String() + js.String()
+	}
+	base := render(1, 1)
+	for _, cfg := range []struct{ parallel, shards int }{{3, 2}, {1, 8}} {
+		if got := render(cfg.parallel, cfg.shards); got != base {
+			t.Errorf("fleet report differs at parallel=%d shards=%d", cfg.parallel, cfg.shards)
 		}
 	}
 }

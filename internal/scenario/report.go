@@ -25,11 +25,20 @@ func (r *Report) WriteText(w io.Writer) error {
 	fmt.Fprintf(w, "node      : %s (%d GPUs), model %s\n", r.Node, r.GPUs, r.Model)
 	fmt.Fprintf(w, "trace     : %d batches, %s rate %.3f/s, seed %d, horizon %s\n",
 		r.Batches, r.Process, r.Rate, r.Seed, fmtDur(r.Horizon))
+	if c := r.Compiled; c != nil && c.Cluster != nil {
+		fmt.Fprintf(w, "cluster   : %d replicas + %d spares over %s (%.0f GB/s, %s one-way)\n",
+			c.Cluster.Nodes, c.Cluster.Spares, c.Cluster.Network.Name,
+			c.Cluster.Network.EffectiveBWGBs(), fmtDur(c.Cluster.Network.Latency))
+	}
 	if c := r.Compiled; c != nil {
 		pol := c.Policy
 		if pol.Deadline > 0 || pol.MaxRetries > 0 || pol.QueueLimit > 0 {
-			fmt.Fprintf(w, "policy    : deadline %s, %d retries, backoff %s (cap %s), queue limit %d\n",
+			fmt.Fprintf(w, "policy    : deadline %s, %d retries, backoff %s (cap %s), queue limit %d",
 				fmtDur(pol.Deadline), pol.MaxRetries, fmtDur(pol.Backoff), fmtDur(pol.BackoffCap), pol.QueueLimit)
+			if c.Hedge > 0 {
+				fmt.Fprintf(w, ", hedge %s", fmtDur(c.Hedge))
+			}
+			fmt.Fprintln(w)
 		}
 		if !c.Schedule.Empty() {
 			fmt.Fprintf(w, "chaos     : %d events, watchdog %s\n", len(c.Schedule.Events), fmtDur(c.Schedule.CollTimeout))
@@ -71,6 +80,7 @@ type reportDoc struct {
 	Description string                  `json:"description,omitempty"`
 	Node        string                  `json:"node"`
 	GPUs        int                     `json:"gpus"`
+	Cluster     *clusterDoc             `json:"cluster,omitempty"`
 	Model       string                  `json:"model"`
 	Seed        int64                   `json:"seed"`
 	Batches     int                     `json:"batches"`
@@ -81,6 +91,16 @@ type reportDoc struct {
 	Pass        bool                    `json:"pass"`
 	Results     map[string]serve.Result `json:"results"`
 	Assertions  []AssertionResult       `json:"assertions"`
+}
+
+// clusterDoc is the fleet topology block of the JSON report; absent
+// for single-node scenarios so their artifacts are unchanged.
+type clusterDoc struct {
+	Nodes   int     `json:"nodes"`
+	Spares  int     `json:"spares"`
+	Network string  `json:"network"`
+	ProbeMs float64 `json:"probe_ms,omitempty"`
+	HedgeMs float64 `json:"hedge_ms,omitempty"`
 }
 
 // WriteJSON renders the machine-readable report.
@@ -100,6 +120,15 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		Pass:        r.Pass,
 		Results:     make(map[string]serve.Result, len(r.Results)),
 		Assertions:  r.Assertions,
+	}
+	if c := r.Compiled; c != nil && c.Cluster != nil {
+		doc.Cluster = &clusterDoc{
+			Nodes:   c.Cluster.Nodes,
+			Spares:  c.Cluster.Spares,
+			Network: c.Cluster.Network.Name,
+			ProbeMs: ms(c.Probe),
+			HedgeMs: ms(c.Hedge),
+		}
 	}
 	for _, res := range r.Results {
 		doc.Results[res.Runtime] = res

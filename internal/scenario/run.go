@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"liger/internal/cluster"
 	"liger/internal/core"
 	"liger/internal/liger"
 	"liger/internal/runner"
@@ -38,6 +39,9 @@ func Run(c *Compiled, opts RunOptions) (*Report, error) {
 // degradation-aware re-planning enabled — the robustness subsystem the
 // corpus exists to exercise.
 func runOne(c *Compiled, kind core.RuntimeKind, shards int) (serve.Result, error) {
+	if c.Cluster != nil {
+		return runFleetOne(c, kind, shards)
+	}
 	opts := core.Options{Node: c.Node, Model: c.Model, Runtime: kind, Shards: shards}
 	if kind == core.KindLiger {
 		lc := liger.DefaultConfig(c.Node.Name)
@@ -58,6 +62,47 @@ func runOne(c *Compiled, kind core.RuntimeKind, shards int) (serve.Result, error
 		return serve.Result{}, err
 	}
 	res, err := eng.ServePolicy(trace, c.Policy)
+	if err != nil {
+		return res, err
+	}
+	res.Scenario = c.Scenario.Name
+	return res, nil
+}
+
+// runFleetOne serves the scenario on one runtime replicated across the
+// cluster, with the health-aware router in front. The shards knob maps
+// onto the fleet executor's worker count — results are byte-identical
+// at any setting.
+func runFleetOne(c *Compiled, kind core.RuntimeKind, shards int) (serve.Result, error) {
+	cfg := cluster.Config{
+		Cluster: *c.Cluster,
+		Model:   c.Model,
+		Runtime: kind,
+		Probe:   c.Probe,
+		Workers: shards,
+	}
+	if kind == core.KindLiger {
+		lc := liger.DefaultConfig(c.Node.Name)
+		lc.DegradationAware = true
+		cfg.Liger = lc
+		cfg.LigerSet = true
+	}
+	if !c.Schedule.Empty() {
+		sched := c.Schedule
+		cfg.Faults = &sched
+	}
+	f, err := cluster.New(cfg)
+	if err != nil {
+		return serve.Result{}, err
+	}
+	trace, err := serve.Generate(c.Trace)
+	if err != nil {
+		return serve.Result{}, err
+	}
+	res, err := serve.RunFleet(f, trace, c.Policy, serve.RouterPolicy{
+		Hedge: c.Hedge,
+		Seed:  c.Scenario.Workload.Seed,
+	})
 	if err != nil {
 		return res, err
 	}

@@ -36,12 +36,47 @@ type Scenario struct {
 	// Empty means the paper's three headline runtimes.
 	Runtimes []string
 	Node     NodeSpec
+	// Cluster, when present, lifts the scenario to a fleet: N replica
+	// nodes (each shaped by Node) plus spares behind an inter-node
+	// network, served through the health-aware request router. Enables
+	// the node-fail chaos kind and per-event node targets.
+	Cluster  *ClusterSpec
 	Workload Workload
 	Policy   PolicySpec
 	Chaos    Chaos
 	// Assert holds the end-of-run assertions, one expression per line
 	// (see assert.go for the grammar).
 	Assert []string
+}
+
+// ClusterSpec describes the fleet topology.
+type ClusterSpec struct {
+	// Nodes is the number of model replicas (one per node).
+	Nodes int
+	// Spares is the number of idle standby nodes available for replica
+	// re-placement after whole-node loss.
+	Spares int
+	// Network names the inter-node network preset (ib, ethernet);
+	// defaults to ib.
+	Network string
+	// Probe is the router's health-probe interval; it quantizes
+	// node-loss detection. Zero uses the cluster layer's default.
+	Probe TimeSpec
+}
+
+func (c *ClusterSpec) validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("cluster.nodes: need at least one replica node, got %d", c.Nodes)
+	case c.Spares < 0:
+		return fmt.Errorf("cluster.spares: negative spare count %d", c.Spares)
+	}
+	switch c.Network {
+	case "", "ib", "ethernet":
+	default:
+		return fmt.Errorf("cluster.network: unknown network preset %q (want ib or ethernet)", c.Network)
+	}
+	return nil
 }
 
 // NodeSpec selects and optionally degrades the simulated hardware.
@@ -103,6 +138,10 @@ type PolicySpec struct {
 	Backoff    TimeSpec
 	BackoffCap TimeSpec
 	QueueLimit int
+	// Hedge is the fleet router's hedging delay: a request with no
+	// completion after this span gets one duplicate dispatch to a
+	// different healthy replica. Cluster scenarios only.
+	Hedge TimeSpec
 }
 
 // Chaos is the fault plan: explicit timed events plus seeded
@@ -118,9 +157,12 @@ type Chaos struct {
 // ChaosEvent is one explicit timed fault.
 type ChaosEvent struct {
 	// Kind is a faults.Kind name: slowdown, link-degrade, device-drop,
-	// coll-stall, device-fail.
+	// coll-stall, device-fail, node-fail (cluster scenarios only).
 	Kind   string
 	Device int
+	// Node is the cluster node the event targets (cluster scenarios
+	// only; node-fail's whole target, a device event's host node).
+	Node int
 	// Start opens the window ("30%" of the horizon or "12ms").
 	Start TimeSpec
 	// Duration is the window length; omitted means persist-to-end.
@@ -196,7 +238,7 @@ var runtimeAliases = map[string]string{
 // faultKinds maps scenario kind names to faults kinds; values are the
 // faults.Kind ints (kept as names here to avoid an import cycle in
 // docs; compile.go resolves them).
-var faultKindNames = []string{"slowdown", "link-degrade", "device-drop", "coll-stall", "device-fail"}
+var faultKindNames = []string{"slowdown", "link-degrade", "device-drop", "coll-stall", "device-fail", "node-fail"}
 
 func knownFaultKind(kind string) bool {
 	for _, k := range faultKindNames {
@@ -223,14 +265,22 @@ func (s *Scenario) Validate() error {
 	if err := s.Node.validate(); err != nil {
 		return err
 	}
+	if s.Cluster != nil {
+		if err := s.Cluster.validate(); err != nil {
+			return err
+		}
+	}
 	if err := s.Workload.validate(); err != nil {
 		return err
 	}
 	if err := s.Policy.validate(); err != nil {
 		return err
 	}
-	if err := s.Chaos.validate(); err != nil {
+	if err := s.Chaos.validate(s.Cluster != nil); err != nil {
 		return err
+	}
+	if s.Cluster == nil && !s.Policy.Hedge.IsZero() {
+		return fmt.Errorf("policy.hedge: hedging needs a cluster (a single node has no second replica)")
 	}
 	for i, expr := range s.Assert {
 		if _, err := parseAssertion(expr); err != nil {
@@ -310,13 +360,19 @@ func (p PolicySpec) validate() error {
 	return nil
 }
 
-func (c Chaos) validate() error {
+func (c Chaos) validate(cluster bool) error {
 	for i, e := range c.Events {
 		if !knownFaultKind(e.Kind) {
 			return fmt.Errorf("chaos.events[%d]: unknown kind %q (want %s)", i, e.Kind, strings.Join(faultKindNames, ", "))
 		}
 		if e.Device < 0 {
 			return fmt.Errorf("chaos.events[%d] (%s): negative device index %d", i, e.Kind, e.Device)
+		}
+		if e.Node != 0 && !cluster {
+			return fmt.Errorf("chaos.events[%d] (%s): node targets need a cluster section", i, e.Kind)
+		}
+		if e.Node < 0 {
+			return fmt.Errorf("chaos.events[%d] (%s): negative node index %d", i, e.Kind, e.Node)
 		}
 		switch e.Kind {
 		case "slowdown", "link-degrade":
@@ -327,23 +383,44 @@ func (c Chaos) validate() error {
 			if !e.Duration.IsZero() {
 				return fmt.Errorf("chaos.events[%d] (device-fail): a permanent failure has no duration", i)
 			}
+		case "node-fail":
+			if !cluster {
+				return fmt.Errorf("chaos.events[%d] (node-fail): whole-node loss needs a cluster section", i)
+			}
+			if !e.Duration.IsZero() {
+				return fmt.Errorf("chaos.events[%d] (node-fail): a permanent failure has no duration", i)
+			}
+			if e.Factor != 0 {
+				return fmt.Errorf("chaos.events[%d] (node-fail): factor has no meaning for whole-node loss", i)
+			}
 		}
 	}
-	// Duplicate device-fail is a plan bug, not an idempotent no-op:
-	// report both offending indices so the author can find the lines.
-	failed := make(map[int]int)
+	// Duplicate device-fail / node-fail is a plan bug, not an idempotent
+	// no-op: report both offending indices so the author can find the
+	// lines.
+	failed := make(map[[2]int]int)
+	failedNode := make(map[int]int)
 	for i, e := range c.Events {
-		if e.Kind != "device-fail" {
-			continue
+		switch e.Kind {
+		case "device-fail":
+			key := [2]int{e.Node, e.Device}
+			if prev, dup := failed[key]; dup {
+				return fmt.Errorf("chaos.events[%d] fails device %d twice (first failed by chaos.events[%d])", i, e.Device, prev)
+			}
+			failed[key] = i
+		case "node-fail":
+			if prev, dup := failedNode[e.Node]; dup {
+				return fmt.Errorf("chaos.events[%d] fails node %d twice (first failed by chaos.events[%d])", i, e.Node, prev)
+			}
+			failedNode[e.Node] = i
 		}
-		if prev, dup := failed[e.Device]; dup {
-			return fmt.Errorf("chaos.events[%d] fails device %d twice (first failed by chaos.events[%d])", i, e.Device, prev)
-		}
-		failed[e.Device] = i
 	}
 	for i, g := range c.Random {
 		if !knownFaultKind(g.Kind) {
 			return fmt.Errorf("chaos.random[%d]: unknown kind %q (want %s)", i, g.Kind, strings.Join(faultKindNames, ", "))
+		}
+		if g.Kind == "node-fail" {
+			return fmt.Errorf("chaos.random[%d]: node-fail is explicit-only — losing a whole node is a headline event, schedule it in chaos.events", i)
 		}
 		if g.Count <= 0 {
 			return fmt.Errorf("chaos.random[%d] (%s): count must be positive, got %d", i, g.Kind, g.Count)

@@ -122,8 +122,13 @@ type Result struct {
 	// or Failed.
 	Deferred int
 	// Failovers counts device-failure reconfigurations the runtime
-	// performed during the run.
+	// performed during the run. In a fleet run (RunFleet) it also counts
+	// whole-node evictions.
 	Failovers int
+	// Hedges counts duplicate dispatches the fleet router sent after the
+	// hedging delay elapsed without a completion (RunFleet only; zero in
+	// single-node runs).
+	Hedges int
 	// RecoveryTime is the total sim time the runtime reported
 	// "reconfiguring" (time-to-recover, summed over failovers).
 	RecoveryTime time.Duration

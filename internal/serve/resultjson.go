@@ -24,6 +24,7 @@ type resultJSON struct {
 	Retries        int     `json:"retries"`
 	Deferred       int     `json:"deferred"`
 	Failovers      int     `json:"failovers"`
+	Hedges         int     `json:"hedges,omitempty"`
 	DeadlineMisses int     `json:"deadline_misses"`
 	DeadlineMs     float64 `json:"deadline_ms,omitempty"`
 	AvgLatencyMs   float64 `json:"avg_latency_ms"`
@@ -53,6 +54,7 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		Retries:        r.Retries,
 		Deferred:       r.Deferred,
 		Failovers:      r.Failovers,
+		Hedges:         r.Hedges,
 		DeadlineMisses: r.DeadlineMisses,
 		DeadlineMs:     toMs(r.Deadline),
 		AvgLatencyMs:   toMs(r.AvgLatency),

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"liger/internal/model"
+	"liger/internal/simclock"
+)
+
+// stubFleet scripts a fleet on one plain engine: every dispatch
+// completes after latency + service + latency unless the test marked
+// the replica dead (lost bounce), busy, or the request failing.
+type stubFleet struct {
+	eng      *simclock.Engine
+	replicas int
+	latency  time.Duration
+	service  time.Duration
+	hooks    RouterHooks
+
+	dead      map[int]bool // replica -> lost-bounce deliveries
+	busy      map[int]bool // replica -> busy-bounce deliveries
+	failLeft  map[int]int  // request -> remaining scripted failures
+	blackhole map[int]bool // replica -> swallow deliveries silently
+
+	perReplica map[int]int // dispatch count per replica
+	dispatches int
+}
+
+func newStubFleet(replicas int) *stubFleet {
+	return &stubFleet{
+		eng:        simclock.New(),
+		replicas:   replicas,
+		latency:    time.Millisecond,
+		service:    10 * time.Millisecond,
+		dead:       map[int]bool{},
+		busy:       map[int]bool{},
+		failLeft:   map[int]int{},
+		blackhole:  map[int]bool{},
+		perReplica: map[int]int{},
+	}
+}
+
+func (s *stubFleet) RuntimeName() string              { return "stub" }
+func (s *stubFleet) Replicas() int                    { return s.replicas }
+func (s *stubFleet) Frontend() *simclock.Engine       { return s.eng }
+func (s *stubFleet) SetRouter(h RouterHooks)          { s.hooks = h }
+func (s *stubFleet) Run() error                       { s.eng.Run(); return nil }
+func (s *stubFleet) FleetStats() (int, time.Duration) { return 0, 0 }
+
+func (s *stubFleet) Dispatch(rep, req int, w model.Workload) {
+	s.dispatches++
+	s.perReplica[rep]++
+	s.eng.After(simclock.Time(s.latency), func(at simclock.Time) {
+		switch {
+		case s.blackhole[rep]:
+			return
+		case s.dead[rep]:
+			s.eng.After(simclock.Time(s.latency), func(now simclock.Time) {
+				s.hooks.Done(rep, req, DispatchLost, now)
+			})
+		case s.busy[rep]:
+			s.eng.After(simclock.Time(s.latency), func(now simclock.Time) {
+				s.hooks.Done(rep, req, DispatchBusy, now)
+			})
+		default:
+			status := DispatchOK
+			if s.failLeft[req] > 0 {
+				s.failLeft[req]--
+				status = DispatchFailed
+			}
+			s.eng.After(simclock.Time(s.service+s.latency), func(now simclock.Time) {
+				s.hooks.Done(rep, req, status, now)
+			})
+		}
+	})
+}
+
+func stubArrivals(n int, gap time.Duration) []Arrival {
+	arr := make([]Arrival, n)
+	for i := range arr {
+		arr[i] = Arrival{At: simclock.Time(i) * simclock.Time(gap),
+			Workload: model.Workload{Batch: 2, SeqLen: 32}}
+	}
+	return arr
+}
+
+func stubPolicy() Policy {
+	return Policy{MaxRetries: 2, Backoff: time.Millisecond, BackoffCap: 8 * time.Millisecond}
+}
+
+func TestRunFleetCompletesAndBalances(t *testing.T) {
+	f := newStubFleet(3)
+	res, err := RunFleet(f, stubArrivals(30, time.Millisecond), stubPolicy(), RouterPolicy{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 30 || res.Failed != 0 || res.Shed != 0 {
+		t.Fatalf("%d ok / %d failed / %d shed", res.Completed, res.Failed, res.Shed)
+	}
+	for rep := 0; rep < 3; rep++ {
+		if f.perReplica[rep] == 0 {
+			t.Fatalf("replica %d never dispatched to", rep)
+		}
+	}
+	// Latency includes the two network legs plus service.
+	want := 2*f.latency + f.service
+	if res.P50 < want {
+		t.Fatalf("p50 %v below the modeled floor %v", res.P50, want)
+	}
+}
+
+func TestRunFleetShedsPastQueueLimit(t *testing.T) {
+	f := newStubFleet(1)
+	pol := stubPolicy()
+	pol.QueueLimit = 2
+	// All arrivals land at once; only QueueLimit are admitted before any
+	// completion frees a slot.
+	res, err := RunFleet(f, stubArrivals(10, 0), pol, RouterPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed != 8 || res.Completed != 2 {
+		t.Fatalf("shed %d completed %d, want 8/2", res.Shed, res.Completed)
+	}
+}
+
+func TestRunFleetHedgesSlowReplica(t *testing.T) {
+	f := newStubFleet(2)
+	// Replica 0 swallows every request; hedging rescues them via 1.
+	f.blackhole[0] = true
+	res, err := RunFleet(f, stubArrivals(6, 20*time.Millisecond), stubPolicy(),
+		RouterPolicy{Hedge: 5 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 6 {
+		t.Fatalf("completed %d/6", res.Completed)
+	}
+	if res.Hedges == 0 {
+		t.Fatal("no hedges fired against a black-holed replica")
+	}
+}
+
+func TestRunFleetLostBounceRedispatchesOnce(t *testing.T) {
+	f := newStubFleet(2)
+	f.dead[0] = true
+	res, err := RunFleet(f, stubArrivals(8, 5*time.Millisecond), stubPolicy(), RouterPolicy{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 8 {
+		t.Fatalf("completed %d/8", res.Completed)
+	}
+	// Every request that hit the dead replica was re-dispatched exactly
+	// once and the totals agree with the per-request view.
+	sum := 0
+	for _, pr := range res.PerRequest {
+		if pr.Retries > 1 {
+			t.Fatalf("req %d re-dispatched %d times", pr.Req, pr.Retries)
+		}
+		sum += pr.Retries
+	}
+	if sum != res.Retries || res.Retries == 0 {
+		t.Fatalf("retries %d, per-request sum %d", res.Retries, sum)
+	}
+	// Lost requests still measure latency from the original arrival: the
+	// bounce round trip is inside the number.
+	for _, pr := range res.PerRequest {
+		if pr.Retries == 1 {
+			lat := pr.Done - pr.Arrival
+			floor := 4*f.latency + f.service // bounce trip + redo trip
+			if lat < floor {
+				t.Fatalf("req %d latency %v excludes the bounce (floor %v)", pr.Req, lat, floor)
+			}
+		}
+	}
+}
+
+func TestRunFleetBusyBouncePlacesElsewhere(t *testing.T) {
+	f := newStubFleet(2)
+	f.busy[0] = true
+	res, err := RunFleet(f, stubArrivals(8, 5*time.Millisecond), stubPolicy(), RouterPolicy{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 8 {
+		t.Fatalf("completed %d/8", res.Completed)
+	}
+	// A busy bounce is not a retry and not a failure.
+	if res.Retries != 0 || res.Failed != 0 {
+		t.Fatalf("busy bounce counted as retries=%d failed=%d", res.Retries, res.Failed)
+	}
+}
+
+func TestRunFleetEvictionRedispatchesOutstanding(t *testing.T) {
+	f := newStubFleet(2)
+	f.blackhole[0] = true
+	// Evict replica 0 mid-run; its black-holed requests must come back.
+	f.eng.At(simclock.Time(15*time.Millisecond), func(now simclock.Time) {
+		f.hooks.Evicted(0, now)
+	})
+	res, err := RunFleet(f, stubArrivals(10, time.Millisecond), stubPolicy(), RouterPolicy{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 10 {
+		t.Fatalf("completed %d/10 after eviction", res.Completed)
+	}
+	if res.Retries == 0 {
+		t.Fatal("eviction re-dispatched nothing")
+	}
+	for _, pr := range res.PerRequest {
+		if pr.Retries > 1 {
+			t.Fatalf("req %d re-dispatched %d times", pr.Req, pr.Retries)
+		}
+	}
+}
+
+func TestRunFleetPolicyRetriesAndExhaustion(t *testing.T) {
+	f := newStubFleet(1)
+	f.failLeft[0] = 1 // fails once, then succeeds
+	f.failLeft[1] = 5 // exhausts the 2-retry budget
+	res, err := RunFleet(f, stubArrivals(3, 30*time.Millisecond), stubPolicy(), RouterPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 || res.Failed != 1 {
+		t.Fatalf("%d ok / %d failed, want 2/1", res.Completed, res.Failed)
+	}
+	if res.PerRequest[0].Retries != 1 || !res.PerRequest[1].Failed {
+		t.Fatalf("per-request accounting wrong: %+v", res.PerRequest[:2])
+	}
+}
+
+func TestRunFleetFailsParkedBacklogAtDrain(t *testing.T) {
+	f := newStubFleet(1)
+	// Evict the only replica before anything arrives: every request
+	// parks forever and must resolve as failed, keeping the invariant.
+	f.eng.At(simclock.Time(time.Microsecond), func(now simclock.Time) {
+		f.hooks.Evicted(0, now)
+	})
+	res, err := RunFleet(f, stubArrivals(5, time.Millisecond), stubPolicy(), RouterPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 5 || res.Completed != 0 {
+		t.Fatalf("%d failed / %d ok, want 5/0", res.Failed, res.Completed)
+	}
+}
+
+func TestRunFleetRejectsBadInput(t *testing.T) {
+	f := newStubFleet(1)
+	if _, err := RunFleet(f, nil, stubPolicy(), RouterPolicy{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := RunFleet(f, stubArrivals(1, 0), stubPolicy(), RouterPolicy{Hedge: -time.Second}); err == nil {
+		t.Error("negative hedge accepted")
+	}
+	if _, err := RunFleet(newStubFleet(0), stubArrivals(1, 0), stubPolicy(), RouterPolicy{}); err == nil {
+		t.Error("zero-replica fleet accepted")
+	}
+}

@@ -9,9 +9,9 @@
 //  2. go vet ./...
 //  3. go build ./...
 //  4. go test -race ./internal/runner ./internal/simclock
-//     ./internal/faults ./internal/serve
-//     (the concurrency-bearing packages plus the fault-injection and
-//     deadline/retry layers get a dedicated race pass)
+//     ./internal/faults ./internal/serve ./internal/cluster
+//     (the concurrency-bearing packages plus the fault-injection,
+//     deadline/retry, and fleet layers get a dedicated race pass)
 //  5. go test ./... (full suite)
 //  6. a chaos smoke run: `ligerbench -exp chaos -quick` at a small
 //     batch count, proving the fault scenarios execute end to end
@@ -39,13 +39,18 @@
 //     compares against the committed BENCH_descore.json — warn-only,
 //     because throughput on the 1-CPU CI container is noise; the
 //     determinism smokes above are the hard gates
-//  13. scenario acceptance: every scenarios/*.yaml must PASS its
-//     assertions, the scenarios/fixtures/impossible-slo.yaml negative
-//     fixture must FAIL (exit 1) — a gate that cannot reject is not a
-//     gate — and `ligersim run scenarios/cascading-failures.yaml` must
-//     print byte-identical reports at -parallel 1 and -parallel 4
-//     -shards 4
-//  14. a stress smoke: `ligersim stress -n 25 -seed 42` twice must
+//  13. a fleet smoke + determinism check: `ligerbench -exp fleet
+//     -quick` at -parallel 1 -shards 1 and -parallel 4 -shards 4 must
+//     print identical tables and write byte-identical BENCH_fleet.json
+//     artifacts (each parsing as JSON), then a warn-only benchdiff
+//     over the two proves the regression gate reads the fleet artifact
+//  14. scenario acceptance: every scenarios/*.yaml must PASS its
+//     assertions, the impossible-slo and no-spare-capacity negative
+//     fixtures must FAIL (exit 1) — a gate that cannot reject is not a
+//     gate — and both `scenarios/cascading-failures.yaml` and
+//     `scenarios/fleet-node-loss.yaml` must print byte-identical
+//     reports at -parallel 1 and -parallel 4 -shards 4
+//  15. a stress smoke: `ligersim stress -n 25 -seed 42` twice must
 //     produce byte-identical aggregate survival reports, plus a small
 //     -race pass (`stress -n 3 -seed 7`) over the randomized fleet
 package main
@@ -70,8 +75,9 @@ func main() {
 	steps := []step{
 		{"go vet", []string{"go", "vet", "./..."}},
 		{"go build", []string{"go", "build", "./..."}},
-		{"race (runner, simclock, faults, serve)", []string{"go", "test", "-race",
-			"./internal/runner", "./internal/simclock", "./internal/faults", "./internal/serve"}},
+		{"race (runner, simclock, faults, serve, cluster)", []string{"go", "test", "-race",
+			"./internal/runner", "./internal/simclock", "./internal/faults", "./internal/serve",
+			"./internal/cluster"}},
 		{"go test", []string{"go", "test", "./..."}},
 		{"chaos smoke", []string{"go", "run", "./cmd/ligerbench",
 			"-exp", "chaos", "-quick", "-batches", "25", "-seed", "5"}},
@@ -125,6 +131,12 @@ func main() {
 	}
 	fmt.Printf("ok   descore (%v)\n", time.Since(start).Round(time.Millisecond))
 	start = time.Now()
+	if err := fleetDeterminism(); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL fleet smoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok   fleet smoke (%v)\n", time.Since(start).Round(time.Millisecond))
+	start = time.Now()
 	if err := scenarioAcceptance(); err != nil {
 		fmt.Fprintf(os.Stderr, "FAIL scenario acceptance: %v\n", err)
 		os.Exit(1)
@@ -139,8 +151,62 @@ func main() {
 	fmt.Println("all checks passed")
 }
 
+// fleetDeterminism runs the fleet-failover sweep at two worker/shard
+// settings and fails unless table output and BENCH_fleet.json are
+// byte-identical — the fleet simulation's shard schedule (frontend +
+// one shard per node) may never change results. A warn-only benchdiff
+// over the two JSONs then proves the regression gate reads the fleet
+// artifact cleanly.
+func fleetDeterminism() error {
+	tmp, err := os.MkdirTemp("", "ci-fleet-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	var outs [][]byte
+	for _, workers := range []string{"1", "4"} {
+		dir := filepath.Join(tmp, "p"+workers)
+		cmd := exec.Command("go", "run", "./cmd/ligerbench",
+			"-exp", "fleet", "-quick", "-batches", "25", "-seed", "5",
+			"-parallel", workers, "-shards", workers, "-json", dir)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("-parallel %s: %v", workers, err)
+		}
+		outs = append(outs, stripTimingLines(out))
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		return fmt.Errorf("fleet table differs between -parallel 1 and -parallel 4 -shards 4")
+	}
+	var jsons [][]byte
+	for _, workers := range []string{"1", "4"} {
+		buf, err := os.ReadFile(filepath.Join(tmp, "p"+workers, "BENCH_fleet.json"))
+		if err != nil {
+			return err
+		}
+		var doc any
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			return fmt.Errorf("-parallel %s BENCH_fleet.json is not valid JSON: %v", workers, err)
+		}
+		jsons = append(jsons, buf)
+	}
+	if !bytes.Equal(jsons[0], jsons[1]) {
+		return fmt.Errorf("BENCH_fleet.json differs between -parallel 1 and -parallel 4 -shards 4")
+	}
+	cmd := exec.Command("go", "run", "./tools/benchdiff", "-warn",
+		filepath.Join(tmp, "p1", "BENCH_fleet.json"),
+		filepath.Join(tmp, "p4", "BENCH_fleet.json"))
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("benchdiff: %v", err)
+	}
+	return nil
+}
+
 // scenarioAcceptance is the robustness gate: the whole corpus must
-// pass its assertions, the negative fixture must fail, and one
+// pass its assertions, the negative fixtures must fail, and one
 // scenario's report must be byte-identical across -parallel/-shards.
 func scenarioAcceptance() error {
 	corpus, err := filepath.Glob(filepath.Join("scenarios", "*.yaml"))
@@ -156,37 +222,43 @@ func scenarioAcceptance() error {
 	if err := cmd.Run(); err != nil {
 		return fmt.Errorf("corpus: %v", err)
 	}
-	// The negative fixture must be rejected: exit status 1, no other
+	// The negative fixtures must be rejected: exit status 1, no other
 	// error. A passing impossible-slo means the assertion engine is
-	// vacuous.
-	cmd = exec.Command("go", "run", "./cmd/ligersim", "run", "-q",
-		filepath.Join("scenarios", "fixtures", "impossible-slo.yaml"))
-	out, err := cmd.CombinedOutput()
-	if err == nil {
-		return fmt.Errorf("impossible-slo fixture PASSED; the assertion gate cannot reject\n%s", out)
-	}
-	if exit, ok := err.(*exec.ExitError); !ok || exit.ExitCode() != 1 {
-		return fmt.Errorf("impossible-slo fixture: %v\n%s", err, out)
-	}
-	if !bytes.Contains(out, []byte("FAIL")) {
-		return fmt.Errorf("impossible-slo fixture exited 1 without a FAIL verdict:\n%s", out)
-	}
-	// Determinism: the flagship chaos scenario must render the same
-	// bytes at any -parallel or -shards setting.
-	var reports [][]byte
-	for _, extra := range [][]string{{"-parallel", "1"}, {"-parallel", "4", "-shards", "4"}} {
-		args := append([]string{"run", "./cmd/ligersim", "run"}, extra...)
-		args = append(args, filepath.Join("scenarios", "cascading-failures.yaml"))
-		cmd := exec.Command("go", args...)
-		cmd.Stderr = os.Stderr
-		out, err := cmd.Output()
-		if err != nil {
-			return fmt.Errorf("cascading-failures %v: %v", extra, err)
+	// vacuous; a passing no-spare-capacity means a fleet with nothing
+	// to fail over to would count as surviving a node loss.
+	for _, fixture := range []string{"impossible-slo.yaml", "no-spare-capacity.yaml"} {
+		cmd = exec.Command("go", "run", "./cmd/ligersim", "run", "-q",
+			filepath.Join("scenarios", "fixtures", fixture))
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return fmt.Errorf("%s fixture PASSED; the assertion gate cannot reject\n%s", fixture, out)
 		}
-		reports = append(reports, out)
+		if exit, ok := err.(*exec.ExitError); !ok || exit.ExitCode() != 1 {
+			return fmt.Errorf("%s fixture: %v\n%s", fixture, err, out)
+		}
+		if !bytes.Contains(out, []byte("FAIL")) {
+			return fmt.Errorf("%s fixture exited 1 without a FAIL verdict:\n%s", fixture, out)
+		}
 	}
-	if !bytes.Equal(reports[0], reports[1]) {
-		return fmt.Errorf("cascading-failures report differs between -parallel 1 and -parallel 4 -shards 4")
+	// Determinism: the flagship chaos scenario and the fleet node-loss
+	// scenario must render the same bytes at any -parallel or -shards
+	// setting.
+	for _, name := range []string{"cascading-failures.yaml", "fleet-node-loss.yaml"} {
+		var reports [][]byte
+		for _, extra := range [][]string{{"-parallel", "1"}, {"-parallel", "4", "-shards", "4"}} {
+			args := append([]string{"run", "./cmd/ligersim", "run"}, extra...)
+			args = append(args, filepath.Join("scenarios", name))
+			cmd := exec.Command("go", args...)
+			cmd.Stderr = os.Stderr
+			out, err := cmd.Output()
+			if err != nil {
+				return fmt.Errorf("%s %v: %v", name, extra, err)
+			}
+			reports = append(reports, out)
+		}
+		if !bytes.Equal(reports[0], reports[1]) {
+			return fmt.Errorf("%s report differs between -parallel 1 and -parallel 4 -shards 4", name)
+		}
 	}
 	return nil
 }
