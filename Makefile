@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench chaos failover fleet trace analyze descore scenarios stress
+.PHONY: check build test race vet fmt bench chaos failover fleet serving trace analyze descore scenarios stress
 
 check: ## full gate: gofmt + vet + build + race pass + full tests
 	$(GO) run ./tools/ci
@@ -45,6 +45,13 @@ failover:
 # at the repo root. See docs/FLEET.md.
 fleet:
 	$(GO) run ./cmd/ligerbench -exp fleet -json .
+
+# Full-fidelity continuous-serving sweep: arrival rate x decode-pool
+# size x runtime with iteration-level batching over the paged KV
+# allocator; regenerates BENCH_serving.json at the repo root. See
+# docs/SERVING.md.
+serving:
+	$(GO) run ./cmd/ligerbench -exp serving -json .
 
 # Traced failover demo: one fully traced failure point per runtime,
 # written as Chrome traces (open in Perfetto) plus metrics snapshots

@@ -66,6 +66,14 @@ func main() {
 		probe      = flag.Duration("probe", 0, "router health-probe interval for -nodes (0 = cluster default)")
 		hedge      = flag.Duration("hedge", 0, "router hedging delay for -nodes (0 disables)")
 		retries    = flag.Int("retries", 3, "router retry budget per request (with -nodes)")
+		continuous = flag.Bool("continuous", false, "iteration-level continuous batching: -batches counts generative sequences (prompt + gen tokens) pooled per decode step (see docs/SERVING.md)")
+		promptLen  = flag.Int("prompt", 96, "prompt length per sequence (with -continuous/-disagg)")
+		genTokens  = flag.Int("gen", 32, "decode tokens per sequence (with -continuous/-disagg)")
+		pool       = flag.Int("pool", 16, "max resident sequences per decode iteration (with -continuous/-disagg)")
+		paged      = flag.Bool("paged", true, "paged KV allocator with watermark preemption; false reserves worst-case prompt+gen per sequence (with -continuous)")
+		disagg     = flag.Bool("disagg", false, "disaggregate prefill and decode onto separate node pools over -network (implies -continuous)")
+		prefillN   = flag.Int("prefillnodes", 1, "prefill pool size for -disagg")
+		decodeN    = flag.Int("decodenodes", 1, "decode pool size for -disagg")
 	)
 	flag.Parse()
 
@@ -100,6 +108,20 @@ func main() {
 		lcfg.Sync = liger.InterStreamOnly
 	default:
 		log.Fatalf("unknown sync mode %q", *syncMode)
+	}
+
+	if *continuous || *disagg {
+		runContinuousCLI(node, spec, kind, lcfg, *batches, *rate, *seed, *shards, continuousOpts{
+			Prompt:  *promptLen,
+			Gen:     *genTokens,
+			Pool:    *pool,
+			Paged:   *paged,
+			Disagg:  *disagg,
+			Prefill: *prefillN,
+			Decode:  *decodeN,
+			Network: *network,
+		})
+		return
 	}
 
 	opts := core.Options{Node: node, Model: spec, Runtime: kind, Liger: lcfg, LigerSet: true,

@@ -96,6 +96,7 @@ func Experiments() []Experiment {
 		{"chaos", "extension: deterministic fault scenarios with deadline/retry serving", RunChaos},
 		{"failover", "extension: permanent device failure, re-planning onto survivors, overload protection", RunFailover},
 		{"fleet", "extension: whole-node loss in a replicated fleet, router failover onto a spare", RunFleet},
+		{"serving", "extension: continuous batching with paged KV — TTFT/TPOT vs arrival rate and pool size", RunServing},
 	}
 }
 

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestServingOutputDeterministic pins the continuous-serving sweep's
+// determinism promise: table AND JSON artifact are byte-identical
+// across invocations, sweep-executor worker counts, and executor shard
+// settings inside each simulation.
+func TestServingOutputDeterministic(t *testing.T) {
+	dirSerial, dirPar := t.TempDir(), t.TempDir()
+	cfg := RunConfig{Batches: 25, Quick: true, Seed: 5, Parallel: 0, Shards: 1, JSONDir: dirSerial}
+	var first, again, par bytes.Buffer
+	if err := RunServing(cfg, &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunServing(cfg, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), again.Bytes()) {
+		t.Fatal("two seeded serving runs differ")
+	}
+	cfg.Parallel = 4
+	cfg.Shards = 4
+	cfg.JSONDir = dirPar
+	if err := RunServing(cfg, &par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), par.Bytes()) {
+		t.Fatalf("serving output differs between serial and -parallel 4 -shards 4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			first.String(), par.String())
+	}
+	js1, err := os.ReadFile(filepath.Join(dirSerial, ServingJSONName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	js2, err := os.ReadFile(filepath.Join(dirPar, ServingJSONName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1, js2) {
+		t.Fatal("BENCH_serving.json differs between worker settings")
+	}
+	out := first.String()
+	for _, want := range []string{"pool", "ttft", "tpot", "Liger", "Intra-Op", "Inter-Op", "headline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("%q missing from the report:\n%s", want, out)
+		}
+	}
+}
+
+// TestServingLigerParityEveryPoint is the acceptance check for decode
+// traffic: iteration-level decode batches are comm-light, so Liger's
+// honest claim is parity with the intra-op baseline (TPOT within 5%,
+// TTFT within 10%) while inter-op's pipeline depth at least doubles
+// TTFT. Every sequence must complete and the A100's cache headroom
+// means a preemption here is a scheduler regression.
+func TestServingLigerParityEveryPoint(t *testing.T) {
+	cfg := RunConfig{Batches: 40, Quick: true, Seed: 1}
+	s := newServingSetup(cfg)
+	rep, _, err := buildServingReport(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkServingRows(t, rep, cfg.Batches)
+}
+
+// checkServingRows applies the per-point parity/penalty invariants;
+// shared with the committed-artifact test.
+func checkServingRows(t *testing.T, rep servingReport, batches int) {
+	t.Helper()
+	type key struct {
+		frac float64
+		pool int
+	}
+	byRuntime := make(map[string]map[key]servingRow)
+	for _, row := range rep.Rows {
+		if byRuntime[row.Runtime] == nil {
+			byRuntime[row.Runtime] = make(map[key]servingRow)
+		}
+		byRuntime[row.Runtime][key{row.RateFrac, row.Pool}] = row
+		if row.Completed != batches {
+			t.Errorf("%s %.1fx/pool %d: %d of %d sequences completed", row.Runtime, row.RateFrac, row.Pool, row.Completed, batches)
+		}
+		if row.Preemptions != 0 {
+			t.Errorf("%s %.1fx/pool %d: %d preemptions with cache headroom", row.Runtime, row.RateFrac, row.Pool, row.Preemptions)
+		}
+	}
+	liger := byRuntime["Liger"]
+	if len(liger) == 0 {
+		t.Fatal("sweep produced no Liger points")
+	}
+	for k, lg := range liger {
+		intra, ok := byRuntime["Intra-Op"][k]
+		if !ok {
+			t.Fatalf("no Intra-Op row for %.1fx/pool %d", k.frac, k.pool)
+		}
+		inter, ok := byRuntime["Inter-Op"][k]
+		if !ok {
+			t.Fatalf("no Inter-Op row for %.1fx/pool %d", k.frac, k.pool)
+		}
+		if lg.TPOTMs > 1.05*intra.TPOTMs {
+			t.Errorf("%.1fx/pool %d: Liger TPOT %.2fms above 1.05x Intra-Op's %.2fms", k.frac, k.pool, lg.TPOTMs, intra.TPOTMs)
+		}
+		if lg.TTFTMs > 1.10*intra.TTFTMs {
+			t.Errorf("%.1fx/pool %d: Liger TTFT %.1fms above 1.10x Intra-Op's %.1fms", k.frac, k.pool, lg.TTFTMs, intra.TTFTMs)
+		}
+		if inter.TTFTMs < 2*lg.TTFTMs {
+			t.Errorf("%.1fx/pool %d: Inter-Op TTFT %.1fms below 2x Liger's %.1fms", k.frac, k.pool, inter.TTFTMs, lg.TTFTMs)
+		}
+	}
+}
+
+// TestServingCommittedArtifactHeadline pins the committed repo-root
+// BENCH_serving.json: it must exist, parse, satisfy the per-point
+// parity/penalty invariants, and carry a parity-range headline.
+func TestServingCommittedArtifactHeadline(t *testing.T) {
+	buf, err := os.ReadFile(filepath.Join("..", "..", ServingJSONName))
+	if err != nil {
+		t.Fatalf("committed artifact missing (regenerate with `make serving`): %v", err)
+	}
+	var rep servingReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("committed artifact has no rows")
+	}
+	checkServingRows(t, rep, rep.Batches)
+	if r := rep.Headline.LigerVsIntraTPOT; r <= 0.8 || r > 1.05 {
+		t.Errorf("headline Liger/Intra TPOT %.3f outside parity range (0.8, 1.05]", r)
+	}
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"liger/internal/core"
+	"liger/internal/hw"
+	"liger/internal/model"
+)
+
+func disaggCfg(workers int) DisaggConfig {
+	return DisaggConfig{
+		Node:         hw.V100Node(),
+		Network:      hw.IBNetwork(),
+		PrefillNodes: 2,
+		DecodeNodes:  2,
+		Model:        model.Tiny(),
+		Runtime:      core.KindLiger,
+		Sequences:    24,
+		RatePerSec:   2000,
+		PromptLen:    32,
+		GenTokens:    8,
+		MaxPool:      8,
+		Seed:         1,
+		Workers:      workers,
+	}
+}
+
+func runDisagg(t *testing.T, cfg DisaggConfig) DisaggResult {
+	t.Helper()
+	d, err := NewDisagg(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDisaggCompletesAllSequences(t *testing.T) {
+	cfg := disaggCfg(1)
+	res := runDisagg(t, cfg)
+	if res.Conversations != 24 || len(res.Total) != 24 {
+		t.Fatalf("incomplete: %+v", res)
+	}
+	// Every sequence pays one prefill→decode handoff of exactly the
+	// prompt's cache bytes.
+	if res.KVTransfers != 24 {
+		t.Fatalf("%d KV transfers, want 24", res.KVTransfers)
+	}
+	wantBytes := 24 * model.Tiny().KVCacheBytes(32)
+	if res.KVTransferBytes != wantBytes {
+		t.Fatalf("transferred %d bytes, want %d", res.KVTransferBytes, wantBytes)
+	}
+	// TTFT spans two network crossings (dispatch + completion notice)
+	// plus the prefill itself; TPOT absorbs the transfer.
+	lat := hw.IBNetwork().Latency
+	for i, d := range res.TTFT {
+		if d < 2*lat {
+			t.Fatalf("sequence %d TTFT %v under two network latencies", i, d)
+		}
+	}
+	minTPOT := time.Duration(hw.IBNetwork().Transfer(model.Tiny().KVCacheBytes(32))) / 8
+	if res.AvgTPOT() < minTPOT {
+		t.Fatalf("avg TPOT %v below the amortized transfer %v", res.AvgTPOT(), minTPOT)
+	}
+	if res.Iterations < 8 {
+		t.Fatalf("%d decode iterations for 8-token generations", res.Iterations)
+	}
+	if res.MeanPool <= 0 || res.MeanPool > 8 {
+		t.Fatalf("mean pool %v", res.MeanPool)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("no makespan")
+	}
+}
+
+// The determinism invariant extends to disaggregation: the full result
+// is byte-identical at any worker count.
+func TestDisaggByteIdenticalAcrossWorkers(t *testing.T) {
+	enc := func(workers int) string {
+		res := runDisagg(t, disaggCfg(workers))
+		b, err := json.MarshalIndent(res, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	serial := enc(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := enc(w); got != serial {
+			t.Fatalf("workers=%d diverged from serial:\n%s\nvs\n%s", w, got, serial)
+		}
+	}
+}
+
+// More decode nodes must not slow the workload down: the pools share
+// the decode load.
+func TestDisaggDecodePoolScales(t *testing.T) {
+	one := disaggCfg(1)
+	one.DecodeNodes = 1
+	one.MaxPool = 4
+	narrow := runDisagg(t, one)
+	two := disaggCfg(1)
+	two.DecodeNodes = 2
+	two.MaxPool = 4
+	wide := runDisagg(t, two)
+	if wide.Makespan > narrow.Makespan {
+		t.Fatalf("doubling decode nodes slowed the run: %v -> %v", narrow.Makespan, wide.Makespan)
+	}
+}
+
+func TestDisaggRejectsBadConfigs(t *testing.T) {
+	bad := []func(*DisaggConfig){
+		func(c *DisaggConfig) { c.PrefillNodes = 0 },
+		func(c *DisaggConfig) { c.DecodeNodes = 0 },
+		func(c *DisaggConfig) { c.Sequences = 0 },
+		func(c *DisaggConfig) { c.RatePerSec = 0 },
+		func(c *DisaggConfig) { c.PromptLen = 0 },
+		func(c *DisaggConfig) { c.MaxPool = 0 },
+		func(c *DisaggConfig) { c.Model = model.Spec{} },
+	}
+	for i, mut := range bad {
+		cfg := disaggCfg(1)
+		mut(&cfg)
+		if _, err := NewDisagg(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

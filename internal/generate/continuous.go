@@ -5,9 +5,8 @@ import (
 	"math/rand"
 	"time"
 
-	"liger/internal/kvcache"
-	"liger/internal/model"
 	"liger/internal/runtimes"
+	"liger/internal/serve"
 	"liger/internal/simclock"
 )
 
@@ -16,7 +15,9 @@ import (
 // batch through its whole generation, every decode iteration runs over
 // the current pool of live sequences, admitting newly arrived sequences
 // between iterations. Liger's interleaving composes with it — the
-// iteration kernels are scheduled like any other batch.
+// iteration kernels are scheduled like any other batch. The scheduling
+// loop itself lives in serve.ContinuousBatcher; this driver owns the
+// arrival process and the per-sequence latency bookkeeping.
 
 // ContinuousConfig shapes a continuous-batching run.
 type ContinuousConfig struct {
@@ -29,8 +30,12 @@ type ContinuousConfig struct {
 	GenTokens int
 	// MaxPool caps live sequences per iteration.
 	MaxPool int
-	// KV, if non-nil, gates admission on cache capacity.
-	KV *kvcache.Manager
+	// KV, if non-nil, gates admission on cache capacity. Only the prompt
+	// is admitted up front; the cache then grows one token per decode
+	// iteration (paged growth), so a kvcache.PagedManager here admits
+	// far more concurrency than the old worst-case reservation — at the
+	// price of mid-decode preemption when blocks run out.
+	KV serve.KVAllocator
 	// Seed jitters arrivals (Poisson).
 	Seed int64
 }
@@ -57,15 +62,14 @@ type ContinuousResult struct {
 	Iterations int
 	// MeanPool is the average live-pool size over iterations.
 	MeanPool float64
-}
-
-type seqState struct {
-	id       int
-	arrived  simclock.Time
-	firstTok simclock.Time
-	finished simclock.Time
-	ctx      int // cached tokens (prompt after prefill, +1 per step)
-	left     int // tokens still to generate
+	// PrefillBatches counts context-phase submissions (admission waves).
+	PrefillBatches int
+	// Preemptions counts sequences evicted under memory pressure;
+	// RecomputedTokens is the total prefill work their resumes repaid.
+	Preemptions      int
+	RecomputedTokens int
+	// Makespan is the completion time of the last sequence.
+	Makespan time.Duration
 }
 
 // RunContinuous executes the workload on the runtime attached to eng.
@@ -77,142 +81,52 @@ func RunContinuous(eng *simclock.Engine, rt runtimes.Runtime, cfg ContinuousConf
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	var pool []*seqState     // live, decoding
-	var arrivalQ []*seqState // arrived, awaiting admission+prefill
-	var prefilling []*seqState
-	inFlight := false // one iteration (prefill or decode step) at a time
+	arrived := make([]simclock.Time, cfg.Sequences)
+	firstTok := make([]simclock.Time, cfg.Sequences)
+	finished := make([]simclock.Time, cfg.Sequences)
 	completed := 0
-	var poolSum int
-	var runErr error
-	// The in-flight iteration's members, set at Submit and consumed by
-	// the completion callback; the one-at-a-time discipline means at
-	// most one pending iteration exists.
-	var pendingBatch []*seqState
-	var pendingIsPrefill bool
-
-	all := make([]*seqState, cfg.Sequences)
-
-	seqTokens := cfg.PromptLen + cfg.GenTokens
-
-	admit := func(s *seqState) bool {
-		if len(pool)+len(prefilling) >= cfg.MaxPool {
-			return false
-		}
-		if cfg.KV != nil {
-			if !cfg.KV.CanAdmit(seqTokens) {
-				return false
-			}
-			if err := cfg.KV.Admit(s.id, seqTokens); err != nil {
-				if runErr == nil {
-					runErr = err
-				}
-				return false
-			}
-		}
-		prefilling = append(prefilling, s)
-		return true
-	}
-
-	var step func(now simclock.Time)
-	step = func(now simclock.Time) {
-		if inFlight {
-			return
-		}
-		// Admit as many arrivals as fit.
-		for len(arrivalQ) > 0 && admit(arrivalQ[0]) {
-			arrivalQ = arrivalQ[1:]
-		}
-		if len(prefilling) > 0 {
-			// One prefill batch for all newly admitted sequences.
-			batch := prefilling
-			prefilling = nil
-			inFlight = true
-			if err := rt.Submit(model.Workload{Batch: len(batch), SeqLen: cfg.PromptLen, Phase: model.Context}); err != nil && runErr == nil {
-				runErr = err
-			}
-			// Completion moves them into the pool (see SetOnDone).
-			pendingBatch = batch
-			pendingIsPrefill = true
-			return
-		}
-		if len(pool) == 0 {
-			return // idle until the next arrival
-		}
-		// One decode iteration over the pool, padded to the longest
-		// context.
-		maxCtx := 0
-		for _, s := range pool {
-			if s.ctx > maxCtx {
-				maxCtx = s.ctx
-			}
-		}
-		inFlight = true
-		res.Iterations++
-		poolSum += len(pool)
-		if err := rt.Submit(model.Workload{Batch: len(pool), CtxLen: maxCtx, Phase: model.Decode}); err != nil && runErr == nil {
-			runErr = err
-		}
-		pendingBatch = pool
-		pendingIsPrefill = false
-	}
-
-	rt.SetOnDone(func(done runtimes.Completion) {
-		now := done.Done
-		inFlight = false
-		if pendingIsPrefill {
-			for _, s := range pendingBatch {
-				s.ctx = cfg.PromptLen
-				s.firstTok = now
-				s.left = cfg.GenTokens
-				pool = append(pool, s)
-			}
-		} else {
-			var live []*seqState
-			for _, s := range pendingBatch {
-				s.ctx++
-				s.left--
-				if s.left <= 0 {
-					s.finished = now
-					completed++
-					if cfg.KV != nil {
-						cfg.KV.Release(s.id)
-					}
-					continue
-				}
-				live = append(live, s)
-			}
-			pool = live
-		}
-		step(now)
+	cb, err := serve.NewContinuousBatcher(rt, cfg.KV, cfg.MaxPool, serve.ContinuousHooks{
+		FirstToken: func(id int, now simclock.Time) { firstTok[id] = now },
+		Finished: func(id int, now simclock.Time) {
+			finished[id] = now
+			completed++
+		},
 	})
+	if err != nil {
+		return res, err
+	}
+	rt.SetOnDone(cb.OnDone)
 
 	var at simclock.Time
 	gap := time.Duration(float64(time.Second) / cfg.RatePerSec)
 	for i := 0; i < cfg.Sequences; i++ {
-		s := &seqState{id: i}
-		all[i] = s
+		id := i
 		eng.At(at, func(now simclock.Time) {
-			s.arrived = now
-			arrivalQ = append(arrivalQ, s)
-			step(now)
+			arrived[id] = now
+			cb.Add(serve.GenSeq{ID: id, Prompt: cfg.PromptLen, Gen: cfg.GenTokens}, now)
 		})
 		at += time.Duration(rng.ExpFloat64() * float64(gap))
 	}
 	eng.Run()
-	if runErr != nil {
-		return res, runErr
+	if err := cb.Err(); err != nil {
+		return res, err
 	}
 	if completed != cfg.Sequences {
 		return res, fmt.Errorf("generate: %d of %d sequences finished", completed, cfg.Sequences)
 	}
-	for _, s := range all {
-		res.TTFT = append(res.TTFT, time.Duration(s.firstTok-s.arrived))
-		res.TPOT = append(res.TPOT, time.Duration(s.finished-s.firstTok)/time.Duration(cfg.GenTokens))
-		res.Total = append(res.Total, time.Duration(s.finished-s.arrived))
+	for i := 0; i < cfg.Sequences; i++ {
+		res.TTFT = append(res.TTFT, time.Duration(firstTok[i]-arrived[i]))
+		res.TPOT = append(res.TPOT, time.Duration(finished[i]-firstTok[i])/time.Duration(cfg.GenTokens))
+		res.Total = append(res.Total, time.Duration(finished[i]-arrived[i]))
+		if d := time.Duration(finished[i]); d > res.Makespan {
+			res.Makespan = d
+		}
 	}
 	res.Conversations = cfg.Sequences
-	if res.Iterations > 0 {
-		res.MeanPool = float64(poolSum) / float64(res.Iterations)
-	}
+	res.Iterations = cb.Iterations
+	res.MeanPool = cb.MeanPool()
+	res.PrefillBatches = cb.PrefillBatches
+	res.Preemptions = cb.Preemptions
+	res.RecomputedTokens = cb.RecomputedTokens
 	return res, nil
 }

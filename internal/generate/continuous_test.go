@@ -127,6 +127,90 @@ func TestContinuousWithKVAdmission(t *testing.T) {
 	}
 }
 
+// tightPagedKV builds a paged allocator whose capacity sits between
+// the workload's total prompt footprint and its worst-case peak, so
+// every prompt admits but decoding must preempt. The node memory is
+// solved from two probes (budget is linear in MemGB).
+func tightPagedKV(t *testing.T, capTokens int) *kvcache.PagedManager {
+	t.Helper()
+	node := hw.A100Node()
+	probe := func(memGB float64) int64 {
+		node.GPU.MemGB = memGB
+		m, err := kvcache.NewPaged(node, model.OPT30B(), 16, 512, kvcache.PagedConfig{BlockTokens: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Budget()
+	}
+	b80, b40 := probe(80), probe(40)
+	slope := float64(b80-b40) / 40 // budget bytes per GB
+	m80, _ := kvcache.NewPaged(hw.A100Node(), model.OPT30B(), 16, 512, kvcache.PagedConfig{BlockTokens: 16})
+	target := float64(capTokens) * float64(m80.BytesPerToken())
+	node.GPU.MemGB = 80 + (target-float64(b80))/slope
+	kv, err := kvcache.NewPaged(node, model.OPT30B(), 16, 512, kvcache.PagedConfig{BlockTokens: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kv.TotalBlocks() * kv.BlockTokens()
+	if got < capTokens-64 || got > capTokens+64 {
+		t.Fatalf("tight allocator capacity %d tokens, want ≈%d", got, capTokens)
+	}
+	return kv
+}
+
+// The tentpole acceptance pin at the generate layer: with a paged
+// allocator sized between prompt footprint and worst-case peak, the
+// run preempts under pressure yet every sequence still completes, and
+// the preempted work shows up as recomputed prefill tokens.
+func TestContinuousPagedPreemptionCompletes(t *testing.T) {
+	// 16 sequences of 256 prompt + 128 generated: 4096 prompt tokens fit
+	// in a 5000-token pool, the 6144-token peak does not.
+	kv := tightPagedKV(t, 5000)
+	eng := engineFor(t, core.KindLiger)
+	res, err := RunContinuous(eng.Clock(), eng.Runtime(), ContinuousConfig{
+		Sequences: 16, RatePerSec: 500, PromptLen: 256, GenTokens: 128,
+		MaxPool: 16, Seed: 1, KV: kv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conversations != 16 || len(res.Total) != 16 {
+		t.Fatalf("incomplete run: %+v", res)
+	}
+	if res.Preemptions == 0 {
+		t.Fatal("no preemption despite engineered memory pressure")
+	}
+	if res.RecomputedTokens < 256 {
+		t.Fatalf("recomputed %d tokens, want at least one full resume", res.RecomputedTokens)
+	}
+	if kv.Live() != 0 || kv.FreeBlocks() != kv.TotalBlocks() {
+		t.Fatalf("cache leaked: %d live, %d/%d free", kv.Live(), kv.FreeBlocks(), kv.TotalBlocks())
+	}
+	if kv.Violations() != 0 {
+		t.Fatalf("%d invariant violations: %v", kv.Violations(), kv.InvariantErr())
+	}
+	// The same workload with ample memory never preempts and is faster.
+	eng2 := engineFor(t, core.KindLiger)
+	roomy, err := kvcache.NewPaged(hw.A100Node(), model.OPT30B(), 16, 512, kvcache.PagedConfig{BlockTokens: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunContinuous(eng2.Clock(), eng2.Runtime(), ContinuousConfig{
+		Sequences: 16, RatePerSec: 500, PromptLen: 256, GenTokens: 128,
+		MaxPool: 16, Seed: 1, KV: roomy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Preemptions != 0 {
+		t.Fatalf("roomy allocator preempted %d times", base.Preemptions)
+	}
+	if res.AvgTotal() <= base.AvgTotal() {
+		t.Fatalf("pressure run %v not slower than roomy run %v — recompute cost missing",
+			res.AvgTotal(), base.AvgTotal())
+	}
+}
+
 func TestContinuousValidation(t *testing.T) {
 	bad := []ContinuousConfig{
 		{},

@@ -27,18 +27,47 @@ type Manager struct {
 	used   int64
 
 	seqs map[int]int // sequence id → cached tokens
+
+	violations violations
+}
+
+// violations records accounting-invariant breaches (double release,
+// negative usage) instead of silently papering over them: the first
+// breach keeps its descriptive error, later ones only bump the count.
+type violations struct {
+	count int
+	first error
+}
+
+func (v *violations) record(err error) {
+	v.count++
+	if v.first == nil {
+		v.first = err
+	}
+}
+
+// budgetFor computes the per-device byte budget left for KV cache after
+// the weight shard and the activation workspace — shared by the
+// reservation Manager and the paged allocator so the two agree with
+// parallel.PlanPlacement's safety margin.
+func budgetFor(node hw.Node, spec model.Spec, maxBatch, maxSeq int) (int64, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	rep := parallel.PlanPlacement(node, spec, maxBatch, maxSeq, 0, 0)
+	budget := int64(parallel.MemSafety*float64(rep.DeviceBytes)) - rep.WeightBytesPerDevice - rep.WorkspaceBytes
+	if budget <= 0 {
+		return 0, fmt.Errorf("kvcache: no memory left for KV cache serving %s on %s", spec.Name, node.Name)
+	}
+	return budget, nil
 }
 
 // New sizes the manager: the budget is device memory minus the weights
 // shard and the activation workspace for the given maximum batch shape.
 func New(node hw.Node, spec model.Spec, maxBatch, maxSeq int) (*Manager, error) {
-	if err := spec.Validate(); err != nil {
+	budget, err := budgetFor(node, spec, maxBatch, maxSeq)
+	if err != nil {
 		return nil, err
-	}
-	rep := parallel.PlanPlacement(node, spec, maxBatch, maxSeq, 0, 0)
-	budget := int64(float64(rep.DeviceBytes)*0.97) - rep.WeightBytesPerDevice - rep.WorkspaceBytes
-	if budget <= 0 {
-		return nil, fmt.Errorf("kvcache: no memory left for KV cache serving %s on %s", spec.Name, node.Name)
 	}
 	devs := int64(node.NumGPUs)
 	if devs < 1 {
@@ -115,18 +144,35 @@ func (m *Manager) Extend(seqID int) error {
 // Tokens returns a sequence's cached length (0 if unknown).
 func (m *Manager) Tokens(seqID int) int { return m.seqs[seqID] }
 
-// Release frees a finished sequence's cache. Unknown ids are ignored.
+// Release frees a finished sequence's cache. Releasing an id that was
+// never admitted (or already released) is a double-release: the bytes
+// were returned once already, so the call records an invariant
+// violation instead of silently ignoring the corruption. Likewise a
+// release that would drive usage negative is recorded rather than
+// clamped away — the clamp used to mask exactly this class of
+// accounting bug.
 func (m *Manager) Release(seqID int) {
 	tokens, ok := m.seqs[seqID]
 	if !ok {
+		m.violations.record(fmt.Errorf("kvcache: release of unknown sequence %d (double release?)", seqID))
 		return
 	}
 	m.used -= int64(tokens) * m.bytesPerToken
 	if m.used < 0 {
+		m.violations.record(fmt.Errorf("kvcache: usage went negative (%d bytes) releasing sequence %d (%d tokens)",
+			m.used, seqID, tokens))
 		m.used = 0
 	}
 	delete(m.seqs, seqID)
 }
+
+// Violations returns how many accounting-invariant breaches the manager
+// has recorded (0 in a healthy run).
+func (m *Manager) Violations() int { return m.violations.count }
+
+// InvariantErr returns the first recorded invariant violation, nil when
+// the accounting has stayed consistent.
+func (m *Manager) InvariantErr() error { return m.violations.first }
 
 // MaxResidentSequences returns how many sequences of the given total
 // length (prompt + generation) can be resident simultaneously.

@@ -80,7 +80,34 @@ func TestAdmitErrors(t *testing.T) {
 	if err := m.Extend(99); err == nil {
 		t.Error("extend of unknown sequence accepted")
 	}
-	m.Release(99) // no-op, no panic
+	// A release of a never-admitted id is a double-release in disguise:
+	// it must be recorded as an invariant violation, not ignored.
+	m.Release(99)
+	if m.Violations() != 1 || m.InvariantErr() == nil {
+		t.Errorf("unknown-id release not recorded: %d violations, err %v", m.Violations(), m.InvariantErr())
+	}
+	m.Release(1)
+	m.Release(1) // literal double release
+	if m.Violations() != 2 {
+		t.Errorf("double release not recorded: %d violations", m.Violations())
+	}
+}
+
+func TestReleaseNegativeUsageRecorded(t *testing.T) {
+	m := manager(t)
+	if err := m.Admit(1, 64); err != nil {
+		t.Fatal(err)
+	}
+	// Manufacture the corruption the old code silently clamped away:
+	// usage below the live sequence's footprint.
+	m.used = m.bytesPerToken
+	m.Release(1)
+	if m.Violations() == 0 || m.InvariantErr() == nil {
+		t.Fatal("negative usage clamped without recording a violation")
+	}
+	if m.UsedBytes() != 0 {
+		t.Fatalf("used %d after corrupted release", m.UsedBytes())
+	}
 }
 
 func TestCapacityEnforced(t *testing.T) {

@@ -1,0 +1,254 @@
+package kvcache
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"liger/internal/hw"
+	"liger/internal/model"
+	"liger/internal/parallel"
+)
+
+func paged(t *testing.T, cfg PagedConfig) *PagedManager {
+	t.Helper()
+	m, err := NewPaged(hw.A100Node(), model.OPT30B(), 32, 128, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// The 0.97 memory-safety factor must come from the one exported
+// constant: the paged and reservation budgets both reproduce the
+// placement-report arithmetic with parallel.MemSafety.
+func TestBudgetSharesMemSafetyConstant(t *testing.T) {
+	if parallel.MemSafety != 0.97 {
+		t.Fatalf("parallel.MemSafety = %v, want the paper's 0.97", parallel.MemSafety)
+	}
+	node, spec := hw.A100Node(), model.OPT30B()
+	rep := parallel.PlanPlacement(node, spec, 32, 128, 0, 0)
+	want := int64(parallel.MemSafety*float64(rep.DeviceBytes)) - rep.WeightBytesPerDevice - rep.WorkspaceBytes
+	m, err := New(node, spec, 32, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Budget() != want {
+		t.Fatalf("Manager budget %d, want %d from parallel.MemSafety", m.Budget(), want)
+	}
+	p := paged(t, PagedConfig{})
+	if got := p.Budget(); got > want || want-got >= p.blockBytes {
+		t.Fatalf("paged budget %d not %d rounded to whole blocks", got, want)
+	}
+}
+
+func TestPagedBlockTablesGrowOnDemand(t *testing.T) {
+	m := paged(t, PagedConfig{BlockTokens: 16})
+	if err := m.Admit(1, 20); err != nil {
+		t.Fatal(err)
+	}
+	// 20 tokens at 16 tokens/block: two blocks, the second half empty.
+	if got := m.BlockTable(1); len(got) != 2 {
+		t.Fatalf("block table %v, want 2 blocks for 20 tokens", got)
+	}
+	// Extends through the slack stay inside block two...
+	for i := 20; i < 32; i++ {
+		if err := m.Extend(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.BlockTable(1); len(got) != 2 {
+		t.Fatalf("block table %v after filling block two", got)
+	}
+	// ...and the 33rd token allocates block three.
+	if err := m.Extend(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.BlockTable(1); len(got) != 3 || m.Tokens(1) != 33 {
+		t.Fatalf("block table %v, tokens %d after boundary extend", got, m.Tokens(1))
+	}
+	free := m.FreeBlocks()
+	m.Release(1)
+	if m.FreeBlocks() != free+3 || m.Live() != 0 {
+		t.Fatal("release did not return the whole table")
+	}
+}
+
+// The acceptance pin: at equal memory, paged admission holds strictly
+// more concurrent sequences than worst-case reservation, because a live
+// sequence only owns blocks for tokens it has actually cached.
+func TestPagedAdmitsMoreThanReservation(t *testing.T) {
+	const prompt, gen = 256, 1792
+	reserved, err := New(hw.A100Node(), model.OPT30B(), 32, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstCase := reserved.MaxResidentSequences(prompt + gen)
+	if worstCase <= 0 {
+		t.Fatal("reservation manager has no capacity")
+	}
+	m := paged(t, PagedConfig{BlockTokens: 16})
+	admitted := 0
+	for m.CanAdmit(prompt) {
+		if err := m.Admit(admitted, prompt); err != nil {
+			t.Fatal(err)
+		}
+		admitted++
+	}
+	if admitted <= worstCase {
+		t.Fatalf("paged admitted %d sequences, reservation admits %d — paging must win strictly", admitted, worstCase)
+	}
+}
+
+func TestPagedPreemptsNewestFirst(t *testing.T) {
+	m := paged(t, PagedConfig{BlockTokens: 16})
+	for id := 1; id <= 3; id++ {
+		if err := m.Admit(id, 16*id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, tokens, ok := m.Preempt()
+	if !ok || id != 3 || tokens != 48 {
+		t.Fatalf("preempt -> (%d, %d, %v), want newest sequence 3 with 48 tokens", id, tokens, ok)
+	}
+	if id, _, _ = m.Preempt(); id != 2 {
+		t.Fatalf("second preempt -> %d, want 2", id)
+	}
+	if m.Live() != 1 || m.Preemptions() != 2 {
+		t.Fatalf("live %d, preemptions %d", m.Live(), m.Preemptions())
+	}
+	m.Preempt()
+	if _, _, ok := m.Preempt(); ok {
+		t.Fatal("preempt with nothing live reported a victim")
+	}
+}
+
+func TestPagedExtendOOMAndReuse(t *testing.T) {
+	m := paged(t, PagedConfig{BlockTokens: 16})
+	total := m.TotalBlocks()
+	// Sequence 0 takes all but one block; sequence 1 takes the last.
+	if err := m.Admit(0, (total-1)*16); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Admit(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeBlocks() != 0 {
+		t.Fatalf("%d free blocks after exhausting the pool", m.FreeBlocks())
+	}
+	if m.CanAdmit(1) {
+		t.Fatal("CanAdmit with an empty pool")
+	}
+	// Sequence 1's block is full: the boundary extend needs a block and
+	// must fail with the preemption sentinel, leaving state untouched.
+	err := m.Extend(1)
+	if !errors.Is(err, ErrNoFreeBlocks) {
+		t.Fatalf("boundary extend under OOM: %v, want ErrNoFreeBlocks", err)
+	}
+	if m.Tokens(1) != 16 {
+		t.Fatalf("failed extend mutated the sequence: %d tokens", m.Tokens(1))
+	}
+	// Preempting the newest sequence frees its block for the survivor.
+	id, _, ok := m.Preempt()
+	if !ok || id != 1 {
+		t.Fatalf("preempt -> (%d, %v)", id, ok)
+	}
+	for i := 0; i < 16; i++ {
+		if err := m.Extend(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.FreeBlocks() != 0 {
+		t.Fatalf("%d free blocks after survivor reclaimed the freed block", m.FreeBlocks())
+	}
+}
+
+func TestPagedWatermark(t *testing.T) {
+	m := paged(t, PagedConfig{BlockTokens: 16, Watermark: 0.5})
+	if m.UnderPressure() {
+		t.Fatal("empty allocator under pressure")
+	}
+	half := m.TotalBlocks() / 2
+	if err := m.Admit(1, (half+2)*16); err != nil {
+		t.Fatal(err)
+	}
+	if !m.UnderPressure() {
+		t.Fatalf("%d of %d blocks free at watermark 0.5: want pressure", m.FreeBlocks(), m.TotalBlocks())
+	}
+	m.Release(1)
+	if m.UnderPressure() {
+		t.Fatal("pressure after releasing everything")
+	}
+}
+
+func TestPagedDoubleReleaseRecorded(t *testing.T) {
+	m := paged(t, PagedConfig{})
+	if err := m.Admit(1, 16); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(1)
+	m.Release(1)
+	if m.Violations() != 1 || m.InvariantErr() == nil {
+		t.Fatalf("double release not recorded: %d violations", m.Violations())
+	}
+}
+
+// Property: any admit/extend/release/preempt interleaving keeps block
+// accounting closed — every block is either free or in exactly one
+// table, and table sizes cover exactly the cached tokens.
+func TestPagedPropertyBlocksConserved(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m, err := NewPaged(hw.A100Node(), model.OPT30B().WithLayers(8), 8, 128, PagedConfig{BlockTokens: 8})
+		if err != nil {
+			return false
+		}
+		next := 0
+		live := map[int]bool{}
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				if m.Admit(next, 1+int(op)) == nil {
+					live[next] = true
+				}
+				next++
+			case 1:
+				for id := range live {
+					_ = m.Extend(id)
+					break
+				}
+			case 2:
+				for id := range live {
+					m.Release(id)
+					delete(live, id)
+					break
+				}
+			case 3:
+				if id, _, ok := m.Preempt(); ok {
+					delete(live, id)
+				}
+			}
+			seen := map[int]bool{}
+			held := 0
+			for id := range live {
+				table := m.BlockTable(id)
+				if len(table) != (m.Tokens(id)+m.BlockTokens()-1)/m.BlockTokens() {
+					return false
+				}
+				for _, b := range table {
+					if b < 0 || b >= m.TotalBlocks() || seen[b] {
+						return false
+					}
+					seen[b] = true
+				}
+				held += len(table)
+			}
+			if held+m.FreeBlocks() != m.TotalBlocks() {
+				return false
+			}
+		}
+		return m.Violations() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

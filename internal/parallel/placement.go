@@ -15,10 +15,13 @@ import (
 // per-device footprint is weights/N plus activation workspace and the
 // KV cache share.
 
-// memSafety reserves headroom for the CUDA context and fragmentation.
+// MemSafety reserves headroom for the CUDA context and fragmentation.
 // It is deliberately thin: the paper's own V100 assignment (OPT-30B's
-// 60 GB of FP16 weights on 4×16 GB) leaves almost nothing spare.
-const memSafety = 0.97
+// 60 GB of FP16 weights on 4×16 GB) leaves almost nothing spare. It is
+// the single source of truth for the memory-safety factor — the KV
+// cache budget (internal/kvcache) derives from the same constant, so
+// the two layers cannot drift.
+const MemSafety = 0.97
 
 // PlacementReport describes the per-device memory footprint of serving
 // a model on a node.
@@ -41,7 +44,7 @@ func (r PlacementReport) Total() int64 {
 
 // Fits reports whether the footprint fits under the safety margin.
 func (r PlacementReport) Fits() bool {
-	return float64(r.Total()) <= memSafety*float64(r.DeviceBytes)
+	return float64(r.Total()) <= MemSafety*float64(r.DeviceBytes)
 }
 
 // PlanPlacement computes the per-device footprint of serving spec on

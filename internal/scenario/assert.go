@@ -43,6 +43,9 @@ var metricDefs = map[string]metricDef{
 	"p99":            {get: func(r serve.Result) float64 { return r.P99.Seconds() }, dur: true},
 	"makespan":       {get: func(r serve.Result) float64 { return r.Makespan.Seconds() }, dur: true},
 	"recovery_time":  {get: func(r serve.Result) float64 { return r.RecoveryTime.Seconds() }, dur: true},
+	"ttft":           {get: func(r serve.Result) float64 { return r.TTFT.Seconds() }, dur: true},
+	"tpot":           {get: func(r serve.Result) float64 { return r.TPOT.Seconds() }, dur: true},
+	"preemptions":    {get: func(r serve.Result) float64 { return float64(r.Preemptions) }},
 	"completed":      {get: func(r serve.Result) float64 { return float64(r.Completed) }},
 	"requests":       {get: func(r serve.Result) float64 { return float64(r.Requests) }},
 	"failed":         {get: func(r serve.Result) float64 { return float64(r.Failed) }},

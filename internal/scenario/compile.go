@@ -43,8 +43,29 @@ type Compiled struct {
 	Solo time.Duration
 	// Rate is the resolved arrival rate in batches/second.
 	Rate float64
+	// Continuous is non-nil for continuous-mode workloads: the lowered
+	// generative plan (Trace then only feeds reporting).
+	Continuous *ContinuousPlan
 	// assertions are pre-parsed from Scenario.Assert.
 	assertions []*assertion
+}
+
+// ContinuousPlan is a continuous-mode workload lowered to concrete
+// numbers: sequence shape, pool cap, and the KV admission knobs.
+type ContinuousPlan struct {
+	// Sequences is the arrival count (workload.batches, or derived from
+	// duration × rate).
+	Sequences int
+	// Prompt/Gen shape every sequence; Pool caps live sequences per
+	// decode iteration.
+	Prompt, Gen, Pool int
+	// KV arms cache admission control (a kv: section was present).
+	KV bool
+	// Paged selects the paged allocator (vs worst-case reservation);
+	// Block and Watermark are its knobs.
+	Paged     bool
+	Block     int
+	Watermark float64
 }
 
 // kindByAlias maps scenario runtime aliases to engine kinds.
@@ -97,6 +118,13 @@ func Compile(sc *Scenario) (*Compiled, error) {
 
 	for _, name := range sc.ResultRuntimes() {
 		c.Kinds = append(c.Kinds, kindByAlias[name])
+	}
+
+	if sc.Workload.Continuous() {
+		if err := c.compileContinuous(sc); err != nil {
+			return nil, err
+		}
+		return c, c.compileTail(sc)
 	}
 
 	// Workload defaults mirror the paper's general evaluation.
@@ -157,7 +185,81 @@ func Compile(sc *Scenario) (*Compiled, error) {
 	if err := c.Trace.Validate(); err != nil {
 		return nil, err
 	}
+	return c, c.compileTail(sc)
+}
 
+// compileContinuous lowers a continuous-mode workload: sequence shape
+// defaults, a prompt-sized capacity normalizer for relative rates, and
+// the KV admission knobs. Trace is filled just enough for reporting —
+// continuous runs never generate a batch trace.
+func (c *Compiled) compileContinuous(sc *Scenario) error {
+	w := sc.Workload
+	if w.Prompt == 0 {
+		w.Prompt = 32
+	}
+	if w.Gen == 0 {
+		w.Gen = 16
+	}
+	if w.Pool == 0 {
+		w.Pool = 8
+	}
+
+	// Capacity-relative rates normalize against one prompt's prefill —
+	// the unit of admission work — on the intra-op baseline.
+	capacity := intraCapacity(c.Node, c.Model, 1, model.Context, 0, w.Prompt)
+	c.Solo = time.Duration(float64(time.Second) / capacity)
+	c.Rate = w.Rate.Resolve(capacity)
+	if c.Rate <= 0 {
+		return fmt.Errorf("workload.rate: resolves to %v sequences/s", c.Rate)
+	}
+	seqs := w.Batches
+	if seqs == 0 {
+		seqs = int(math.Ceil(w.Duration.Seconds() * c.Rate))
+		if seqs == 0 {
+			return fmt.Errorf("workload.duration %v at rate %.3g/s yields no arrivals", w.Duration, c.Rate)
+		}
+	}
+	c.Horizon = time.Duration(float64(seqs) / c.Rate * float64(time.Second))
+
+	plan := &ContinuousPlan{
+		Sequences: seqs,
+		Prompt:    w.Prompt,
+		Gen:       w.Gen,
+		Pool:      w.Pool,
+		Paged:     true,
+		Block:     16,
+		Watermark: 0.05,
+	}
+	if kv := sc.KV; kv != nil {
+		plan.KV = true
+		if kv.Paged != nil {
+			plan.Paged = *kv.Paged
+		}
+		if kv.Block != 0 {
+			plan.Block = kv.Block
+		}
+		if kv.Watermark != 0 {
+			plan.Watermark = kv.Watermark
+		}
+	}
+	c.Continuous = plan
+
+	// Reporting-only trace summary (never generated or validated).
+	c.Trace = serve.TraceConfig{
+		Batches:    seqs,
+		BatchSize:  1,
+		RatePerSec: c.Rate,
+		MinSeq:     w.Prompt,
+		MaxSeq:     w.Prompt,
+		Process:    serve.Poisson,
+		Seed:       w.Seed,
+	}
+	return nil
+}
+
+// compileTail finishes both workload paths: policy, fleet topology,
+// chaos schedule, and assertion cross-checks.
+func (c *Compiled) compileTail(sc *Scenario) error {
 	c.Policy = serve.Policy{
 		Deadline:   sc.Policy.Deadline.Resolve(c.Horizon, c.Solo),
 		MaxRetries: sc.Policy.Retries,
@@ -166,7 +268,7 @@ func Compile(sc *Scenario) (*Compiled, error) {
 		QueueLimit: sc.Policy.QueueLimit,
 	}
 	if err := c.Policy.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 
 	if sc.Cluster != nil {
@@ -176,49 +278,49 @@ func Compile(sc *Scenario) (*Compiled, error) {
 		}
 		net, err := hw.NetworkPreset(netName)
 		if err != nil {
-			return nil, fmt.Errorf("cluster.network: %w", err)
+			return fmt.Errorf("cluster.network: %w", err)
 		}
 		cl := hw.Cluster{
 			Name:    sc.Name,
-			Node:    node,
+			Node:    c.Node,
 			Nodes:   sc.Cluster.Nodes,
 			Spares:  sc.Cluster.Spares,
 			Network: net,
 		}
 		if err := cl.Validate(); err != nil {
-			return nil, fmt.Errorf("cluster: %w", err)
+			return fmt.Errorf("cluster: %w", err)
 		}
 		c.Cluster = &cl
 		c.Probe = sc.Cluster.Probe.Resolve(c.Horizon, c.Solo)
 		if c.Probe < 0 {
-			return nil, fmt.Errorf("cluster.probe_interval: resolves to %v", c.Probe)
+			return fmt.Errorf("cluster.probe_interval: resolves to %v", c.Probe)
 		}
 		c.Hedge = sc.Policy.Hedge.Resolve(c.Horizon, c.Solo)
 		if c.Hedge < 0 {
-			return nil, fmt.Errorf("policy.hedge: resolves to %v", c.Hedge)
+			return fmt.Errorf("policy.hedge: resolves to %v", c.Hedge)
 		}
 	}
 
 	if err := c.compileChaos(sc); err != nil {
-		return nil, err
+		return err
 	}
 
 	for i, expr := range sc.Assert {
 		a, err := parseAssertion(expr)
 		if err != nil {
-			return nil, fmt.Errorf("assert[%d]: %w", i, err)
+			return fmt.Errorf("assert[%d]: %w", i, err)
 		}
 		for _, ref := range []*metricRef{&a.lhs, a.rhs} {
 			if ref == nil {
 				continue
 			}
 			if !containsString(sc.ResultRuntimes(), ref.runtime) {
-				return nil, fmt.Errorf("assert[%d]: %q references runtime %q, which this scenario does not run", i, expr, ref.alias)
+				return fmt.Errorf("assert[%d]: %q references runtime %q, which this scenario does not run", i, expr, ref.alias)
 			}
 		}
 		c.assertions = append(c.assertions, a)
 	}
-	return c, nil
+	return nil
 }
 
 func containsString(xs []string, s string) bool {

@@ -1,0 +1,198 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// continuousYAML is a small continuous-mode scenario; tests splice
+// overrides in. The tiny model keeps the per-iteration kernel schedule
+// cheap enough for parse/compile/run round-trips.
+const continuousYAML = `
+name: cont
+model: tiny
+workload:
+  mode: continuous
+  batches: 12
+  rate: 0.8x
+  prompt: 24
+  gen: 6
+  pool: 4
+  seed: 3
+kv:
+  paged: true
+assert:
+  - liger.completed == 12
+  - liger.ttft > 0s
+  - liger.tpot > 0s
+  - liger.preemptions == 0
+`
+
+func TestParseContinuous(t *testing.T) {
+	sc, err := Parse([]byte(continuousYAML), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Workload.Continuous() {
+		t.Fatal("workload not continuous")
+	}
+	if sc.KV == nil || sc.KV.Paged == nil || !*sc.KV.Paged {
+		t.Fatalf("kv = %+v", sc.KV)
+	}
+}
+
+func TestParseContinuousErrors(t *testing.T) {
+	cases := []struct{ name, in, want string }{
+		{
+			"unknown mode",
+			"name: t\nworkload:\n  mode: streaming\n  batches: 5\n  rate: 1\n",
+			`unknown mode "streaming"`,
+		},
+		{
+			"kv without continuous",
+			"name: t\nworkload:\n  batches: 5\n  rate: 1\nkv:\n  paged: true\n",
+			"kv: admission control needs workload.mode: continuous",
+		},
+		{
+			"generative knobs without continuous",
+			"name: t\nworkload:\n  batches: 5\n  rate: 1\n  prompt: 32\n",
+			"generative knobs need workload.mode: continuous",
+		},
+		{
+			"continuous with batch",
+			"name: t\nworkload:\n  mode: continuous\n  batches: 5\n  rate: 1\n  batch: 2\n",
+			"workload.batch: continuous mode pools sequences",
+		},
+		{
+			"continuous with phase",
+			"name: t\nworkload:\n  mode: continuous\n  batches: 5\n  rate: 1\n  phase: decode\n",
+			"continuous mode schedules its own prefill and decode phases",
+		},
+		{
+			"continuous with seq range",
+			"name: t\nworkload:\n  mode: continuous\n  batches: 5\n  rate: 1\n  seq: [16, 128]\n",
+			"continuous sequences are shaped by prompt/gen",
+		},
+		{
+			"continuous with constant process",
+			"name: t\nworkload:\n  mode: continuous\n  batches: 5\n  rate: 1\n  process: constant\n",
+			"continuous arrivals are poisson",
+		},
+		{
+			"continuous with cluster",
+			"name: t\ncluster:\n  nodes: 2\nworkload:\n  mode: continuous\n  batches: 5\n  rate: 1\n",
+			"continuous runs on a single node",
+		},
+		{
+			"continuous with chaos",
+			"name: t\nworkload:\n  mode: continuous\n  batches: 5\n  rate: 1\nchaos:\n  events:\n    - kind: slowdown\n      device: 0\n      start: 10%\n      factor: 0.5\n",
+			"fault injection is not supported in continuous mode",
+		},
+		{
+			"continuous with policy",
+			"name: t\nworkload:\n  mode: continuous\n  batches: 5\n  rate: 1\npolicy:\n  deadline: 4x\n",
+			"policies apply to batch serving",
+		},
+		{
+			"reservation kv with paged knobs",
+			"name: t\nworkload:\n  mode: continuous\n  batches: 5\n  rate: 1\nkv:\n  paged: false\n  block: 32\n",
+			"block/watermark are paged-allocator knobs",
+		},
+		{
+			"kv typo suggestion",
+			"name: t\nworkload:\n  mode: continuous\n  batches: 5\n  rate: 1\nkv:\n  blok: 32\n",
+			`unknown key "kv.blok" (did you mean "block"?)`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.in), "t")
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v\nwant substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCompileContinuousDefaults pins the lowered plan: prompt/gen/pool
+// default to 32/16/8, and the kv section defaults to the paged
+// allocator at block 16, watermark 5%.
+func TestCompileContinuousDefaults(t *testing.T) {
+	sc, err := Parse([]byte("name: t\nmodel: tiny\nworkload:\n  mode: continuous\n  batches: 5\n  rate: 1\nkv:\n  paged: true\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := c.Continuous
+	if cp == nil {
+		t.Fatal("no continuous plan")
+	}
+	if cp.Sequences != 5 || cp.Prompt != 32 || cp.Gen != 16 || cp.Pool != 8 {
+		t.Errorf("plan = %+v", cp)
+	}
+	if !cp.KV || !cp.Paged || cp.Block != 16 || cp.Watermark != 0.05 {
+		t.Errorf("kv plan = %+v", cp)
+	}
+	if c.Rate != 1 || c.Horizon.Seconds() != 5 {
+		t.Errorf("rate %v horizon %v", c.Rate, c.Horizon)
+	}
+
+	// Without a kv section the run is pool-capped only.
+	sc2, err := Parse([]byte("name: t\nworkload:\n  mode: continuous\n  batches: 5\n  rate: 1\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Compile(sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Continuous.KV {
+		t.Error("kv armed without a kv section")
+	}
+}
+
+// TestRunContinuousScenario drives the full load → compile → run →
+// assert pipeline on a continuous scenario and pins the determinism
+// contract: byte-identical reports at any -parallel or -shards setting.
+func TestRunContinuousScenario(t *testing.T) {
+	sc, err := Parse([]byte(continuousYAML), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(parallel, shards int) string {
+		c, err := Compile(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(c, RunOptions{Parallel: parallel, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Pass {
+			t.Fatalf("assertions failed: %s", rep.Verdict())
+		}
+		var text, js bytes.Buffer
+		if err := rep.WriteText(&text); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteJSON(&js); err != nil {
+			t.Fatal(err)
+		}
+		return text.String() + js.String()
+	}
+	base := render(1, 0)
+	for _, cfg := range []struct{ parallel, shards int }{{4, 0}, {2, 4}} {
+		if got := render(cfg.parallel, cfg.shards); got != base {
+			t.Errorf("continuous report differs at parallel=%d shards=%d", cfg.parallel, cfg.shards)
+		}
+	}
+	for _, key := range []string{`"serving"`, `"ttft_ms"`, `"tpot_ms"`} {
+		if !strings.Contains(base, key) {
+			t.Errorf("report missing %s", key)
+		}
+	}
+}

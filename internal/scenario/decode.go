@@ -162,6 +162,20 @@ func (s *section) number(key string) (float64, error) {
 	return f, nil
 }
 
+// boolean returns nil when the key is absent, so callers can tell
+// "unset" from an explicit false (KVSpec.Paged defaults to true).
+func (s *section) boolean(key string) (*bool, error) {
+	v, ok := s.get(key)
+	if !ok || v == nil {
+		return nil, nil
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return nil, fmt.Errorf("%s: want a bool, got %s", s.child(key), renderScalar(v))
+	}
+	return &b, nil
+}
+
 func (s *section) timeSpec(key string) (TimeSpec, error) {
 	v, ok := s.get(key)
 	if !ok || v == nil {
@@ -194,7 +208,7 @@ func decodeScenario(doc any) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	top.expect("name", "description", "model", "runtimes", "node", "cluster", "workload", "policy", "chaos", "assert")
+	top.expect("name", "description", "model", "runtimes", "node", "cluster", "workload", "kv", "policy", "chaos", "assert")
 	sc := &Scenario{}
 	if sc.Name, err = top.str("name"); err != nil {
 		return nil, err
@@ -234,6 +248,13 @@ func decodeScenario(doc any) (*Scenario, error) {
 		}
 	} else {
 		return nil, fmt.Errorf("missing required section \"workload\"")
+	}
+	if v, ok := top.get("kv"); ok && v != nil {
+		kv, err := decodeKV(v)
+		if err != nil {
+			return nil, err
+		}
+		sc.KV = &kv
 	}
 	if v, ok := top.get("policy"); ok && v != nil {
 		if sc.Policy, err = decodePolicy(v); err != nil {
@@ -327,7 +348,7 @@ func decodeWorkload(v any) (Workload, error) {
 	if err != nil {
 		return Workload{}, err
 	}
-	s.expect("batches", "duration", "batch", "rate", "process", "seq", "phase", "ctx", "seed")
+	s.expect("batches", "duration", "batch", "rate", "process", "seq", "phase", "ctx", "mode", "prompt", "gen", "pool", "seed")
 	var w Workload
 	if w.Batches, err = s.integer("batches"); err != nil {
 		return w, err
@@ -360,6 +381,18 @@ func decodeWorkload(v any) (Workload, error) {
 		return w, err
 	}
 	if w.CtxLen, err = s.integer("ctx"); err != nil {
+		return w, err
+	}
+	if w.Mode, err = s.str("mode"); err != nil {
+		return w, err
+	}
+	if w.Prompt, err = s.integer("prompt"); err != nil {
+		return w, err
+	}
+	if w.Gen, err = s.integer("gen"); err != nil {
+		return w, err
+	}
+	if w.Pool, err = s.integer("pool"); err != nil {
 		return w, err
 	}
 	seed, err := s.integer("seed")
@@ -398,6 +431,25 @@ func decodeSeqRange(v any) (int, int, error) {
 	default:
 		return 0, 0, fmt.Errorf("workload.seq: want [min, max], got %s", typeName(v))
 	}
+}
+
+func decodeKV(v any) (KVSpec, error) {
+	s, err := asSection(v, "kv")
+	if err != nil {
+		return KVSpec{}, err
+	}
+	s.expect("paged", "block", "watermark")
+	var k KVSpec
+	if k.Paged, err = s.boolean("paged"); err != nil {
+		return k, err
+	}
+	if k.Block, err = s.integer("block"); err != nil {
+		return k, err
+	}
+	if k.Watermark, err = s.number("watermark"); err != nil {
+		return k, err
+	}
+	return k, s.finish()
 }
 
 func decodePolicy(v any) (PolicySpec, error) {

@@ -22,6 +22,7 @@ func TestCorpusGolden(t *testing.T) {
 		{"cascading-failures.yaml", true},
 		{"mid-run-device-loss.yaml", true},
 		{"fleet-node-loss.yaml", true},
+		{"decode-heavy.yaml", true},
 		{"fixtures/impossible-slo.yaml", false},
 		{"fixtures/no-spare-capacity.yaml", false},
 	}

@@ -23,8 +23,15 @@ func (r *Report) WriteText(w io.Writer) error {
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "node      : %s (%d GPUs), model %s\n", r.Node, r.GPUs, r.Model)
-	fmt.Fprintf(w, "trace     : %d batches, %s rate %.3f/s, seed %d, horizon %s\n",
-		r.Batches, r.Process, r.Rate, r.Seed, fmtDur(r.Horizon))
+	if cp := r.continuous(); cp != nil {
+		fmt.Fprintf(w, "trace     : %d sequences, poisson rate %.3f/s, seed %d, horizon %s\n",
+			cp.Sequences, r.Rate, r.Seed, fmtDur(r.Horizon))
+		fmt.Fprintf(w, "serving   : continuous (prompt %d + gen %d tokens, pool %d), kv %s\n",
+			cp.Prompt, cp.Gen, cp.Pool, kvDesc(cp))
+	} else {
+		fmt.Fprintf(w, "trace     : %d batches, %s rate %.3f/s, seed %d, horizon %s\n",
+			r.Batches, r.Process, r.Rate, r.Seed, fmtDur(r.Horizon))
+	}
 	if c := r.Compiled; c != nil && c.Cluster != nil {
 		fmt.Fprintf(w, "cluster   : %d replicas + %d spares over %s (%.0f GB/s, %s one-way)\n",
 			c.Cluster.Nodes, c.Cluster.Spares, c.Cluster.Network.Name,
@@ -48,11 +55,20 @@ func (r *Report) WriteText(w io.Writer) error {
 		}
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "runtime\tgoodput\tp99\tslo-miss\tcompleted\tfailed\tshed\tretries\trecovery")
-	for _, res := range r.Results {
-		fmt.Fprintf(tw, "%s\t%.3f\t%s\t%.1f%%\t%d\t%d\t%d\t%d\t%s\n",
-			res.Runtime, res.PolicyGoodput(), fmtDur(res.P99), 100*res.SLOMissRate(),
-			res.Completed, res.Failed, res.Shed, res.Retries, fmtDur(res.RecoveryTime))
+	if r.continuous() != nil {
+		fmt.Fprintln(tw, "runtime\tttft\ttpot\tp99\tcompleted\tpreempted\tmakespan")
+		for _, res := range r.Results {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%s\n",
+				res.Runtime, fmtDur(res.TTFT), fmtDur(res.TPOT), fmtDur(res.P99),
+				res.Completed, res.Preemptions, fmtDur(res.Makespan))
+		}
+	} else {
+		fmt.Fprintln(tw, "runtime\tgoodput\tp99\tslo-miss\tcompleted\tfailed\tshed\tretries\trecovery")
+		for _, res := range r.Results {
+			fmt.Fprintf(tw, "%s\t%.3f\t%s\t%.1f%%\t%d\t%d\t%d\t%d\t%s\n",
+				res.Runtime, res.PolicyGoodput(), fmtDur(res.P99), 100*res.SLOMissRate(),
+				res.Completed, res.Failed, res.Shed, res.Retries, fmtDur(res.RecoveryTime))
+		}
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -88,9 +104,20 @@ type reportDoc struct {
 	Process     string                  `json:"process"`
 	HorizonMs   float64                 `json:"horizon_ms"`
 	SoloMs      float64                 `json:"solo_ms"`
+	Serving     *continuousDoc          `json:"serving,omitempty"`
 	Pass        bool                    `json:"pass"`
 	Results     map[string]serve.Result `json:"results"`
 	Assertions  []AssertionResult       `json:"assertions"`
+}
+
+// continuousDoc is the continuous-serving block of the JSON report;
+// absent for batch scenarios so their artifacts are unchanged.
+type continuousDoc struct {
+	Sequences int    `json:"sequences"`
+	Prompt    int    `json:"prompt"`
+	Gen       int    `json:"gen"`
+	Pool      int    `json:"pool"`
+	KV        string `json:"kv"`
 }
 
 // clusterDoc is the fleet topology block of the JSON report; absent
@@ -121,6 +148,15 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		Results:     make(map[string]serve.Result, len(r.Results)),
 		Assertions:  r.Assertions,
 	}
+	if cp := r.continuous(); cp != nil {
+		doc.Serving = &continuousDoc{
+			Sequences: cp.Sequences,
+			Prompt:    cp.Prompt,
+			Gen:       cp.Gen,
+			Pool:      cp.Pool,
+			KV:        kvDesc(cp),
+		}
+	}
 	if c := r.Compiled; c != nil && c.Cluster != nil {
 		doc.Cluster = &clusterDoc{
 			Nodes:   c.Cluster.Nodes,
@@ -140,6 +176,25 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	buf = append(buf, '\n')
 	_, err = w.Write(buf)
 	return err
+}
+
+// continuous returns the compiled continuous plan, nil for batch runs.
+func (r *Report) continuous() *ContinuousPlan {
+	if r.Compiled == nil {
+		return nil
+	}
+	return r.Compiled.Continuous
+}
+
+func kvDesc(cp *ContinuousPlan) string {
+	switch {
+	case !cp.KV:
+		return "off"
+	case cp.Paged:
+		return fmt.Sprintf("paged (block %d, watermark %.0f%%)", cp.Block, 100*cp.Watermark)
+	default:
+		return "reserved"
+	}
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -6,9 +6,12 @@ import (
 
 	"liger/internal/cluster"
 	"liger/internal/core"
+	"liger/internal/generate"
+	"liger/internal/kvcache"
 	"liger/internal/liger"
 	"liger/internal/runner"
 	"liger/internal/serve"
+	"liger/internal/stats"
 )
 
 // RunOptions tune execution, never results: a scenario's report is
@@ -42,6 +45,9 @@ func runOne(c *Compiled, kind core.RuntimeKind, shards int) (serve.Result, error
 	if c.Cluster != nil {
 		return runFleetOne(c, kind, shards)
 	}
+	if c.Continuous != nil {
+		return runContinuousOne(c, kind, shards)
+	}
 	opts := core.Options{Node: c.Node, Model: c.Model, Runtime: kind, Shards: shards}
 	if kind == core.KindLiger {
 		lc := liger.DefaultConfig(c.Node.Name)
@@ -67,6 +73,75 @@ func runOne(c *Compiled, kind core.RuntimeKind, shards int) (serve.Result, error
 	}
 	res.Scenario = c.Scenario.Name
 	return res, nil
+}
+
+// runContinuousOne serves a continuous-mode scenario on one runtime:
+// iteration-level generative scheduling through serve.ContinuousBatcher,
+// optionally gated by a KV allocator. The generative latencies land in
+// the same serve.Result shape the assertions read — Latencies holds the
+// per-sequence end-to-end times, TTFT/TPOT/Preemptions the continuous
+// metrics.
+func runContinuousOne(c *Compiled, kind core.RuntimeKind, shards int) (serve.Result, error) {
+	opts := core.Options{Node: c.Node, Model: c.Model, Runtime: kind, Shards: shards}
+	if kind == core.KindLiger {
+		lc := liger.DefaultConfig(c.Node.Name)
+		lc.DegradationAware = true
+		opts.Liger = lc
+		opts.LigerSet = true
+	}
+	eng, err := core.NewEngine(opts)
+	if err != nil {
+		return serve.Result{}, err
+	}
+	plan := c.Continuous
+	var kv serve.KVAllocator
+	if plan.KV {
+		maxTokens := plan.Prompt + plan.Gen
+		if plan.Paged {
+			pm, err := kvcache.NewPaged(c.Node, c.Model, plan.Pool, maxTokens, kvcache.PagedConfig{
+				BlockTokens: plan.Block,
+				Watermark:   plan.Watermark,
+			})
+			if err != nil {
+				return serve.Result{}, fmt.Errorf("kv: %w", err)
+			}
+			kv = pm
+		} else {
+			m, err := kvcache.New(c.Node, c.Model, plan.Pool, maxTokens)
+			if err != nil {
+				return serve.Result{}, fmt.Errorf("kv: %w", err)
+			}
+			kv = m
+		}
+	}
+	cres, err := generate.RunContinuous(eng.Clock(), eng.Runtime(), generate.ContinuousConfig{
+		Sequences:  plan.Sequences,
+		RatePerSec: c.Rate,
+		PromptLen:  plan.Prompt,
+		GenTokens:  plan.Gen,
+		MaxPool:    plan.Pool,
+		KV:         kv,
+		Seed:       c.Scenario.Workload.Seed,
+	})
+	if err != nil {
+		return serve.Result{}, err
+	}
+	pcts := stats.Percentiles(cres.Total, 50, 95, 99)
+	return serve.Result{
+		Scenario:    c.Scenario.Name,
+		Runtime:     kind.String(),
+		Completed:   cres.Conversations,
+		Requests:    cres.Conversations,
+		Latencies:   cres.Total,
+		AvgLatency:  stats.Mean(cres.Total),
+		P50:         pcts[0],
+		P95:         pcts[1],
+		P99:         pcts[2],
+		Makespan:    cres.Makespan,
+		TTFT:        cres.AvgTTFT(),
+		TPOT:        cres.AvgTPOT(),
+		Preemptions: cres.Preemptions,
+	}, nil
 }
 
 // runFleetOne serves the scenario on one runtime replicated across the

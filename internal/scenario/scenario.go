@@ -42,8 +42,12 @@ type Scenario struct {
 	// the node-fail chaos kind and per-event node targets.
 	Cluster  *ClusterSpec
 	Workload Workload
-	Policy   PolicySpec
-	Chaos    Chaos
+	// KV, when present, arms KV-cache admission control for a
+	// continuous-mode workload: the paged allocator (default) or the
+	// worst-case reservation manager.
+	KV     *KVSpec
+	Policy PolicySpec
+	Chaos  Chaos
 	// Assert holds the end-of-run assertions, one expression per line
 	// (see assert.go for the grammar).
 	Assert []string
@@ -125,9 +129,53 @@ type Workload struct {
 	Phase string
 	// CtxLen is the KV-cache length for decode traces.
 	CtxLen int
+	// Mode selects the serving discipline: "" (batch serving, the
+	// default) or "continuous" (iteration-level generative scheduling:
+	// Batches counts sequences, Rate is the sequence arrival rate, and
+	// Prompt/Gen/Pool shape the generation).
+	Mode string
+	// Prompt/Gen are the per-sequence prefill and decode lengths
+	// (continuous mode; defaults 32/16).
+	Prompt int
+	Gen    int
+	// Pool caps live sequences per decode iteration (continuous mode;
+	// default 8).
+	Pool int
 	// Seed drives the trace and every seeded chaos generator.
 	Seed int64
 }
+
+// KVSpec arms KV-cache admission control (continuous mode only).
+type KVSpec struct {
+	// Paged selects the paged allocator with preemption (default true);
+	// false uses worst-case reservation — strictly fewer concurrent
+	// sequences at equal memory, but no preemptions.
+	Paged *bool
+	// Block is the paged allocator's tokens-per-block (default 16).
+	Block int
+	// Watermark is the free-block fraction under which the scheduler
+	// preempts proactively (default 0.05).
+	Watermark float64
+}
+
+func (k *KVSpec) validate() error {
+	switch {
+	case k.Block < 0:
+		return fmt.Errorf("kv.block: negative block size %d", k.Block)
+	case k.Watermark < 0 || k.Watermark >= 1:
+		return fmt.Errorf("kv.watermark: %v outside [0, 1)", k.Watermark)
+	}
+	if k.Paged != nil && !*k.Paged {
+		if k.Block != 0 || k.Watermark != 0 {
+			return fmt.Errorf("kv: block/watermark are paged-allocator knobs; drop them or set paged: true")
+		}
+	}
+	return nil
+}
+
+// Continuous reports whether the workload runs the iteration-level
+// generative discipline.
+func (w Workload) Continuous() bool { return w.Mode == "continuous" }
 
 // PolicySpec is the deadline/retry serving policy. Durations accept
 // the solo-multiple form ("10x" = ten solo batch durations), so a
@@ -273,6 +321,24 @@ func (s *Scenario) Validate() error {
 	if err := s.Workload.validate(); err != nil {
 		return err
 	}
+	if s.KV != nil {
+		if !s.Workload.Continuous() {
+			return fmt.Errorf("kv: admission control needs workload.mode: continuous")
+		}
+		if err := s.KV.validate(); err != nil {
+			return err
+		}
+	}
+	if s.Workload.Continuous() {
+		switch {
+		case s.Cluster != nil:
+			return fmt.Errorf("workload.mode: continuous runs on a single node (use ligersim -disagg for pooled prefill/decode)")
+		case len(s.Chaos.Events) > 0 || len(s.Chaos.Random) > 0:
+			return fmt.Errorf("chaos: fault injection is not supported in continuous mode yet")
+		case s.Policy != (PolicySpec{}):
+			return fmt.Errorf("policy: deadline/retry policies apply to batch serving, not continuous mode")
+		}
+	}
 	if err := s.Policy.validate(); err != nil {
 		return err
 	}
@@ -344,6 +410,28 @@ func (w Workload) validate() error {
 	case "", "context", "decode":
 	default:
 		return fmt.Errorf("workload.phase: unknown phase %q (want context or decode)", w.Phase)
+	}
+	switch w.Mode {
+	case "", "continuous":
+	default:
+		return fmt.Errorf("workload.mode: unknown mode %q (want continuous)", w.Mode)
+	}
+	if w.Prompt < 0 || w.Gen < 0 || w.Pool < 0 {
+		return fmt.Errorf("workload: negative prompt/gen/pool %d/%d/%d", w.Prompt, w.Gen, w.Pool)
+	}
+	if w.Continuous() {
+		switch {
+		case w.Phase != "" || w.CtxLen != 0:
+			return fmt.Errorf("workload.phase/ctx: continuous mode schedules its own prefill and decode phases")
+		case w.Batch != 0:
+			return fmt.Errorf("workload.batch: continuous mode pools sequences per iteration; size the pool with workload.pool")
+		case w.MinSeq != 0 || w.MaxSeq != 0:
+			return fmt.Errorf("workload.seq: continuous sequences are shaped by prompt/gen")
+		case w.Process != "" && w.Process != "poisson":
+			return fmt.Errorf("workload.process: continuous arrivals are poisson; drop the key or set poisson")
+		}
+	} else if w.Prompt != 0 || w.Gen != 0 || w.Pool != 0 {
+		return fmt.Errorf("workload.prompt/gen/pool: generative knobs need workload.mode: continuous")
 	}
 	return nil
 }

@@ -52,9 +52,15 @@ func NewBatcher(eng *simclock.Engine, maxBatch int, maxWait time.Duration, emit 
 	return &Batcher{eng: eng, maxBatch: maxBatch, maxWait: maxWait, emit: emit}, nil
 }
 
-// Add enqueues a request; must be called from an engine callback.
+// Add enqueues a request; must be called from an engine callback. A
+// zero ArrivedAt is stamped with the current instant; a non-zero stamp
+// is preserved — a request deferred during recovery and re-added later
+// keeps its original arrival, so queue-wait and latency accounting
+// still span the deferral.
 func (b *Batcher) Add(r Request) {
-	r.ArrivedAt = b.eng.Now()
+	if r.ArrivedAt == 0 {
+		r.ArrivedAt = b.eng.Now()
+	}
 	b.pending = append(b.pending, r)
 	if len(b.pending) >= b.maxBatch {
 		b.flush()

@@ -110,6 +110,29 @@ func TestBatcherManualFlush(t *testing.T) {
 	}
 }
 
+// A caller-supplied arrival stamp must survive batching: a request
+// deferred during recovery and re-added later keeps its original
+// arrival, so queue-wait accounting spans the deferral. Only a zero
+// stamp is filled in with the current instant.
+func TestBatcherPreservesCallerArrivedAt(t *testing.T) {
+	eng, b, out := collectBatches(t, 2, time.Second)
+	eng.At(simclock.Time(50*time.Millisecond), func(simclock.Time) {
+		b.Add(Request{ID: 0, SeqLen: 16, ArrivedAt: simclock.Time(5 * time.Millisecond)})
+		b.Add(Request{ID: 1, SeqLen: 16})
+	})
+	eng.Run()
+	if len(*out) != 1 {
+		t.Fatalf("emitted %d batches", len(*out))
+	}
+	reqs := (*out)[0].reqs
+	if reqs[0].ArrivedAt != simclock.Time(5*time.Millisecond) {
+		t.Fatalf("caller stamp overwritten: ArrivedAt %v, want 5ms", reqs[0].ArrivedAt)
+	}
+	if reqs[1].ArrivedAt != simclock.Time(50*time.Millisecond) {
+		t.Fatalf("zero stamp not filled: ArrivedAt %v, want 50ms", reqs[1].ArrivedAt)
+	}
+}
+
 func TestBatcherEmptyFlushNoop(t *testing.T) {
 	_, b, out := collectBatches(t, 4, time.Millisecond)
 	b.Flush()

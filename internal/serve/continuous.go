@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"fmt"
+
+	"liger/internal/model"
+	"liger/internal/runtimes"
+	"liger/internal/simclock"
+)
+
+// Iteration-level continuous batching (Orca-style): instead of carrying
+// a fixed batch through its whole generation, every decode iteration
+// runs over the current pool of live sequences, and newly arrived
+// sequences are admitted and prefilled between iterations. The batcher
+// owns the scheduling policy only — KV memory lives behind the
+// KVAllocator interface, so the same loop runs over the reservation
+// manager, the paged allocator, or no admission control at all.
+
+// KVAllocator is the admission-control surface the continuous batcher
+// drives (implemented by kvcache.Manager and kvcache.PagedManager).
+type KVAllocator interface {
+	// CanAdmit reports whether tokens of cache fit right now.
+	CanAdmit(tokens int) bool
+	// Admit reserves a new sequence's prompt cache.
+	Admit(seqID, promptTokens int) error
+	// Extend grows a sequence's cache by one generated token.
+	Extend(seqID int) error
+	// Release frees a finished sequence's cache.
+	Release(seqID int)
+}
+
+// PreemptingAllocator is the optional paged extension: an allocator
+// that can evict its lowest-priority sequence under memory pressure
+// (kvcache.PagedManager). When the batcher's allocator implements it,
+// an Extend failure triggers preemption instead of a run error, and the
+// watermark is checked before every decode iteration.
+type PreemptingAllocator interface {
+	KVAllocator
+	// UnderPressure reports free memory under the eviction watermark.
+	UnderPressure() bool
+	// Preempt evicts the lowest-priority live sequence, returning its id
+	// and cached token count (the recompute obligation on resume).
+	Preempt() (seqID, tokens int, ok bool)
+}
+
+// GenSeq is one generative sequence entering the continuous batcher.
+type GenSeq struct {
+	ID int
+	// Prompt is the prefill length; Gen the number of decode tokens to
+	// produce after the first.
+	Prompt int
+	Gen    int
+	// Prefilled marks a sequence whose prompt KV already exists (it was
+	// computed elsewhere and transferred in — the disaggregated decode
+	// path). Admission allocates its cache and moves it straight into
+	// the decode pool without a Context submission. A preemption voids
+	// the flag: the evicted cache must be recomputed with a real
+	// prefill on resume.
+	Prefilled bool
+}
+
+// ContinuousHooks observe sequence lifecycle events. All hooks are
+// optional and fire from within engine callbacks.
+type ContinuousHooks struct {
+	// FirstToken fires when a sequence's first prefill completes (not on
+	// recompute prefills after preemption).
+	FirstToken func(id int, now simclock.Time)
+	// Finished fires when a sequence completes its generation.
+	Finished func(id int, now simclock.Time)
+	// Preempted fires when a sequence is evicted under memory pressure
+	// and re-queued with its recompute obligation.
+	Preempted func(id int, now simclock.Time)
+}
+
+// genState is one sequence's scheduling state.
+type genState struct {
+	GenSeq
+	// resumeLen is the prefill length of the next admission: the prompt,
+	// plus — after a preemption — every token already produced, which
+	// must be recomputed into the cache (recompute-on-resume).
+	resumeLen int
+	// produced counts decode tokens generated so far (survives
+	// preemption; the work is not re-done, only the KV recompute).
+	produced int
+	// ctx is the cached context length while live.
+	ctx       int
+	started   bool // first prefill completed (TTFT stamped)
+	prefilled bool // prompt KV present without a local prefill
+}
+
+// ContinuousBatcher schedules generative sequences at iteration
+// granularity over one runtime: prefill admission interleaved with
+// decode iterations over the live pool, one submission in flight at a
+// time. The owner wires the runtime's completion callback to OnDone and
+// feeds arrivals through Add; both must run inside engine callbacks on
+// the runtime's shard.
+type ContinuousBatcher struct {
+	rt      runtimes.Runtime
+	kv      KVAllocator
+	pre     PreemptingAllocator // kv's paged view, nil without preemption
+	maxPool int
+	hooks   ContinuousHooks
+
+	// waitQ holds arrivals and preempted sequences awaiting admission,
+	// priority-ordered (front admits first).
+	waitQ      []*genState
+	prefilling []*genState
+	pool       []*genState
+	byID       map[int]*genState
+
+	inFlight  bool
+	pending   []*genState
+	pendingPF bool
+
+	err error
+
+	// Iterations/PoolSum aggregate decode activity; PrefillBatches
+	// counts context submissions; Preemptions and RecomputedTokens
+	// price the eviction policy.
+	Iterations       int
+	PoolSum          int
+	PrefillBatches   int
+	Preemptions      int
+	RecomputedTokens int
+}
+
+// NewContinuousBatcher builds the iteration scheduler. kv may be nil
+// (no admission control); when it implements PreemptingAllocator the
+// paged preemption path is armed.
+func NewContinuousBatcher(rt runtimes.Runtime, kv KVAllocator, maxPool int, hooks ContinuousHooks) (*ContinuousBatcher, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("serve: continuous batcher needs a runtime")
+	}
+	if maxPool < 1 {
+		return nil, fmt.Errorf("serve: continuous pool size %d", maxPool)
+	}
+	b := &ContinuousBatcher{rt: rt, kv: kv, maxPool: maxPool, hooks: hooks, byID: map[int]*genState{}}
+	if kv != nil {
+		b.pre, _ = kv.(PreemptingAllocator)
+	}
+	return b, nil
+}
+
+// Add enqueues one sequence for admission and kicks the scheduler.
+func (b *ContinuousBatcher) Add(s GenSeq, now simclock.Time) {
+	if b.err != nil {
+		return
+	}
+	if s.Prompt <= 0 || s.Gen <= 0 {
+		b.fail(fmt.Errorf("serve: sequence %d with lengths %d/%d", s.ID, s.Prompt, s.Gen))
+		return
+	}
+	if _, dup := b.byID[s.ID]; dup {
+		b.fail(fmt.Errorf("serve: duplicate sequence id %d", s.ID))
+		return
+	}
+	st := &genState{GenSeq: s, resumeLen: s.Prompt, prefilled: s.Prefilled}
+	b.byID[s.ID] = st
+	b.waitQ = append(b.waitQ, st)
+	b.step(now)
+}
+
+// Err returns the first scheduling error (nil in a healthy run).
+func (b *ContinuousBatcher) Err() error { return b.err }
+
+// Idle reports no live, pending, or waiting work.
+func (b *ContinuousBatcher) Idle() bool {
+	return !b.inFlight && len(b.waitQ) == 0 && len(b.prefilling) == 0 && len(b.pool) == 0
+}
+
+// MeanPool is the average live-pool size over decode iterations.
+func (b *ContinuousBatcher) MeanPool() float64 {
+	if b.Iterations == 0 {
+		return 0
+	}
+	return float64(b.PoolSum) / float64(b.Iterations)
+}
+
+func (b *ContinuousBatcher) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// step runs the iteration scheduler: admit what fits, then submit
+// either one prefill batch over the newly admitted sequences or one
+// decode iteration over the live pool.
+func (b *ContinuousBatcher) step(now simclock.Time) {
+	if b.inFlight || b.err != nil {
+		return
+	}
+	// Admission is FIFO with head-of-line blocking: a waiting sequence
+	// that does not fit keeps everything behind it waiting, which keeps
+	// admission deterministic and starvation-free.
+	for len(b.waitQ) > 0 && len(b.pool)+len(b.prefilling) < b.maxPool {
+		s := b.waitQ[0]
+		if b.kv != nil {
+			if !b.kv.CanAdmit(s.resumeLen) {
+				break
+			}
+			if err := b.kv.Admit(s.ID, s.resumeLen); err != nil {
+				b.fail(err)
+				return
+			}
+		}
+		b.waitQ = b.waitQ[1:]
+		if s.prefilled {
+			// Cache is already materialized: skip the Context submission
+			// and join the decode pool directly.
+			s.ctx = s.resumeLen
+			if !s.started {
+				s.started = true
+				if b.hooks.FirstToken != nil {
+					b.hooks.FirstToken(s.ID, now)
+				}
+			}
+			b.pool = append(b.pool, s)
+			continue
+		}
+		b.prefilling = append(b.prefilling, s)
+	}
+	if len(b.prefilling) > 0 {
+		batch := b.prefilling
+		b.prefilling = nil
+		maxLen := 0
+		for _, s := range batch {
+			if s.resumeLen > maxLen {
+				maxLen = s.resumeLen
+			}
+		}
+		b.inFlight = true
+		b.pending = batch
+		b.pendingPF = true
+		b.PrefillBatches++
+		if err := b.rt.Submit(model.Workload{Batch: len(batch), SeqLen: maxLen, Phase: model.Context}); err != nil {
+			b.fail(err)
+		}
+		return
+	}
+	if len(b.pool) == 0 {
+		return // idle until the next arrival
+	}
+	// Watermark eviction: free memory below the allocator's watermark
+	// means the next few extends are about to fail — evict the lowest-
+	// priority sequence now, between iterations, where it is cheap.
+	if b.pre != nil {
+		for b.pre.UnderPressure() && len(b.pool) > 1 {
+			if !b.preemptOne(now) {
+				break
+			}
+		}
+	}
+	// Grow every pool member's cache by the token this iteration will
+	// produce. An allocator failure is memory pressure: preempt the
+	// lowest-priority sequence and retry, rather than failing the run.
+	if b.kv != nil {
+		snapshot := append([]*genState(nil), b.pool...)
+		for _, s := range snapshot {
+			if s.ctx == 0 {
+				continue // evicted earlier in this loop
+			}
+		extend:
+			for {
+				err := b.kv.Extend(s.ID)
+				if err == nil {
+					break
+				}
+				if b.pre == nil || len(b.pool) <= 1 {
+					b.fail(fmt.Errorf("serve: kv cache exhausted with no preemption headroom: %w", err))
+					return
+				}
+				victim := b.preemptOne(now)
+				if !victim {
+					b.fail(fmt.Errorf("serve: kv cache exhausted and nothing evictable: %w", err))
+					return
+				}
+				if s.ctx == 0 {
+					break extend // s itself was the victim
+				}
+			}
+		}
+	}
+	maxCtx := 0
+	for _, s := range b.pool {
+		s.ctx++
+		if s.ctx > maxCtx {
+			maxCtx = s.ctx
+		}
+	}
+	b.inFlight = true
+	b.pending = append([]*genState(nil), b.pool...)
+	b.pendingPF = false
+	b.Iterations++
+	b.PoolSum += len(b.pool)
+	if err := b.rt.Submit(model.Workload{Batch: len(b.pool), CtxLen: maxCtx, Phase: model.Decode}); err != nil {
+		b.fail(err)
+	}
+}
+
+// preemptOne evicts the allocator's chosen victim from the pool and
+// re-queues it at the front of the wait queue with its recompute
+// obligation (prompt + every produced token must be prefilled again).
+func (b *ContinuousBatcher) preemptOne(now simclock.Time) bool {
+	id, _, ok := b.pre.Preempt()
+	if !ok {
+		return false
+	}
+	s := b.byID[id]
+	if s == nil {
+		b.fail(fmt.Errorf("serve: allocator preempted unknown sequence %d", id))
+		return false
+	}
+	for i, p := range b.pool {
+		if p == s {
+			b.pool = append(b.pool[:i], b.pool[i+1:]...)
+			break
+		}
+	}
+	s.ctx = 0
+	s.prefilled = false // the transferred cache is gone; resume recomputes
+	s.resumeLen = s.Prompt + s.produced
+	b.RecomputedTokens += s.resumeLen
+	b.Preemptions++
+	b.waitQ = append([]*genState{s}, b.waitQ...)
+	if b.hooks.Preempted != nil {
+		b.hooks.Preempted(id, now)
+	}
+	return true
+}
+
+// OnDone consumes one runtime completion; wire it to rt.SetOnDone (or
+// call it from the fleet layer's completion path).
+func (b *ContinuousBatcher) OnDone(c runtimes.Completion) {
+	now := c.Done
+	b.inFlight = false
+	batch := b.pending
+	b.pending = nil
+	if b.pendingPF {
+		for _, s := range batch {
+			s.ctx = s.resumeLen
+			if !s.started {
+				s.started = true
+				if b.hooks.FirstToken != nil {
+					b.hooks.FirstToken(s.ID, now)
+				}
+			}
+			b.pool = append(b.pool, s)
+		}
+		b.step(now)
+		return
+	}
+	live := b.pool[:0]
+	for _, s := range b.pool {
+		s.produced++
+		if s.produced >= s.Gen {
+			if b.kv != nil {
+				b.kv.Release(s.ID)
+			}
+			delete(b.byID, s.ID)
+			if b.hooks.Finished != nil {
+				b.hooks.Finished(s.ID, now)
+			}
+			continue
+		}
+		live = append(live, s)
+	}
+	b.pool = live
+	b.step(now)
+}

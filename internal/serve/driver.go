@@ -133,6 +133,15 @@ type Result struct {
 	// "reconfiguring" (time-to-recover, summed over failovers).
 	RecoveryTime time.Duration
 
+	// TTFT/TPOT are the mean time-to-first-token and time-per-output-
+	// token of a continuous-batching run (scenario workload.mode:
+	// continuous); zero for batch-serving runs.
+	TTFT time.Duration
+	TPOT time.Duration
+	// Preemptions counts sequences evicted under KV memory pressure in a
+	// continuous run (paged allocator only).
+	Preemptions int
+
 	// PerRequest holds the serving-side latency decomposition, one entry
 	// per arrival in arrival order (RunPolicy only).
 	PerRequest []RequestLat

@@ -33,6 +33,9 @@ type resultJSON struct {
 	P99Ms          float64 `json:"p99_ms"`
 	MakespanMs     float64 `json:"makespan_ms"`
 	RecoveryMs     float64 `json:"recovery_ms"`
+	TTFTMs         float64 `json:"ttft_ms,omitempty"`
+	TPOTMs         float64 `json:"tpot_ms,omitempty"`
+	Preemptions    int     `json:"preemptions,omitempty"`
 	Goodput        float64 `json:"goodput"`
 	Throughput     float64 `json:"throughput"`
 	ReqThroughput  float64 `json:"req_throughput"`
@@ -63,6 +66,9 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		P99Ms:          toMs(r.P99),
 		MakespanMs:     toMs(r.Makespan),
 		RecoveryMs:     toMs(r.RecoveryTime),
+		TTFTMs:         toMs(r.TTFT),
+		TPOTMs:         toMs(r.TPOT),
+		Preemptions:    r.Preemptions,
 		Goodput:        r.PolicyGoodput(),
 		Throughput:     r.ThroughputBatches(),
 		ReqThroughput:  r.ThroughputRequests(),

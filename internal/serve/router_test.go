@@ -18,10 +18,11 @@ type stubFleet struct {
 	service  time.Duration
 	hooks    RouterHooks
 
-	dead      map[int]bool // replica -> lost-bounce deliveries
-	busy      map[int]bool // replica -> busy-bounce deliveries
-	failLeft  map[int]int  // request -> remaining scripted failures
-	blackhole map[int]bool // replica -> swallow deliveries silently
+	dead      map[int]bool          // replica -> lost-bounce deliveries
+	busy      map[int]bool          // replica -> busy-bounce deliveries
+	failLeft  map[int]int           // request -> remaining scripted failures
+	blackhole map[int]bool          // replica -> swallow deliveries silently
+	slow      map[int]time.Duration // replica -> extra service time
 
 	perReplica map[int]int // dispatch count per replica
 	dispatches int
@@ -37,6 +38,7 @@ func newStubFleet(replicas int) *stubFleet {
 		busy:       map[int]bool{},
 		failLeft:   map[int]int{},
 		blackhole:  map[int]bool{},
+		slow:       map[int]time.Duration{},
 		perReplica: map[int]int{},
 	}
 }
@@ -69,7 +71,7 @@ func (s *stubFleet) Dispatch(rep, req int, w model.Workload) {
 				s.failLeft[req]--
 				status = DispatchFailed
 			}
-			s.eng.After(simclock.Time(s.service+s.latency), func(now simclock.Time) {
+			s.eng.After(simclock.Time(s.service+s.slow[rep]+s.latency), func(now simclock.Time) {
 				s.hooks.Done(rep, req, status, now)
 			})
 		}
@@ -246,6 +248,107 @@ func TestRunFleetFailsParkedBacklogAtDrain(t *testing.T) {
 	}
 	if res.Failed != 5 || res.Completed != 0 {
 		t.Fatalf("%d failed / %d ok, want 5/0", res.Failed, res.Completed)
+	}
+}
+
+// TestRunFleetLateHedgeLoserDropped pins exactly-once completion under
+// hedging: when both copies of a hedged request eventually complete,
+// the first resolves the request and the loser's late notice must be
+// dropped without touching any counter — no double Completed, no
+// phantom latency sample.
+func TestRunFleetLateHedgeLoserDropped(t *testing.T) {
+	f := newStubFleet(2)
+	// Both replicas complete everything, one far slower than the hedge
+	// delay: every request hedges, both copies finish, one is late.
+	f.slow[0] = 40 * time.Millisecond
+	res, err := RunFleet(f, stubArrivals(6, 30*time.Millisecond), stubPolicy(),
+		RouterPolicy{Hedge: 5 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 6 || res.Failed != 0 || res.Shed != 0 {
+		t.Fatalf("%d ok / %d failed / %d shed, want 6/0/0", res.Completed, res.Failed, res.Shed)
+	}
+	if res.Hedges == 0 {
+		t.Fatal("no hedges fired against the slow replica")
+	}
+	// One latency sample per completion: a counted hedge loser would
+	// add a second sample (and RunFleet's internal accounting invariant
+	// would already have errored on a double resolve).
+	if len(res.Latencies) != res.Completed {
+		t.Fatalf("%d latency samples for %d completions", len(res.Latencies), res.Completed)
+	}
+	// The winner defines the latency: every sample must beat the slow
+	// replica's service floor.
+	slowFloor := 2*f.latency + f.service + f.slow[0]
+	for i, lat := range res.Latencies {
+		if lat >= slowFloor {
+			t.Fatalf("latency[%d] = %v: the slow copy's completion won over the hedge", i, lat)
+		}
+	}
+}
+
+// TestRunFleetEvictionSparesLiveHedge pins the hedge/eviction
+// interaction: when a replica dies while a request's hedge copy is
+// still live on a healthy replica, the router must NOT re-dispatch —
+// the live copy carries the request, so no retry is recorded and the
+// request completes exactly once.
+func TestRunFleetEvictionSparesLiveHedge(t *testing.T) {
+	f := newStubFleet(2)
+	// Replica 0 swallows deliveries, so every request it receives —
+	// primary or hedge copy — stays outstanding there until eviction;
+	// the copy on replica 1 is the one that completes.
+	f.blackhole[0] = true
+	f.eng.At(simclock.Time(8*time.Millisecond), func(now simclock.Time) {
+		f.hooks.Evicted(0, now)
+	})
+	res, err := RunFleet(f, stubArrivals(2, time.Millisecond), stubPolicy(),
+		RouterPolicy{Hedge: 3 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 || res.Failed != 0 {
+		t.Fatalf("%d ok / %d failed, want 2/0", res.Completed, res.Failed)
+	}
+	if res.Hedges == 0 {
+		t.Fatal("no hedges fired before the eviction")
+	}
+	// The eviction found every black-holed request still hedged on the
+	// healthy replica: nothing to re-dispatch, nothing to retry.
+	if res.Retries != 0 {
+		t.Fatalf("eviction re-dispatched %d requests whose hedge copies were live", res.Retries)
+	}
+	for _, pr := range res.PerRequest {
+		if pr.Retries != 0 {
+			t.Fatalf("req %d recorded %d retries", pr.Req, pr.Retries)
+		}
+	}
+}
+
+// TestRunFleetHedgeThenPolicyRetry pins the hedge/retry interaction:
+// when both copies of a hedged request fail, the first failure must
+// wait for the surviving copy (no premature retry), and only the
+// second failure spends policy retry budget — one retry, then success.
+func TestRunFleetHedgeThenPolicyRetry(t *testing.T) {
+	f := newStubFleet(2)
+	// The request fails exactly twice: the primary and the hedge copy.
+	// The post-backoff third attempt succeeds.
+	f.failLeft[0] = 2
+	res, err := RunFleet(f, stubArrivals(1, 0), stubPolicy(),
+		RouterPolicy{Hedge: 5 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 || res.Failed != 0 {
+		t.Fatalf("%d ok / %d failed, want 1/0", res.Completed, res.Failed)
+	}
+	if res.Hedges != 1 {
+		t.Fatalf("hedges = %d, want 1", res.Hedges)
+	}
+	// Both copies failing costs ONE policy retry, not two: the first
+	// DispatchFailed deferred to the live hedge copy.
+	if res.Retries != 1 || res.PerRequest[0].Retries != 1 {
+		t.Fatalf("retries = %d (per-request %d), want 1", res.Retries, res.PerRequest[0].Retries)
 	}
 }
 

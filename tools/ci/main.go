@@ -44,13 +44,21 @@
 //     print identical tables and write byte-identical BENCH_fleet.json
 //     artifacts (each parsing as JSON), then a warn-only benchdiff
 //     over the two proves the regression gate reads the fleet artifact
-//  14. scenario acceptance: every scenarios/*.yaml must PASS its
+//  14. a serving smoke + determinism check: `ligerbench -exp serving
+//     -quick` (continuous batching over the paged KV allocator) at
+//     -parallel 1 -shards 1 and -parallel 4 -shards 4 must print
+//     identical tables and write byte-identical BENCH_serving.json
+//     artifacts (each parsing as JSON), then a warn-only benchdiff
+//     over the two proves the regression gate reads the serving
+//     artifact
+//  15. scenario acceptance: every scenarios/*.yaml must PASS its
 //     assertions, the impossible-slo and no-spare-capacity negative
 //     fixtures must FAIL (exit 1) — a gate that cannot reject is not a
-//     gate — and both `scenarios/cascading-failures.yaml` and
-//     `scenarios/fleet-node-loss.yaml` must print byte-identical
+//     gate — and `scenarios/cascading-failures.yaml`,
+//     `scenarios/fleet-node-loss.yaml`, and `scenarios/decode-heavy.yaml`
+//     (the continuous-batching corpus entry) must print byte-identical
 //     reports at -parallel 1 and -parallel 4 -shards 4
-//  15. a stress smoke: `ligersim stress -n 25 -seed 42` twice must
+//  16. a stress smoke: `ligersim stress -n 25 -seed 42` twice must
 //     produce byte-identical aggregate survival reports, plus a small
 //     -race pass (`stress -n 3 -seed 7`) over the randomized fleet
 package main
@@ -137,6 +145,12 @@ func main() {
 	}
 	fmt.Printf("ok   fleet smoke (%v)\n", time.Since(start).Round(time.Millisecond))
 	start = time.Now()
+	if err := servingDeterminism(); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL serving smoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("ok   serving smoke (%v)\n", time.Since(start).Round(time.Millisecond))
+	start = time.Now()
 	if err := scenarioAcceptance(); err != nil {
 		fmt.Fprintf(os.Stderr, "FAIL scenario acceptance: %v\n", err)
 		os.Exit(1)
@@ -205,6 +219,60 @@ func fleetDeterminism() error {
 	return nil
 }
 
+// servingDeterminism runs the continuous-serving sweep at two
+// worker/shard settings and fails unless table output and
+// BENCH_serving.json are byte-identical — iteration-level scheduling
+// over the paged KV allocator may never let the shard schedule change
+// results. A warn-only benchdiff over the two JSONs then proves the
+// regression gate reads the serving artifact cleanly.
+func servingDeterminism() error {
+	tmp, err := os.MkdirTemp("", "ci-serving-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	var outs [][]byte
+	for _, workers := range []string{"1", "4"} {
+		dir := filepath.Join(tmp, "p"+workers)
+		cmd := exec.Command("go", "run", "./cmd/ligerbench",
+			"-exp", "serving", "-quick", "-batches", "25", "-seed", "5",
+			"-parallel", workers, "-shards", workers, "-json", dir)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return fmt.Errorf("-parallel %s: %v", workers, err)
+		}
+		outs = append(outs, stripTimingLines(out))
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		return fmt.Errorf("serving table differs between -parallel 1 and -parallel 4 -shards 4")
+	}
+	var jsons [][]byte
+	for _, workers := range []string{"1", "4"} {
+		buf, err := os.ReadFile(filepath.Join(tmp, "p"+workers, "BENCH_serving.json"))
+		if err != nil {
+			return err
+		}
+		var doc any
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			return fmt.Errorf("-parallel %s BENCH_serving.json is not valid JSON: %v", workers, err)
+		}
+		jsons = append(jsons, buf)
+	}
+	if !bytes.Equal(jsons[0], jsons[1]) {
+		return fmt.Errorf("BENCH_serving.json differs between -parallel 1 and -parallel 4 -shards 4")
+	}
+	cmd := exec.Command("go", "run", "./tools/benchdiff", "-warn",
+		filepath.Join(tmp, "p1", "BENCH_serving.json"),
+		filepath.Join(tmp, "p4", "BENCH_serving.json"))
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("benchdiff: %v", err)
+	}
+	return nil
+}
+
 // scenarioAcceptance is the robustness gate: the whole corpus must
 // pass its assertions, the negative fixtures must fail, and one
 // scenario's report must be byte-identical across -parallel/-shards.
@@ -213,8 +281,8 @@ func scenarioAcceptance() error {
 	if err != nil {
 		return err
 	}
-	if len(corpus) < 8 {
-		return fmt.Errorf("only %d corpus files in scenarios/ (want >= 8)", len(corpus))
+	if len(corpus) < 9 {
+		return fmt.Errorf("only %d corpus files in scenarios/ (want >= 9)", len(corpus))
 	}
 	cmd := exec.Command("go", append([]string{"run", "./cmd/ligersim", "run", "-q"}, corpus...)...)
 	cmd.Stdout = os.Stdout
@@ -240,10 +308,10 @@ func scenarioAcceptance() error {
 			return fmt.Errorf("%s fixture exited 1 without a FAIL verdict:\n%s", fixture, out)
 		}
 	}
-	// Determinism: the flagship chaos scenario and the fleet node-loss
-	// scenario must render the same bytes at any -parallel or -shards
-	// setting.
-	for _, name := range []string{"cascading-failures.yaml", "fleet-node-loss.yaml"} {
+	// Determinism: the flagship chaos scenario, the fleet node-loss
+	// scenario, and the continuous-batching scenario must render the
+	// same bytes at any -parallel or -shards setting.
+	for _, name := range []string{"cascading-failures.yaml", "fleet-node-loss.yaml", "decode-heavy.yaml"} {
 		var reports [][]byte
 		for _, extra := range [][]string{{"-parallel", "1"}, {"-parallel", "4", "-shards", "4"}} {
 			args := append([]string{"run", "./cmd/ligersim", "run"}, extra...)
