@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fmt bench chaos failover fleet serving trace analyze descore scenarios stress
+.PHONY: check build test race vet fmt bench chaos failover fleet serving serving-trace trace analyze descore scenarios stress
 
 check: ## full gate: gofmt + vet + build + race pass + full tests
 	$(GO) run ./tools/ci
@@ -16,10 +16,10 @@ test:
 	$(GO) test ./...
 
 # The concurrency-bearing packages (parallel sweep executor, event
-# engine) plus the fault-injection, deadline/retry, and observability
-# layers get a dedicated -race pass.
+# engine) plus the fault-injection, deadline/retry, serving-telemetry,
+# and observability layers get a dedicated -race pass.
 race:
-	$(GO) test -race ./internal/runner ./internal/simclock ./internal/faults ./internal/serve ./internal/cluster ./internal/trace ./internal/metrics ./internal/analyze
+	$(GO) test -race ./internal/runner ./internal/simclock ./internal/faults ./internal/serve ./internal/cluster ./internal/trace ./internal/metrics ./internal/analyze ./internal/kvcache ./internal/generate
 
 vet:
 	$(GO) vet ./...
@@ -48,10 +48,18 @@ fleet:
 
 # Full-fidelity continuous-serving sweep: arrival rate x decode-pool
 # size x runtime with iteration-level batching over the paged KV
-# allocator; regenerates BENCH_serving.json at the repo root. See
+# allocator; regenerates BENCH_serving.json and the serving-analysis
+# aggregate BENCH_serving_analysis.json at the repo root. See
 # docs/SERVING.md.
 serving:
 	$(GO) run ./cmd/ligerbench -exp serving -json .
+
+# Traced serving demo: one fully traced serving point per runtime —
+# iteration lanes, KV-pressure counters, lifecycle instants as Chrome
+# traces (open in Perfetto) plus serving metrics snapshots and
+# TTFT/TPOT decompositions under ./traces. See docs/OBSERVABILITY.md.
+serving-trace:
+	$(GO) run ./cmd/ligerbench -exp serving -quick -batches 50 -trace-dir traces
 
 # Traced failover demo: one fully traced failure point per runtime,
 # written as Chrome traces (open in Perfetto) plus metrics snapshots

@@ -3,16 +3,21 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"time"
 
+	"liger/internal/analyze"
 	"liger/internal/cluster"
 	"liger/internal/core"
 	"liger/internal/generate"
 	"liger/internal/hw"
 	"liger/internal/kvcache"
 	"liger/internal/liger"
+	"liger/internal/metrics"
 	"liger/internal/model"
 	"liger/internal/serve"
 	"liger/internal/stats"
+	"liger/internal/trace"
 )
 
 // continuousOpts carries the -continuous / -disagg flags from main.
@@ -32,6 +37,60 @@ type continuousOpts struct {
 	Prefill int
 	Decode  int
 	Network string
+	// ServingTrace names the Chrome-trace output file; Report prints the
+	// serving analysis; MetricsOut writes a serving metrics snapshot
+	// (windowed by Window). Any of them switches serving tracing on.
+	ServingTrace string
+	Report       bool
+	MetricsOut   string
+	Window       time.Duration
+}
+
+// traced reports whether the run needs a serving recorder.
+func (co continuousOpts) traced() bool {
+	return co.ServingTrace != "" || co.Report || co.MetricsOut != ""
+}
+
+// writeServingOutputs renders the recorded serving telemetry: the
+// analysis report on stdout, then the Chrome trace and the metrics
+// snapshot files. All three are byte-deterministic at any -shards.
+func writeServingOutputs(rec *trace.ServingRecorder, runtime string, co continuousOpts) {
+	if rec == nil {
+		return
+	}
+	rec.Normalize()
+	if co.Report {
+		fmt.Println()
+		if err := analyze.AnalyzeServing(rec).WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if co.ServingTrace != "" {
+		f, err := os.Create(co.ServingTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace     : wrote %s\n", co.ServingTrace)
+	}
+	if co.MetricsOut != "" {
+		f, err := os.Create(co.MetricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := metrics.FromServing(runtime, rec, metrics.Options{Window: co.Window}).WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics   : wrote %s\n", co.MetricsOut)
+	}
 }
 
 // runContinuousCLI serves a generative workload with iteration-level
@@ -49,6 +108,10 @@ func runContinuousCLI(node hw.Node, spec model.Spec, kind core.RuntimeKind, lcfg
 	if err != nil {
 		log.Fatal(err)
 	}
+	var rec *trace.ServingRecorder
+	if co.traced() {
+		rec = trace.NewServingRecorder()
+	}
 	maxTokens := co.Prompt + co.Gen
 	var kv serve.KVAllocator
 	var kvLabel string
@@ -56,6 +119,9 @@ func runContinuousCLI(node hw.Node, spec model.Spec, kind core.RuntimeKind, lcfg
 		pm, err := kvcache.NewPaged(node, spec, co.Pool, maxTokens, kvcache.PagedConfig{})
 		if err != nil {
 			log.Fatal(err)
+		}
+		if rec != nil {
+			pm.SetTracer(rec, eng.Clock().Now)
 		}
 		kv = pm
 		kvLabel = "paged"
@@ -67,7 +133,7 @@ func runContinuousCLI(node hw.Node, spec model.Spec, kind core.RuntimeKind, lcfg
 		kv = m
 		kvLabel = "reserved"
 	}
-	res, err := generate.RunContinuous(eng.Clock(), eng.Runtime(), generate.ContinuousConfig{
+	ccfg := generate.ContinuousConfig{
 		Sequences:  sequences,
 		RatePerSec: rate,
 		PromptLen:  co.Prompt,
@@ -75,7 +141,11 @@ func runContinuousCLI(node hw.Node, spec model.Spec, kind core.RuntimeKind, lcfg
 		MaxPool:    co.Pool,
 		KV:         kv,
 		Seed:       seed,
-	})
+	}
+	if rec != nil {
+		ccfg.Tracer = rec
+	}
+	res, err := generate.RunContinuous(eng.Clock(), eng.Runtime(), ccfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,6 +156,7 @@ func runContinuousCLI(node hw.Node, spec model.Spec, kind core.RuntimeKind, lcfg
 	fmt.Printf("serving   : continuous, %d sequences (prompt %d + gen %d), poisson rate %.2f/s, pool %d, kv %s\n",
 		sequences, co.Prompt, co.Gen, rate, co.Pool, kvLabel)
 	printContinuousMetrics(res)
+	writeServingOutputs(rec, fmt.Sprint(kind), co)
 }
 
 // runDisaggCLI serves the same workload on disaggregated prefill and
@@ -112,6 +183,7 @@ func runDisaggCLI(node hw.Node, spec model.Spec, kind core.RuntimeKind, lcfg lig
 		MaxPool:      co.Pool,
 		Seed:         seed,
 		Workers:      shards,
+		Trace:        co.traced(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -138,6 +210,7 @@ func runDisaggCLI(node hw.Node, spec model.Spec, kind core.RuntimeKind, lcfg lig
 		RecomputedTokens: res.RecomputedTokens,
 		Makespan:         res.Makespan,
 	})
+	writeServingOutputs(d.ServingTrace(), fmt.Sprint(kind), co)
 }
 
 func printContinuousMetrics(res generate.ContinuousResult) {

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"liger/internal/cluster"
@@ -11,6 +12,7 @@ import (
 	"liger/internal/liger"
 	"liger/internal/model"
 	"liger/internal/serve"
+	"liger/internal/trace"
 )
 
 // fleetOpts carries the -nodes fleet flags from main. When Nodes > 0
@@ -23,6 +25,9 @@ type fleetOpts struct {
 	Probe   time.Duration
 	Hedge   time.Duration
 	Retries int
+	// ServingTrace names a Chrome-trace file for the router's dispatch
+	// decisions (the fleet path has no iteration or KV lanes).
+	ServingTrace string
 }
 
 // runFleetCLI serves the generated trace on a replicated fleet and
@@ -61,10 +66,16 @@ func runFleetCLI(node hw.Node, spec model.Spec, kind core.RuntimeKind, lcfg lige
 		pol.Backoff = 2 * time.Millisecond
 		pol.BackoffCap = 32 * time.Millisecond
 	}
-	res, err := serve.RunFleet(f, arrivals, pol, serve.RouterPolicy{
+	rp := serve.RouterPolicy{
 		Hedge: fo.Hedge,
 		Seed:  seed,
-	})
+	}
+	var rec *trace.ServingRecorder
+	if fo.ServingTrace != "" {
+		rec = trace.NewServingRecorder()
+		rp.Tracer = rec
+	}
+	res, err := serve.RunFleet(f, arrivals, pol, rp)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,5 +97,19 @@ func runFleetCLI(node hw.Node, spec model.Spec, kind core.RuntimeKind, lcfg lige
 	if deadline > 0 {
 		fmt.Printf("SLO %v    : %.1f%% missed, goodput %.3f batches/s\n",
 			deadline, 100*res.SLOMissRate(), res.PolicyGoodput())
+	}
+	if rec != nil {
+		rec.Normalize()
+		out, err := os.Create(fo.ServingTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.WriteChromeTrace(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace     : wrote %s\n", fo.ServingTrace)
 	}
 }

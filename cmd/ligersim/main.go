@@ -50,7 +50,7 @@ func main() {
 		inflight   = flag.Int("inflight", 4, "Liger processing-list size")
 		syncMode   = flag.String("sync", "hybrid", "Liger sync mode: hybrid or cpu-gpu (§3.4)")
 		traceOut   = flag.String("trace", "", "write a Chrome trace JSON of kernel execution to this file")
-		metricsOut = flag.String("metrics", "", "write a metrics JSON snapshot (counters, histograms, per-request latency decomposition) to this file")
+		metricsOut = flag.String("metrics", "", "write a metrics JSON snapshot (counters, histograms, per-request latency decomposition; with -continuous/-disagg: serving counters, TTFT/TPOT histograms, windowed KV/pool series) to this file")
 		journalN   = flag.Int("journal", 0, "print the last N Liger scheduling rounds")
 		traceIn    = flag.String("tracein", "", "replay a JSON trace file instead of generating one")
 		traceSave  = flag.String("tracesave", "", "save the generated trace as JSON before serving")
@@ -74,6 +74,8 @@ func main() {
 		disagg     = flag.Bool("disagg", false, "disaggregate prefill and decode onto separate node pools over -network (implies -continuous)")
 		prefillN   = flag.Int("prefillnodes", 1, "prefill pool size for -disagg")
 		decodeN    = flag.Int("decodenodes", 1, "decode pool size for -disagg")
+		srvTrace   = flag.String("serving-trace", "", "write a Chrome trace JSON of serving activity (iteration lanes per pool, KV-pressure counters, router decisions, KV-handoff flows) to this file (with -continuous/-disagg/-nodes)")
+		srvReport  = flag.Bool("serving-report", false, "print the serving analysis: TTFT/TPOT decomposition, per-pool load, KV-pressure episodes (with -continuous/-disagg)")
 	)
 	flag.Parse()
 
@@ -112,14 +114,18 @@ func main() {
 
 	if *continuous || *disagg {
 		runContinuousCLI(node, spec, kind, lcfg, *batches, *rate, *seed, *shards, continuousOpts{
-			Prompt:  *promptLen,
-			Gen:     *genTokens,
-			Pool:    *pool,
-			Paged:   *paged,
-			Disagg:  *disagg,
-			Prefill: *prefillN,
-			Decode:  *decodeN,
-			Network: *network,
+			Prompt:       *promptLen,
+			Gen:          *genTokens,
+			Pool:         *pool,
+			Paged:        *paged,
+			Disagg:       *disagg,
+			Prefill:      *prefillN,
+			Decode:       *decodeN,
+			Network:      *network,
+			ServingTrace: *srvTrace,
+			Report:       *srvReport,
+			MetricsOut:   *metricsOut,
+			Window:       *window,
 		})
 		return
 	}
@@ -205,12 +211,13 @@ func main() {
 
 	if *nodes > 0 {
 		runFleetCLI(node, spec, kind, lcfg, arrivals, *deadline, fleetOpts{
-			Nodes:   *nodes,
-			Spares:  *spares,
-			Network: *network,
-			Probe:   *probe,
-			Hedge:   *hedge,
-			Retries: *retries,
+			Nodes:        *nodes,
+			Spares:       *spares,
+			Network:      *network,
+			Probe:        *probe,
+			Hedge:        *hedge,
+			Retries:      *retries,
+			ServingTrace: *srvTrace,
 		}, *shards, *seed)
 		return
 	}

@@ -19,6 +19,7 @@ import (
 	"liger/internal/parallel"
 	"liger/internal/runner"
 	"liger/internal/stats"
+	"liger/internal/trace"
 )
 
 // ServingJSONName is the machine-readable artifact of the continuous-
@@ -110,8 +111,10 @@ func (s servingSetup) points() []servingPoint {
 }
 
 // runServingPoint serves one point: continuous batching over the paged
-// KV allocator on a single node.
-func runServingPoint(s servingSetup, pt servingPoint, cfg RunConfig) (generate.ContinuousResult, error) {
+// KV allocator on a single node. A non-nil rec observes the batcher's
+// iterations, sequence lifecycles and KV block events (tracing never
+// changes results).
+func runServingPoint(s servingSetup, pt servingPoint, cfg RunConfig, rec *trace.ServingRecorder) (generate.ContinuousResult, error) {
 	opts := core.Options{Node: s.node, Model: s.spec, Runtime: pt.kind, Shards: cfg.Shards}
 	if pt.kind == core.KindLiger {
 		lc := liger.DefaultConfig(s.nodeKey)
@@ -127,7 +130,7 @@ func runServingPoint(s servingSetup, pt servingPoint, cfg RunConfig) (generate.C
 	if err != nil {
 		return generate.ContinuousResult{}, err
 	}
-	return generate.RunContinuous(eng.Clock(), eng.Runtime(), generate.ContinuousConfig{
+	ccfg := generate.ContinuousConfig{
 		Sequences:  cfg.Batches,
 		RatePerSec: pt.frac * s.capacity,
 		PromptLen:  s.prompt,
@@ -135,7 +138,12 @@ func runServingPoint(s servingSetup, pt servingPoint, cfg RunConfig) (generate.C
 		MaxPool:    pt.pool,
 		KV:         kv,
 		Seed:       cfg.Seed,
-	})
+	}
+	if rec != nil {
+		ccfg.Tracer = rec
+		kv.SetTracer(rec, eng.Clock().Now)
+	}
+	return generate.RunContinuous(eng.Clock(), eng.Runtime(), ccfg)
 }
 
 // servingRow is one JSON record of the sweep.
@@ -152,7 +160,10 @@ type servingRow struct {
 	MeanPool    float64 `json:"mean_pool"`
 	Iterations  int     `json:"iterations"`
 	Preemptions int     `json:"preemptions"`
-	Completed   int     `json:"completed"`
+	// RecomputedTokens is the prefill work repaid by preempted sequences'
+	// resumes (0 when nothing was evicted).
+	RecomputedTokens int `json:"recomputed_tokens"`
+	Completed        int `json:"completed"`
 }
 
 // servingReport is the full artifact: per-point rows plus the headline
@@ -181,7 +192,7 @@ type servingReport struct {
 func buildServingReport(s servingSetup, cfg RunConfig) (servingReport, []servingPoint, error) {
 	pts := s.points()
 	results, err := runner.Map(cfg.Parallel, len(pts), func(i int) (generate.ContinuousResult, error) {
-		return runServingPoint(s, pts[i], cfg)
+		return runServingPoint(s, pts[i], cfg, nil)
 	})
 	if err != nil {
 		return servingReport{}, nil, err
@@ -195,17 +206,18 @@ func buildServingReport(s servingSetup, cfg RunConfig) (servingReport, []serving
 	for i, pt := range pts {
 		res := results[i]
 		rep.Rows = append(rep.Rows, servingRow{
-			Runtime:     pt.kind.String(),
-			RateFrac:    pt.frac,
-			Pool:        pt.pool,
-			TTFTMs:      float64(res.AvgTTFT()) / float64(time.Millisecond),
-			TPOTMs:      float64(res.AvgTPOT()) / float64(time.Millisecond),
-			P99Ms:       float64(stats.Percentile(res.Total, 99)) / float64(time.Millisecond),
-			MakespanMs:  float64(res.Makespan) / float64(time.Millisecond),
-			MeanPool:    res.MeanPool,
-			Iterations:  res.Iterations,
-			Preemptions: res.Preemptions,
-			Completed:   res.Conversations,
+			Runtime:          pt.kind.String(),
+			RateFrac:         pt.frac,
+			Pool:             pt.pool,
+			TTFTMs:           float64(res.AvgTTFT()) / float64(time.Millisecond),
+			TPOTMs:           float64(res.AvgTPOT()) / float64(time.Millisecond),
+			P99Ms:            float64(stats.Percentile(res.Total, 99)) / float64(time.Millisecond),
+			MakespanMs:       float64(res.Makespan) / float64(time.Millisecond),
+			MeanPool:         res.MeanPool,
+			Iterations:       res.Iterations,
+			Preemptions:      res.Preemptions,
+			RecomputedTokens: res.RecomputedTokens,
+			Completed:        res.Conversations,
 		})
 		sumTPOT[pt.kind] += float64(res.AvgTPOT()) / float64(time.Millisecond)
 		sumTTFT[pt.kind] += float64(res.AvgTTFT()) / float64(time.Millisecond)
@@ -255,7 +267,10 @@ func RunServing(cfg RunConfig, w io.Writer) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	return writeServingJSON(cfg, rep)
+	if err := writeServingJSON(cfg, rep); err != nil {
+		return err
+	}
+	return writeServingObservability(s, cfg, w)
 }
 
 // writeServingJSON writes the machine-readable artifact when

@@ -10,12 +10,14 @@ import (
 )
 
 // TestServingOutputDeterministic pins the continuous-serving sweep's
-// determinism promise: table AND JSON artifact are byte-identical
-// across invocations, sweep-executor worker counts, and executor shard
-// settings inside each simulation.
+// determinism promise: table AND every artifact — the sweep JSON, the
+// serving-analysis aggregate, and the per-runtime serving trace/
+// metrics/decomposition files — are byte-identical across invocations,
+// sweep-executor worker counts, and executor shard settings inside
+// each simulation.
 func TestServingOutputDeterministic(t *testing.T) {
 	dirSerial, dirPar := t.TempDir(), t.TempDir()
-	cfg := RunConfig{Batches: 25, Quick: true, Seed: 5, Parallel: 0, Shards: 1, JSONDir: dirSerial}
+	cfg := RunConfig{Batches: 25, Quick: true, Seed: 5, Parallel: 0, Shards: 1, JSONDir: dirSerial, TraceDir: dirSerial}
 	var first, again, par bytes.Buffer
 	if err := RunServing(cfg, &first); err != nil {
 		t.Fatal(err)
@@ -29,26 +31,62 @@ func TestServingOutputDeterministic(t *testing.T) {
 	cfg.Parallel = 4
 	cfg.Shards = 4
 	cfg.JSONDir = dirPar
+	cfg.TraceDir = dirPar
 	if err := RunServing(cfg, &par); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(first.Bytes(), par.Bytes()) {
+	// The traced-point lines embed the output directory, which differs
+	// between the two runs by construction; everything else must match.
+	stripTraced := func(b []byte) []byte {
+		var kept [][]byte
+		for _, line := range bytes.Split(b, []byte("\n")) {
+			if bytes.HasPrefix(bytes.TrimSpace(line), []byte("traced:")) {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return bytes.Join(kept, []byte("\n"))
+	}
+	if !bytes.Equal(stripTraced(first.Bytes()), stripTraced(par.Bytes())) {
 		t.Fatalf("serving output differs between serial and -parallel 4 -shards 4:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			first.String(), par.String())
 	}
-	js1, err := os.ReadFile(filepath.Join(dirSerial, ServingJSONName))
+	names, err := filepath.Glob(filepath.Join(dirSerial, "*"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	js2, err := os.ReadFile(filepath.Join(dirPar, ServingJSONName))
-	if err != nil {
-		t.Fatal(err)
+	// Sweep JSON + analysis aggregate + a trace/metrics/serving triple
+	// per runtime.
+	if len(names) < 11 {
+		t.Fatalf("serial run wrote %d artifacts, want >= 11: %v", len(names), names)
 	}
-	if !bytes.Equal(js1, js2) {
-		t.Fatal("BENCH_serving.json differs between worker settings")
+	sawAnalysis := false
+	for _, name := range names {
+		base := filepath.Base(name)
+		if base == ServingAnalysisJSONName {
+			sawAnalysis = true
+		}
+		js1, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js2, err := os.ReadFile(filepath.Join(dirPar, base))
+		if err != nil {
+			t.Fatalf("artifact missing from the parallel run: %v", err)
+		}
+		if !bytes.Equal(js1, js2) {
+			t.Fatalf("%s differs between worker settings", base)
+		}
+		var doc any
+		if err := json.Unmarshal(js1, &doc); err != nil {
+			t.Fatalf("%s is not valid JSON: %v", base, err)
+		}
+	}
+	if !sawAnalysis {
+		t.Fatalf("no %s among %v", ServingAnalysisJSONName, names)
 	}
 	out := first.String()
-	for _, want := range []string{"pool", "ttft", "tpot", "Liger", "Intra-Op", "Inter-Op", "headline"} {
+	for _, want := range []string{"pool", "ttft", "tpot", "Liger", "Intra-Op", "Inter-Op", "headline", "traced: serving"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("%q missing from the report:\n%s", want, out)
 		}

@@ -15,6 +15,7 @@ import (
 	"liger/internal/runtimes"
 	"liger/internal/serve"
 	"liger/internal/simclock"
+	"liger/internal/trace"
 )
 
 // Disaggregated serving: prefill and decode run on separate node
@@ -65,6 +66,12 @@ type DisaggConfig struct {
 	Workers int
 	// IgnoreMemory skips placement checks and KV admission control.
 	IgnoreMemory bool
+	// Trace arms serving-layer telemetry: one trace.ServingRecorder per
+	// shard (decode batcher iterations, sequence lifecycles, paged-KV
+	// transitions, frontend KV-handoff spans), merged deterministically
+	// after Run and exposed via ServingTrace. Recording never perturbs
+	// the simulation.
+	Trace bool
 }
 
 // Validate reports bad configurations.
@@ -105,6 +112,9 @@ type DisaggResult struct {
 	// total cache bytes that crossed the network.
 	KVTransfers     int
 	KVTransferBytes int64
+	// KVPeakBlocks is the highest per-node paged-allocator block
+	// high-water mark across the decode pool (0 with IgnoreMemory).
+	KVPeakBlocks int
 }
 
 // prefillNode is one prefill-pool node (shard idx+1).
@@ -124,6 +134,8 @@ type decodeNode struct {
 	eng   *simclock.Engine
 	kv    *kvcache.PagedManager
 	cb    *serve.ContinuousBatcher
+	// rec is the node's shard-local serving recorder (nil untraced).
+	rec *trace.ServingRecorder
 }
 
 // Disagg is a runnable disaggregated simulation; single-shot.
@@ -135,6 +147,11 @@ type Disagg struct {
 
 	prefills []*prefillNode
 	decodes  []*decodeNode
+
+	// frontRec is the frontend shard's serving recorder (nil untraced):
+	// system arrival / first-token / finish lifecycle instants plus the
+	// KV-handoff spans the frontend prices.
+	frontRec *trace.ServingRecorder
 
 	// Frontend-owned routing and bookkeeping.
 	prefillLoad []int
@@ -180,6 +197,10 @@ func NewDisagg(cfg DisaggConfig) (*Disagg, error) {
 		finished:    make([]simclock.Time, cfg.Sequences),
 	}
 	d.front = d.sh.Shard(0)
+	if cfg.Trace {
+		d.frontRec = trace.NewServingRecorder()
+		d.frontRec.SetPool(-1)
+	}
 
 	newEngine := func(shard int) (*core.Engine, error) {
 		return core.NewEngine(core.Options{
@@ -233,6 +254,14 @@ func NewDisagg(cfg DisaggConfig) (*Disagg, error) {
 		}
 		eng.Runtime().SetOnDone(cb.OnDone)
 		n.cb = cb
+		if cfg.Trace {
+			n.rec = trace.NewServingRecorder()
+			n.rec.SetPool(i)
+			cb.SetTracer(n.rec, i)
+			if n.kv != nil {
+				n.kv.SetTracer(n.rec, n.eng.Now)
+			}
+		}
 		d.decodes = append(d.decodes, n)
 	}
 	d.armArrivals()
@@ -259,6 +288,11 @@ func (d *Disagg) armArrivals() {
 		seq := i
 		d.front.At(at, func(now simclock.Time) {
 			d.arrived[seq] = now
+			if d.frontRec != nil {
+				d.frontRec.SeqEvent(serve.SeqEvent{
+					Pool: -1, Seq: seq, Kind: serve.SeqArrive, At: now, Tokens: d.cfg.PromptLen,
+				})
+			}
 			d.routePrefill(seq, now)
 		})
 		at += time.Duration(rng.ExpFloat64() * float64(gap))
@@ -312,6 +346,17 @@ func (d *Disagg) prefillDone(pIdx, seq int, now simclock.Time) {
 	// Transfer includes one network latency, so the post clears the
 	// lookahead window by construction.
 	at := now + simclock.Time(d.cfg.Network.Transfer(bytes))
+	if d.frontRec != nil {
+		// The prefill-completion notice is the sequence's first-token
+		// instant (the TTFT stamp); the handoff span prices the cache
+		// transfer from the prefill node to the chosen decode pool.
+		d.frontRec.SeqEvent(serve.SeqEvent{
+			Pool: -1, Seq: seq, Kind: serve.SeqPrefillEnd, At: now, Tokens: d.cfg.PromptLen,
+		})
+		d.frontRec.KVHandoff(serve.KVHandoff{
+			Seq: seq, Req: seq, From: pIdx, To: best, Bytes: bytes, Start: now, End: at,
+		})
+	}
 	d.sh.Post(0, n.shard, at, func(now simclock.Time) {
 		n.cb.Add(serve.GenSeq{
 			ID:        seq,
@@ -328,6 +373,11 @@ func (d *Disagg) seqFinished(nodeIdx, seq int, now simclock.Time) {
 	d.decodeLoad[nodeIdx]--
 	d.finished[seq] = now
 	d.completed++
+	if d.frontRec != nil {
+		d.frontRec.SeqEvent(serve.SeqEvent{
+			Pool: -1, Seq: seq, Kind: serve.SeqFinish, At: now, Tokens: d.cfg.GenTokens,
+		})
+	}
 }
 
 // Run executes the simulation to completion and aggregates the result.
@@ -365,6 +415,9 @@ func (d *Disagg) Run() (DisaggResult, error) {
 		poolSum += float64(n.cb.PoolSum)
 		res.Preemptions += n.cb.Preemptions
 		res.RecomputedTokens += n.cb.RecomputedTokens
+		if n.kv != nil && n.kv.PeakUsedBlocks() > res.KVPeakBlocks {
+			res.KVPeakBlocks = n.kv.PeakUsedBlocks()
+		}
 	}
 	if res.Iterations > 0 {
 		res.MeanPool = poolSum / float64(res.Iterations)
@@ -376,3 +429,23 @@ func (d *Disagg) Run() (DisaggResult, error) {
 
 // Stats exposes the windowed-execution counters for diagnostics.
 func (d *Disagg) Stats() simclock.ShardStats { return d.sh.Stats() }
+
+// ServingTrace merges the per-shard recorders into one normalized
+// serving trace (nil unless DisaggConfig.Trace). Call after Run: the
+// merge order is fixed (frontend, then decode pools by index) and
+// every stream is stably time-sorted, so the result is byte-
+// deterministic at any Workers value.
+func (d *Disagg) ServingTrace() *trace.ServingRecorder {
+	if d.frontRec == nil {
+		return nil
+	}
+	merged := trace.NewServingRecorder()
+	merged.Merge(d.frontRec)
+	for _, n := range d.decodes {
+		if n.rec != nil {
+			merged.Merge(n.rec)
+		}
+	}
+	merged.Normalize()
+	return merged
+}

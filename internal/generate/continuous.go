@@ -38,6 +38,12 @@ type ContinuousConfig struct {
 	KV serve.KVAllocator
 	// Seed jitters arrivals (Poisson).
 	Seed int64
+	// Tracer, if non-nil, observes the batcher's iterations and sequence
+	// lifecycles (trace.ServingRecorder implements it along with the
+	// other serving extensions). The caller wires a paged allocator's
+	// own tracer separately (kvcache.PagedManager.SetTracer) since KV
+	// may be any allocator. Tracing never perturbs the simulation.
+	Tracer serve.ServingTracer
 }
 
 // Validate reports bad configurations.
@@ -94,6 +100,9 @@ func RunContinuous(eng *simclock.Engine, rt runtimes.Runtime, cfg ContinuousConf
 	})
 	if err != nil {
 		return res, err
+	}
+	if cfg.Tracer != nil {
+		cb.SetTracer(cfg.Tracer, 0)
 	}
 	rt.SetOnDone(cb.OnDone)
 

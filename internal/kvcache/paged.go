@@ -6,6 +6,7 @@ import (
 
 	"liger/internal/hw"
 	"liger/internal/model"
+	"liger/internal/simclock"
 )
 
 // Paged allocation (vLLM-style): the KV budget is carved into
@@ -60,6 +61,12 @@ type PagedManager struct {
 
 	violations  violations
 	preemptions int
+
+	// tracer/now observe block transitions (SetTracer); peakUsed is the
+	// allocation high-water mark in blocks.
+	tracer   Tracer
+	now      func() simclock.Time
+	peakUsed int
 }
 
 // NewPaged sizes a paged allocator with the same budget rule as New.
@@ -186,6 +193,7 @@ func (m *PagedManager) Admit(seqID, promptTokens int) error {
 	}
 	m.seqs[seqID] = s
 	m.order = append(m.order, seqID)
+	m.emit(KVAdmit, seqID, need, promptTokens)
 	return nil
 }
 
@@ -197,13 +205,18 @@ func (m *PagedManager) Extend(seqID int) error {
 	if !ok {
 		return fmt.Errorf("kvcache: sequence %d not admitted", seqID)
 	}
+	grew := false
 	if s.tokens+1 > len(s.blocks)*m.blockTokens {
 		if len(m.free) == 0 {
 			return fmt.Errorf("%w: extending sequence %d at %d tokens", ErrNoFreeBlocks, seqID, s.tokens)
 		}
 		s.blocks = append(s.blocks, m.pop())
+		grew = true
 	}
 	s.tokens++
+	if grew {
+		m.emit(KVExtend, seqID, 1, s.tokens)
+	}
 	return nil
 }
 
@@ -215,7 +228,9 @@ func (m *PagedManager) Release(seqID int) {
 		m.violations.record(fmt.Errorf("kvcache: release of unknown sequence %d (double release?)", seqID))
 		return
 	}
+	tokens, freed := s.tokens, len(s.blocks)
 	m.reclaim(seqID, s)
+	m.emit(KVRelease, seqID, -freed, tokens)
 }
 
 // Preempt evicts the lowest-priority (most recently admitted) live
@@ -229,8 +244,10 @@ func (m *PagedManager) Preempt() (seqID, tokens int, ok bool) {
 	seqID = m.order[len(m.order)-1]
 	s := m.seqs[seqID]
 	tokens = s.tokens
+	freed := len(s.blocks)
 	m.reclaim(seqID, s)
 	m.preemptions++
+	m.emit(KVPreempt, seqID, -freed, tokens)
 	return seqID, tokens, true
 }
 

@@ -1,0 +1,330 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"liger/internal/kvcache"
+	"liger/internal/serve"
+	"liger/internal/trace"
+)
+
+// Serving-layer metrics: a snapshot distilled from a
+// trace.ServingRecorder rather than from a device trace. The recorder
+// holds the batcher's iteration records, per-sequence lifecycle events,
+// KV block events, router decisions and KV handoffs; this file folds
+// them into the same Counters/Gauges/Histograms shape as Snapshot plus
+// a serving-specific windowed time-series (per-pool utilization, KV
+// occupancy, pool size, preemption rate, shed/hedge counts).
+
+// ServingWindow is one fixed-width bucket of the serving time-series.
+type ServingWindow struct {
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// Iterations counts decode iterations ending in the window;
+	// MeanPool is their average batch size (0 when none ended).
+	Iterations int     `json:"iterations"`
+	MeanPool   float64 `json:"mean_pool"`
+	// Preemptions counts sequences evicted in the window; Sheds and
+	// Hedges count the router's load-shed and hedge decisions.
+	Preemptions int `json:"preemptions"`
+	Sheds       int `json:"sheds"`
+	Hedges      int `json:"hedges"`
+	// KVPeakBlocks is the highest block occupancy observed in the
+	// window (carried forward from the last event when the window has
+	// none, so the series never drops to zero between events).
+	KVPeakBlocks int `json:"kv_peak_blocks"`
+	// Utilization maps pool_<i> to the share of the window that pool
+	// spent executing iterations.
+	Utilization map[string]float64 `json:"utilization,omitempty"`
+}
+
+// ServingSnapshot is the serving-layer analogue of Snapshot.
+type ServingSnapshot struct {
+	Runtime    string               `json:"runtime,omitempty"`
+	Counters   map[string]int64     `json:"counters"`
+	Gauges     map[string]float64   `json:"gauges"`
+	Histograms map[string]Histogram `json:"histograms"`
+	WindowNS   int64                `json:"window_ns,omitempty"`
+	Windows    []ServingWindow      `json:"windows,omitempty"`
+}
+
+// FromServing distills a serving recorder into a snapshot. The
+// recorder is normalized first, so the result is byte-deterministic
+// regardless of how many workers or shards produced the events. When
+// opts.Window is set the windowed time-series is appended.
+func FromServing(runtime string, rec *trace.ServingRecorder, opts Options) *ServingSnapshot {
+	s := &ServingSnapshot{
+		Runtime:    runtime,
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]Histogram{},
+	}
+	if rec == nil {
+		return s
+	}
+	rec.Normalize()
+
+	// Iteration stream: counts, pool-size gauge, per-pool busy time.
+	poolSum, decodes := 0, 0
+	for _, it := range rec.Iterations() {
+		if it.Prefill {
+			s.Counters["prefill_batches"]++
+		} else {
+			s.Counters["iterations"]++
+			poolSum += it.Batch
+			decodes++
+		}
+		s.Counters["admitted"] += int64(it.Admitted)
+		s.Counters["retired"] += int64(it.Retired)
+	}
+	if decodes > 0 {
+		s.Gauges["mean_pool"] = float64(poolSum) / float64(decodes)
+	}
+
+	// KV stream: block accounting and recompute obligations.
+	peak, total := 0, 0
+	for _, e := range rec.KVEvents() {
+		switch e.Kind {
+		case kvcache.KVAdmit:
+			s.Counters["kv_admits"]++
+		case kvcache.KVExtend:
+			s.Counters["kv_extends"]++
+		case kvcache.KVRelease:
+			s.Counters["kv_releases"]++
+		case kvcache.KVPreempt:
+			s.Counters["kv_preemptions"]++
+			s.Counters["recomputed_tokens"] += int64(e.Tokens)
+		}
+		if e.Used > peak {
+			peak = e.Used
+		}
+		if t := e.Used + e.Free; t > total {
+			total = t
+		}
+	}
+	if peak > 0 {
+		s.Gauges["kv_peak_blocks"] = float64(peak)
+	}
+	if total > 0 {
+		s.Gauges["kv_total_blocks"] = float64(total)
+	}
+
+	// Lifecycle stream: preemption count plus per-request latency
+	// histograms (arrival -> first prefill completion -> last finish).
+	type seqTimes struct {
+		arrive, firstTok, finish time.Duration
+		gen                      int
+		sawArrive, sawTok, done  bool
+	}
+	seqs := map[int]*seqTimes{}
+	at := func(id int) *seqTimes {
+		st := seqs[id]
+		if st == nil {
+			st = &seqTimes{}
+			seqs[id] = st
+		}
+		return st
+	}
+	for _, ev := range rec.SeqEvents() {
+		st := at(ev.Seq)
+		switch ev.Kind {
+		case serve.SeqArrive:
+			if !st.sawArrive {
+				st.arrive, st.sawArrive = time.Duration(ev.At), true
+			}
+		case serve.SeqPrefillEnd:
+			if !st.sawTok {
+				st.firstTok, st.sawTok = time.Duration(ev.At), true
+			}
+		case serve.SeqPreempt:
+			s.Counters["preemptions"]++
+		case serve.SeqFinish:
+			st.finish, st.gen, st.done = time.Duration(ev.At), ev.Tokens, true
+		}
+	}
+	ids := make([]int, 0, len(seqs))
+	for id, st := range seqs {
+		if st.done {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	var ttfts, tpots, totals []time.Duration
+	for _, id := range ids {
+		st := seqs[id]
+		s.Counters["requests"]++
+		if st.sawArrive && st.sawTok {
+			ttfts = append(ttfts, st.firstTok-st.arrive)
+			if st.gen > 0 {
+				tpots = append(tpots, (st.finish-st.firstTok)/time.Duration(st.gen))
+			}
+		}
+		if st.sawArrive {
+			totals = append(totals, st.finish-st.arrive)
+		}
+	}
+	if len(ttfts) > 0 {
+		s.Histograms["ttft"] = summarize(ttfts)
+	}
+	if len(tpots) > 0 {
+		s.Histograms["tpot"] = summarize(tpots)
+	}
+	if len(totals) > 0 {
+		s.Histograms["total"] = summarize(totals)
+	}
+
+	// Router and handoff streams.
+	for _, d := range rec.RouterDecisions() {
+		s.Counters["router_"+d.Kind]++
+	}
+	for _, h := range rec.KVHandoffs() {
+		s.Counters["handoffs"]++
+		s.Counters["handoff_bytes"] += h.Bytes
+	}
+
+	if opts.Window > 0 {
+		s.WindowNS = opts.Window.Nanoseconds()
+		s.Windows = servingWindows(rec, opts.Window)
+	}
+	return s
+}
+
+// servingWindows cuts the recorded streams into fixed-width buckets.
+func servingWindows(rec *trace.ServingRecorder, width time.Duration) []ServingWindow {
+	var span time.Duration
+	grow := func(t time.Duration) {
+		if t > span {
+			span = t
+		}
+	}
+	for _, it := range rec.Iterations() {
+		grow(time.Duration(it.End))
+	}
+	for _, ev := range rec.SeqEvents() {
+		grow(time.Duration(ev.At))
+	}
+	for _, d := range rec.RouterDecisions() {
+		grow(time.Duration(d.At))
+	}
+	for _, h := range rec.KVHandoffs() {
+		grow(time.Duration(h.End))
+	}
+	if span <= 0 {
+		return nil
+	}
+	n := int((span + width - 1) / width)
+	ws := make([]ServingWindow, n)
+	for i := range ws {
+		ws[i].StartNS = int64(i) * width.Nanoseconds()
+		ws[i].EndNS = int64(i+1) * width.Nanoseconds()
+	}
+	clamp := func(at time.Duration) int {
+		i := int(at / width)
+		if i >= n {
+			i = n - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+
+	// Iterations bucket by completion; pool sizes average per window.
+	poolSum := make([]int, n)
+	pools := map[int]bool{}
+	busy := map[int][]time.Duration{} // pool -> busy ns per window
+	for _, it := range rec.Iterations() {
+		pools[it.Pool] = true
+		if !it.Prefill {
+			i := clamp(time.Duration(it.End))
+			ws[i].Iterations++
+			poolSum[i] += it.Batch
+		}
+		// Busy time: spread the span over the windows it crosses
+		// (iterations never overlap within a pool, so no merge needed).
+		b := busy[it.Pool]
+		if b == nil {
+			b = make([]time.Duration, n)
+			busy[it.Pool] = b
+		}
+		st, en := time.Duration(it.Start), time.Duration(it.End)
+		for i := int(st / width); i < n && time.Duration(i)*width < en; i++ {
+			lo, hi := time.Duration(i)*width, time.Duration(i+1)*width
+			if st > lo {
+				lo = st
+			}
+			if en < hi {
+				hi = en
+			}
+			if hi > lo {
+				b[i] += hi - lo
+			}
+		}
+	}
+	for i := range ws {
+		if ws[i].Iterations > 0 {
+			ws[i].MeanPool = float64(poolSum[i]) / float64(ws[i].Iterations)
+		}
+	}
+	poolIDs := make([]int, 0, len(pools))
+	for p := range pools {
+		poolIDs = append(poolIDs, p)
+	}
+	sort.Ints(poolIDs)
+	for i := range ws {
+		if len(poolIDs) == 0 {
+			break
+		}
+		u := make(map[string]float64, len(poolIDs))
+		for _, p := range poolIDs {
+			u[fmt.Sprintf("pool_%d", p)] = float64(busy[p][i]) / float64(width)
+		}
+		ws[i].Utilization = u
+	}
+
+	for _, ev := range rec.SeqEvents() {
+		if ev.Kind == serve.SeqPreempt {
+			ws[clamp(time.Duration(ev.At))].Preemptions++
+		}
+	}
+	for _, d := range rec.RouterDecisions() {
+		switch d.Kind {
+		case "shed":
+			ws[clamp(time.Duration(d.At))].Sheds++
+		case "hedge":
+			ws[clamp(time.Duration(d.At))].Hedges++
+		}
+	}
+
+	// KV occupancy: the window's max used-block count, carrying the
+	// last observed level across event-free windows.
+	last := 0
+	idx := 0
+	events := rec.KVEvents()
+	for i := range ws {
+		peak := last
+		for idx < len(events) && time.Duration(events[idx].At) < time.Duration(i+1)*width {
+			last = events[idx].Used
+			if last > peak {
+				peak = last
+			}
+			idx++
+		}
+		ws[i].KVPeakBlocks = peak
+	}
+	return ws
+}
+
+// WriteJSON writes the snapshot as deterministic indented JSON.
+func (s *ServingSnapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}

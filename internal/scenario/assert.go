@@ -57,6 +57,16 @@ var metricDefs = map[string]metricDef{
 	"deadline_misses": {get: func(r serve.Result) float64 {
 		return float64(r.DeadlineMisses)
 	}},
+	// Serving-telemetry metrics (continuous mode unless noted):
+	// recomputed prefill tokens repaid after preemption, decode-iteration
+	// and pool-occupancy aggregates, the paged allocator's peak block
+	// occupancy, and the fleet router's load-shed count (fleet mode;
+	// alias of shed, named for the router-decision stream it mirrors).
+	"recomputed_tokens": {get: func(r serve.Result) float64 { return float64(r.RecomputedTokens) }},
+	"iterations":        {get: func(r serve.Result) float64 { return float64(r.Iterations) }},
+	"mean_pool":         {get: func(r serve.Result) float64 { return r.MeanPool }},
+	"kv_peak_blocks":    {get: func(r serve.Result) float64 { return float64(r.KVPeakBlocks) }},
+	"router_sheds":      {get: func(r serve.Result) float64 { return float64(r.Shed) }},
 }
 
 func metricNames() string {

@@ -95,6 +95,7 @@ func runContinuousOne(c *Compiled, kind core.RuntimeKind, shards int) (serve.Res
 	}
 	plan := c.Continuous
 	var kv serve.KVAllocator
+	var paged *kvcache.PagedManager
 	if plan.KV {
 		maxTokens := plan.Prompt + plan.Gen
 		if plan.Paged {
@@ -106,6 +107,7 @@ func runContinuousOne(c *Compiled, kind core.RuntimeKind, shards int) (serve.Res
 				return serve.Result{}, fmt.Errorf("kv: %w", err)
 			}
 			kv = pm
+			paged = pm
 		} else {
 			m, err := kvcache.New(c.Node, c.Model, plan.Pool, maxTokens)
 			if err != nil {
@@ -127,21 +129,29 @@ func runContinuousOne(c *Compiled, kind core.RuntimeKind, shards int) (serve.Res
 		return serve.Result{}, err
 	}
 	pcts := stats.Percentiles(cres.Total, 50, 95, 99)
-	return serve.Result{
-		Scenario:    c.Scenario.Name,
-		Runtime:     kind.String(),
-		Completed:   cres.Conversations,
-		Requests:    cres.Conversations,
-		Latencies:   cres.Total,
-		AvgLatency:  stats.Mean(cres.Total),
-		P50:         pcts[0],
-		P95:         pcts[1],
-		P99:         pcts[2],
-		Makespan:    cres.Makespan,
-		TTFT:        cres.AvgTTFT(),
-		TPOT:        cres.AvgTPOT(),
-		Preemptions: cres.Preemptions,
-	}, nil
+	res := serve.Result{
+		Scenario:         c.Scenario.Name,
+		Runtime:          kind.String(),
+		Completed:        cres.Conversations,
+		Requests:         cres.Conversations,
+		Latencies:        cres.Total,
+		AvgLatency:       stats.Mean(cres.Total),
+		P50:              pcts[0],
+		P95:              pcts[1],
+		P99:              pcts[2],
+		Makespan:         cres.Makespan,
+		TTFT:             cres.AvgTTFT(),
+		TPOT:             cres.AvgTPOT(),
+		Preemptions:      cres.Preemptions,
+		Continuous:       true,
+		RecomputedTokens: cres.RecomputedTokens,
+		Iterations:       cres.Iterations,
+		MeanPool:         cres.MeanPool,
+	}
+	if paged != nil {
+		res.KVPeakBlocks = paged.PeakUsedBlocks()
+	}
+	return res, nil
 }
 
 // runFleetOne serves the scenario on one runtime replicated across the

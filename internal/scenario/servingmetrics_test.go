@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"liger/internal/serve"
+)
+
+// The serving-telemetry assert metrics parse and read the continuous
+// result fields, so scenarios can gate on KV pressure and router
+// behaviour (liger.kv_peak_blocks, liger.router_sheds, ...).
+func TestServingAssertMetrics(t *testing.T) {
+	res := serve.Result{
+		Runtime: "Liger", Completed: 16, Requests: 16,
+		Makespan: 2 * time.Second, Continuous: true,
+		Preemptions: 3, RecomputedTokens: 768,
+		Iterations: 120, MeanPool: 6.5, KVPeakBlocks: 310, Shed: 2,
+	}
+	ctx := evalContext{
+		results: map[string]serve.Result{"Liger": res},
+		horizon: 2 * time.Second,
+		solo:    10 * time.Millisecond,
+	}
+	cases := []struct {
+		expr string
+		pass bool
+	}{
+		{"liger.recomputed_tokens == 768", true},
+		{"liger.recomputed_tokens < 256", false},
+		{"liger.iterations >= 120", true},
+		{"liger.mean_pool <= 8", true},
+		{"liger.mean_pool > 7", false},
+		{"liger.kv_peak_blocks == 310", true},
+		{"liger.router_sheds <= 2", true},
+		{"liger.router_sheds == 0", false},
+		{"liger.preemptions == 3", true},
+	}
+	for _, tc := range cases {
+		a, err := parseAssertion(tc.expr)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.expr, err)
+		}
+		out, err := a.eval(ctx)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.expr, err)
+		}
+		if out.Pass != tc.pass {
+			t.Errorf("%q: pass = %v (%s), want %v", tc.expr, out.Pass, out.Detail, tc.pass)
+		}
+	}
+}

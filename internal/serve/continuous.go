@@ -96,10 +96,19 @@ type genState struct {
 // the runtime's shard.
 type ContinuousBatcher struct {
 	rt      runtimes.Runtime
+	tag     runtimes.Tagged // rt's request-id view, nil if untagged
 	kv      KVAllocator
 	pre     PreemptingAllocator // kv's paged view, nil without preemption
 	maxPool int
 	hooks   ContinuousHooks
+
+	// tr/seqTr observe iterations and sequence lifecycles (SetTracer);
+	// blocks is kv's gauge view when it exposes block accounting;
+	// poolIdx tags records with the batcher's pool index.
+	tr      ServingTracer
+	seqTr   SeqTracer
+	blocks  BlockStats
+	poolIdx int
 
 	// waitQ holds arrivals and preempted sequences awaiting admission,
 	// priority-ordered (front admits first).
@@ -111,6 +120,14 @@ type ContinuousBatcher struct {
 	inFlight  bool
 	pending   []*genState
 	pendingPF bool
+	// pendingRec is the in-flight submission's iteration record; its
+	// End/Retired fields are filled and it is emitted at completion.
+	pendingRec IterationRecord
+	hasPending bool
+	iterSeq    int
+	// stepPreempted counts evictions within the current step call, for
+	// attribution to the iteration record that step submits.
+	stepPreempted int
 
 	err error
 
@@ -135,10 +152,73 @@ func NewContinuousBatcher(rt runtimes.Runtime, kv KVAllocator, maxPool int, hook
 		return nil, fmt.Errorf("serve: continuous pool size %d", maxPool)
 	}
 	b := &ContinuousBatcher{rt: rt, kv: kv, maxPool: maxPool, hooks: hooks, byID: map[int]*genState{}}
+	b.tag, _ = rt.(runtimes.Tagged)
 	if kv != nil {
 		b.pre, _ = kv.(PreemptingAllocator)
+		b.blocks, _ = kv.(BlockStats)
 	}
 	return b, nil
+}
+
+// SetTracer installs a serving tracer (nil disables tracing). pool tags
+// every record with the batcher's pool index — 0 for a single-node run,
+// the decode-pool index in a disaggregated cluster. When tr also
+// implements SeqTracer, per-sequence lifecycle events are emitted.
+func (b *ContinuousBatcher) SetTracer(tr ServingTracer, pool int) {
+	b.tr = tr
+	b.poolIdx = pool
+	b.seqTr = nil
+	if tr != nil {
+		b.seqTr, _ = tr.(SeqTracer)
+	}
+}
+
+// seqEvent emits one lifecycle instant when a SeqTracer is installed.
+func (b *ContinuousBatcher) seqEvent(kind SeqEventKind, id, tokens int, at simclock.Time) {
+	if b.seqTr == nil {
+		return
+	}
+	b.seqTr.SeqEvent(SeqEvent{Pool: b.poolIdx, Seq: id, Kind: kind, At: at, Tokens: tokens})
+}
+
+// beginIteration snapshots the submission being made as the in-flight
+// iteration record (emitted at completion with End/Retired filled).
+func (b *ContinuousBatcher) beginIteration(prefill bool, batch, admitted int, now simclock.Time) {
+	if b.tr == nil {
+		return
+	}
+	rec := IterationRecord{
+		Pool:      b.poolIdx,
+		Seq:       b.iterSeq,
+		Prefill:   prefill,
+		Start:     now,
+		Batch:     batch,
+		Waiting:   len(b.waitQ),
+		Admitted:  admitted,
+		Preempted: b.stepPreempted,
+	}
+	if b.blocks != nil {
+		rec.KVTotalBlocks = b.blocks.TotalBlocks()
+		rec.KVFreeBlocks = b.blocks.FreeBlocks()
+		rec.KVUsedBlocks = rec.KVTotalBlocks - rec.KVFreeBlocks
+	}
+	if b.pre != nil {
+		rec.Pressure = b.pre.UnderPressure()
+	}
+	b.iterSeq++
+	b.pendingRec = rec
+	b.hasPending = true
+}
+
+// submit dispatches one batch to the runtime, tagging single-sequence
+// submissions with the sequence id (Completion.Req) so per-request
+// trace breakdowns cover continuous mode; multi-sequence batches stay
+// untagged (-1).
+func (b *ContinuousBatcher) submit(w model.Workload, batch []*genState) error {
+	if b.tag != nil && len(batch) == 1 {
+		return b.tag.SubmitReq(w, batch[0].ID)
+	}
+	return b.rt.Submit(w)
 }
 
 // Add enqueues one sequence for admission and kicks the scheduler.
@@ -157,6 +237,7 @@ func (b *ContinuousBatcher) Add(s GenSeq, now simclock.Time) {
 	st := &genState{GenSeq: s, resumeLen: s.Prompt, prefilled: s.Prefilled}
 	b.byID[s.ID] = st
 	b.waitQ = append(b.waitQ, st)
+	b.seqEvent(SeqArrive, s.ID, s.Prompt, now)
 	b.step(now)
 }
 
@@ -189,6 +270,8 @@ func (b *ContinuousBatcher) step(now simclock.Time) {
 	if b.inFlight || b.err != nil {
 		return
 	}
+	b.stepPreempted = 0
+	admitted := 0
 	// Admission is FIFO with head-of-line blocking: a waiting sequence
 	// that does not fit keeps everything behind it waiting, which keeps
 	// admission deterministic and starvation-free.
@@ -204,6 +287,7 @@ func (b *ContinuousBatcher) step(now simclock.Time) {
 			}
 		}
 		b.waitQ = b.waitQ[1:]
+		admitted++
 		if s.prefilled {
 			// Cache is already materialized: skip the Context submission
 			// and join the decode pool directly.
@@ -214,6 +298,7 @@ func (b *ContinuousBatcher) step(now simclock.Time) {
 					b.hooks.FirstToken(s.ID, now)
 				}
 			}
+			b.seqEvent(SeqJoin, s.ID, s.ctx, now)
 			b.pool = append(b.pool, s)
 			continue
 		}
@@ -227,12 +312,14 @@ func (b *ContinuousBatcher) step(now simclock.Time) {
 			if s.resumeLen > maxLen {
 				maxLen = s.resumeLen
 			}
+			b.seqEvent(SeqPrefillStart, s.ID, s.resumeLen, now)
 		}
 		b.inFlight = true
 		b.pending = batch
 		b.pendingPF = true
 		b.PrefillBatches++
-		if err := b.rt.Submit(model.Workload{Batch: len(batch), SeqLen: maxLen, Phase: model.Context}); err != nil {
+		b.beginIteration(true, len(batch), admitted, now)
+		if err := b.submit(model.Workload{Batch: len(batch), SeqLen: maxLen, Phase: model.Context}, batch); err != nil {
 			b.fail(err)
 		}
 		return
@@ -292,7 +379,8 @@ func (b *ContinuousBatcher) step(now simclock.Time) {
 	b.pendingPF = false
 	b.Iterations++
 	b.PoolSum += len(b.pool)
-	if err := b.rt.Submit(model.Workload{Batch: len(b.pool), CtxLen: maxCtx, Phase: model.Decode}); err != nil {
+	b.beginIteration(false, len(b.pool), admitted, now)
+	if err := b.submit(model.Workload{Batch: len(b.pool), CtxLen: maxCtx, Phase: model.Decode}, b.pending); err != nil {
 		b.fail(err)
 	}
 }
@@ -321,7 +409,9 @@ func (b *ContinuousBatcher) preemptOne(now simclock.Time) bool {
 	s.resumeLen = s.Prompt + s.produced
 	b.RecomputedTokens += s.resumeLen
 	b.Preemptions++
+	b.stepPreempted++
 	b.waitQ = append([]*genState{s}, b.waitQ...)
+	b.seqEvent(SeqPreempt, id, s.resumeLen, now)
 	if b.hooks.Preempted != nil {
 		b.hooks.Preempted(id, now)
 	}
@@ -338,6 +428,7 @@ func (b *ContinuousBatcher) OnDone(c runtimes.Completion) {
 	if b.pendingPF {
 		for _, s := range batch {
 			s.ctx = s.resumeLen
+			b.seqEvent(SeqPrefillEnd, s.ID, s.ctx, now)
 			if !s.started {
 				s.started = true
 				if b.hooks.FirstToken != nil {
@@ -346,9 +437,11 @@ func (b *ContinuousBatcher) OnDone(c runtimes.Completion) {
 			}
 			b.pool = append(b.pool, s)
 		}
+		b.endIteration(0, now)
 		b.step(now)
 		return
 	}
+	retired := 0
 	live := b.pool[:0]
 	for _, s := range b.pool {
 		s.produced++
@@ -357,6 +450,8 @@ func (b *ContinuousBatcher) OnDone(c runtimes.Completion) {
 				b.kv.Release(s.ID)
 			}
 			delete(b.byID, s.ID)
+			retired++
+			b.seqEvent(SeqFinish, s.ID, s.produced, now)
 			if b.hooks.Finished != nil {
 				b.hooks.Finished(s.ID, now)
 			}
@@ -365,5 +460,18 @@ func (b *ContinuousBatcher) OnDone(c runtimes.Completion) {
 		live = append(live, s)
 	}
 	b.pool = live
+	b.endIteration(retired, now)
 	b.step(now)
+}
+
+// endIteration completes and emits the in-flight iteration record.
+func (b *ContinuousBatcher) endIteration(retired int, now simclock.Time) {
+	if !b.hasPending {
+		return
+	}
+	b.hasPending = false
+	rec := b.pendingRec
+	rec.End = now
+	rec.Retired = retired
+	b.tr.Iteration(rec)
 }

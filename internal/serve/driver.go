@@ -142,6 +142,22 @@ type Result struct {
 	// continuous run (paged allocator only).
 	Preemptions int
 
+	// Continuous marks a continuous-batching (token-serving) run. The
+	// JSON encoding keys on it: continuous runs always emit the serving
+	// block (ttft_ms, tpot_ms, preemptions, recomputed_tokens,
+	// iterations, mean_pool, kv_peak_blocks) even when every value is
+	// zero, so tools/benchdiff dotted paths never go structurally
+	// missing between artifacts.
+	Continuous bool
+	// RecomputedTokens totals the prefill tokens recomputed after
+	// preemptions (recompute-on-resume); Iterations and MeanPool
+	// describe decode scheduling; KVPeakBlocks is the paged allocator's
+	// allocation high-water mark (zero under the reservation manager).
+	RecomputedTokens int
+	Iterations       int
+	MeanPool         float64
+	KVPeakBlocks     int
+
 	// PerRequest holds the serving-side latency decomposition, one entry
 	// per arrival in arrival order (RunPolicy only).
 	PerRequest []RequestLat

@@ -33,21 +33,33 @@ type resultJSON struct {
 	P99Ms          float64 `json:"p99_ms"`
 	MakespanMs     float64 `json:"makespan_ms"`
 	RecoveryMs     float64 `json:"recovery_ms"`
-	TTFTMs         float64 `json:"ttft_ms,omitempty"`
-	TPOTMs         float64 `json:"tpot_ms,omitempty"`
-	Preemptions    int     `json:"preemptions,omitempty"`
-	Goodput        float64 `json:"goodput"`
-	Throughput     float64 `json:"throughput"`
-	ReqThroughput  float64 `json:"req_throughput"`
-	SLOMiss        float64 `json:"slo_miss"`
-	SuccessRate    float64 `json:"success_rate"`
+	// The serving block uses pointers so presence is explicit: a
+	// continuous run always emits every field — zeros included — so
+	// tools/benchdiff dotted paths (results.<rt>.preemptions, ...)
+	// never go structurally missing when no iteration ran; batch runs
+	// keep the historical behavior of omitting zero values.
+	TTFTMs           *float64 `json:"ttft_ms,omitempty"`
+	TPOTMs           *float64 `json:"tpot_ms,omitempty"`
+	Preemptions      *int     `json:"preemptions,omitempty"`
+	RecomputedTokens *int     `json:"recomputed_tokens,omitempty"`
+	Iterations       *int     `json:"iterations,omitempty"`
+	MeanPool         *float64 `json:"mean_pool,omitempty"`
+	KVPeakBlocks     *int     `json:"kv_peak_blocks,omitempty"`
+	Goodput          float64  `json:"goodput"`
+	Throughput       float64  `json:"throughput"`
+	ReqThroughput    float64  `json:"req_throughput"`
+	SLOMiss          float64  `json:"slo_miss"`
+	SuccessRate      float64  `json:"success_rate"`
 }
 
 func toMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
+func fptr(v float64) *float64 { return &v }
+func iptr(v int) *int         { return &v }
+
 // MarshalJSON implements json.Marshaler.
 func (r Result) MarshalJSON() ([]byte, error) {
-	return json.Marshal(resultJSON{
+	j := resultJSON{
 		Scenario:       r.Scenario,
 		Runtime:        r.Runtime,
 		Completed:      r.Completed,
@@ -66,13 +78,36 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		P99Ms:          toMs(r.P99),
 		MakespanMs:     toMs(r.Makespan),
 		RecoveryMs:     toMs(r.RecoveryTime),
-		TTFTMs:         toMs(r.TTFT),
-		TPOTMs:         toMs(r.TPOT),
-		Preemptions:    r.Preemptions,
 		Goodput:        r.PolicyGoodput(),
 		Throughput:     r.ThroughputBatches(),
 		ReqThroughput:  r.ThroughputRequests(),
 		SLOMiss:        r.SLOMissRate(),
 		SuccessRate:    r.SuccessRate(),
-	})
+	}
+	if r.Continuous {
+		// Continuous runs emit the whole serving block unconditionally:
+		// explicit zeros keep benchdiff paths structurally stable even
+		// when zero iterations ran.
+		j.TTFTMs = fptr(toMs(r.TTFT))
+		j.TPOTMs = fptr(toMs(r.TPOT))
+		j.Preemptions = iptr(r.Preemptions)
+		j.RecomputedTokens = iptr(r.RecomputedTokens)
+		j.Iterations = iptr(r.Iterations)
+		j.MeanPool = fptr(r.MeanPool)
+		j.KVPeakBlocks = iptr(r.KVPeakBlocks)
+	} else {
+		if r.TTFT != 0 {
+			j.TTFTMs = fptr(toMs(r.TTFT))
+		}
+		if r.TPOT != 0 {
+			j.TPOTMs = fptr(toMs(r.TPOT))
+		}
+		if r.Preemptions != 0 {
+			j.Preemptions = iptr(r.Preemptions)
+		}
+		if r.RecomputedTokens != 0 {
+			j.RecomputedTokens = iptr(r.RecomputedTokens)
+		}
+	}
+	return json.Marshal(j)
 }

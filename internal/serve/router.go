@@ -102,6 +102,11 @@ type RouterPolicy struct {
 	Hedge time.Duration
 	// Seed drives the power-of-two-choices sampling stream.
 	Seed int64
+	// Tracer observes every routing outcome (dispatch/hedge/retry/
+	// redispatch/shed/park/flush) with its probe state; nil disables
+	// decision tracing. Tracing never changes placement: the sampling
+	// stream and all accounting are byte-identical with or without it.
+	Tracer RouterTracer
 }
 
 // fleetReq is the router's per-request state.
@@ -179,10 +184,43 @@ func RunFleet(f FleetRuntime, arrivals []Arrival, pol Policy, rp RouterPolicy) (
 	var lastDone simclock.Time
 	inflight := 0
 
+	healthyCount := func() int {
+		n := 0
+		for _, h := range healthy {
+			if h {
+				n++
+			}
+		}
+		return n
+	}
+
+	// emit records one routing outcome (candidate outstanding counts are
+	// sampled at decision time, before the dispatch increments them).
+	emit := func(req int, kind string, rep, ca, cb int, at simclock.Time) {
+		if rp.Tracer == nil {
+			return
+		}
+		d := RouterDecision{
+			Req: req, Kind: kind, Replica: rep,
+			CandA: ca, CandB: cb,
+			OutstandingA: -1, OutstandingB: -1,
+			Healthy: healthyCount(),
+			At:      at,
+		}
+		if ca >= 0 {
+			d.OutstandingA = outstanding[ca]
+		}
+		if cb >= 0 {
+			d.OutstandingB = outstanding[cb]
+		}
+		rp.Tracer.RouterDecision(d)
+	}
+
 	// pick returns the target replica: power-of-two-choices over the
 	// healthy set, least-outstanding breaking the choice, lower id
-	// breaking ties. Returns -1 when no replica is healthy.
-	pick := func(exclude int) int {
+	// breaking ties. Returns -1 when no replica is healthy; ca/cb are
+	// the sampled probe candidates (cb -1 when fewer than two).
+	pick := func(exclude int) (rep, ca, cb int) {
 		cands := make([]int, 0, nrep)
 		for r := 0; r < nrep; r++ {
 			if healthy[r] && r != exclude {
@@ -191,9 +229,9 @@ func RunFleet(f FleetRuntime, arrivals []Arrival, pol Policy, rp RouterPolicy) (
 		}
 		switch len(cands) {
 		case 0:
-			return -1
+			return -1, -1, -1
 		case 1:
-			return cands[0]
+			return cands[0], cands[0], -1
 		}
 		i := rng.Intn(len(cands))
 		j := rng.Intn(len(cands) - 1)
@@ -202,9 +240,9 @@ func RunFleet(f FleetRuntime, arrivals []Arrival, pol Policy, rp RouterPolicy) (
 		}
 		a, b := cands[i], cands[j]
 		if outstanding[b] < outstanding[a] || (outstanding[b] == outstanding[a] && b < a) {
-			return b
+			return b, a, b
 		}
-		return a
+		return a, a, b
 	}
 
 	sendTo := func(rep, req int) {
@@ -217,10 +255,10 @@ func RunFleet(f FleetRuntime, arrivals []Arrival, pol Policy, rp RouterPolicy) (
 
 	// place dispatches req to the best healthy replica (never exclude,
 	// which just bounced it), or parks it when no replica qualifies
-	// (flushed on the next Up).
-	place := func(req int, now simclock.Time, exclude int) {
+	// (flushed on the next Up). kind labels the decision record.
+	place := func(req int, now simclock.Time, exclude int, kind string) {
 		q := &reqs[req]
-		rep := pick(exclude)
+		rep, ca, cb := pick(exclude)
 		if rep < 0 {
 			if !q.parked {
 				q.parked = true
@@ -230,12 +268,14 @@ func RunFleet(f FleetRuntime, arrivals []Arrival, pol Policy, rp RouterPolicy) (
 					q.deferred = true
 					res.Deferred++
 				}
+				emit(req, "park", -1, -1, -1, now)
 			}
 			return
 		}
 		if q.attempt == 0 && len(q.active) == 0 && res.PerRequest[req].QueueWait == 0 {
 			res.PerRequest[req].QueueWait = time.Duration(now) - res.PerRequest[req].Arrival
 		}
+		emit(req, kind, rep, ca, cb, now)
 		sendTo(rep, req)
 		if rp.Hedge > 0 && !q.hedged {
 			armHedge(req)
@@ -249,11 +289,12 @@ func RunFleet(f FleetRuntime, arrivals []Arrival, pol Policy, rp RouterPolicy) (
 			if q.resolved || q.parked || len(q.active) == 0 {
 				return
 			}
-			rep := pick(q.active[0])
+			rep, ca, cb := pick(q.active[0])
 			if rep < 0 || q.holds(rep) {
 				return
 			}
 			res.Hedges++
+			emit(req, "hedge", rep, ca, cb, now)
 			sendTo(rep, req)
 		})
 	}
@@ -284,7 +325,7 @@ func RunFleet(f FleetRuntime, arrivals []Arrival, pol Policy, rp RouterPolicy) (
 		res.PerRequest[req].Retries++
 		eng.After(pol.backoffFor(q.attempt), func(now simclock.Time) {
 			if !reqs[req].resolved {
-				place(req, now, -1)
+				place(req, now, -1, "retry")
 			}
 		})
 	}
@@ -296,7 +337,7 @@ func RunFleet(f FleetRuntime, arrivals []Arrival, pol Policy, rp RouterPolicy) (
 	redispatch := func(req int, now simclock.Time, exclude int) {
 		res.Retries++
 		res.PerRequest[req].Retries++
-		place(req, now, exclude)
+		place(req, now, exclude, "redispatch")
 	}
 
 	hooks := RouterHooks{
@@ -334,7 +375,7 @@ func RunFleet(f FleetRuntime, arrivals []Arrival, pol Policy, rp RouterPolicy) (
 				if len(q.active) > 0 {
 					return
 				}
-				place(req, now, rep)
+				place(req, now, rep, "dispatch")
 			case DispatchFailed:
 				if len(q.active) > 0 {
 					return // the hedge copy may still succeed
@@ -380,7 +421,7 @@ func RunFleet(f FleetRuntime, arrivals []Arrival, pol Policy, rp RouterPolicy) (
 				q.parked = false
 				res.PerRequest[req].Deferral += time.Duration(now - q.parkedAt)
 				if !q.resolved {
-					place(req, now, -1)
+					place(req, now, -1, "flush")
 				}
 			}
 		},
@@ -394,10 +435,11 @@ func RunFleet(f FleetRuntime, arrivals []Arrival, pol Policy, rp RouterPolicy) (
 				res.Shed++
 				res.PerRequest[req].Shed = true
 				res.PerRequest[req].Done = time.Duration(now)
+				emit(req, "shed", -1, -1, -1, now)
 				return
 			}
 			inflight++
-			place(req, now, -1)
+			place(req, now, -1, "dispatch")
 		})
 	}
 

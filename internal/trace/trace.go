@@ -393,15 +393,18 @@ func unionTime(ivs []interval) simclock.Time {
 // chromeEvent is one entry of the Chrome tracing JSON array format
 // (chrome://tracing / Perfetto compatible).
 type chromeEvent struct {
-	Name  string         `json:"name"`
-	Cat   string         `json:"cat"`
-	Phase string         `json:"ph"`
-	TS    float64        `json:"ts"`  // microseconds
-	Dur   float64        `json:"dur"` // microseconds
-	PID   int            `json:"pid"`
-	TID   int            `json:"tid"`
-	Scope string         `json:"s,omitempty"`
-	Args  map[string]any `json:"args,omitempty"`
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`  // microseconds
+	Dur   float64 `json:"dur"` // microseconds
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+	Scope string  `json:"s,omitempty"`
+	// ID links flow-event pairs ("s"/"f" phases — the serving trace's
+	// KV-handoff arrows); empty for every other phase.
+	ID   string         `json:"id,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // Chrome-trace track layout: each device is a process with a compute

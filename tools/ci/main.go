@@ -10,8 +10,10 @@
 //  3. go build ./...
 //  4. go test -race ./internal/runner ./internal/simclock
 //     ./internal/faults ./internal/serve ./internal/cluster
+//     ./internal/kvcache ./internal/generate
 //     (the concurrency-bearing packages plus the fault-injection,
-//     deadline/retry, and fleet layers get a dedicated race pass)
+//     deadline/retry, fleet, and serving-telemetry layers get a
+//     dedicated race pass)
 //  5. go test ./... (full suite)
 //  6. a chaos smoke run: `ligerbench -exp chaos -quick` at a small
 //     batch count, proving the fault scenarios execute end to end
@@ -45,12 +47,17 @@
 //     artifacts (each parsing as JSON), then a warn-only benchdiff
 //     over the two proves the regression gate reads the fleet artifact
 //  14. a serving smoke + determinism check: `ligerbench -exp serving
-//     -quick` (continuous batching over the paged KV allocator) at
-//     -parallel 1 -shards 1 and -parallel 4 -shards 4 must print
-//     identical tables and write byte-identical BENCH_serving.json
-//     artifacts (each parsing as JSON), then a warn-only benchdiff
-//     over the two proves the regression gate reads the serving
-//     artifact
+//     -quick -trace-dir` (continuous batching over the paged KV
+//     allocator) at -parallel 1 -shards 1 and -parallel 4 -shards 4
+//     must print identical tables and write byte-identical
+//     BENCH_serving.json and BENCH_serving_analysis.json artifacts
+//     plus byte-identical per-runtime serving Chrome-trace/metrics/
+//     decomposition artifacts, each parsing as JSON; every
+//     serving_*.serving.json must carry the decomposition schema
+//     (requests, segment_ns, pools, imbalance, episodes, counters);
+//     warn-only benchdiff passes over the two BENCH_serving.json and
+//     the two BENCH_serving_analysis.json prove the regression gate
+//     reads both serving artifacts
 //  15. scenario acceptance: every scenarios/*.yaml must PASS its
 //     assertions, the impossible-slo and no-spare-capacity negative
 //     fixtures must FAIL (exit 1) — a gate that cannot reject is not a
@@ -83,9 +90,9 @@ func main() {
 	steps := []step{
 		{"go vet", []string{"go", "vet", "./..."}},
 		{"go build", []string{"go", "build", "./..."}},
-		{"race (runner, simclock, faults, serve, cluster)", []string{"go", "test", "-race",
+		{"race (runner, simclock, faults, serve, cluster, kvcache, generate)", []string{"go", "test", "-race",
 			"./internal/runner", "./internal/simclock", "./internal/faults", "./internal/serve",
-			"./internal/cluster"}},
+			"./internal/cluster", "./internal/kvcache", "./internal/generate"}},
 		{"go test", []string{"go", "test", "./..."}},
 		{"chaos smoke", []string{"go", "run", "./cmd/ligerbench",
 			"-exp", "chaos", "-quick", "-batches", "25", "-seed", "5"}},
@@ -219,12 +226,17 @@ func fleetDeterminism() error {
 	return nil
 }
 
-// servingDeterminism runs the continuous-serving sweep at two
-// worker/shard settings and fails unless table output and
-// BENCH_serving.json are byte-identical — iteration-level scheduling
-// over the paged KV allocator may never let the shard schedule change
-// results. A warn-only benchdiff over the two JSONs then proves the
-// regression gate reads the serving artifact cleanly.
+// servingDeterminism runs the continuous-serving sweep — with serving
+// telemetry on — at two worker/shard settings and fails unless table
+// output and every artifact are byte-identical: the sweep JSON, the
+// serving-analysis aggregate, and the per-runtime serving Chrome
+// trace, metrics snapshot and TTFT/TPOT decomposition. Iteration-level
+// scheduling over the paged KV allocator may never let the shard
+// schedule change results, and neither may tracing. Every artifact
+// must parse as JSON and every *.serving.json must carry the
+// decomposition schema; warn-only benchdiff passes over the two
+// sweeps' BENCH_serving.json and BENCH_serving_analysis.json prove
+// the regression gate reads both serving artifacts cleanly.
 func servingDeterminism() error {
 	tmp, err := os.MkdirTemp("", "ci-serving-*")
 	if err != nil {
@@ -232,43 +244,97 @@ func servingDeterminism() error {
 	}
 	defer os.RemoveAll(tmp)
 	var outs [][]byte
+	var artifacts []map[string][]byte
 	for _, workers := range []string{"1", "4"} {
 		dir := filepath.Join(tmp, "p"+workers)
 		cmd := exec.Command("go", "run", "./cmd/ligerbench",
 			"-exp", "serving", "-quick", "-batches", "25", "-seed", "5",
-			"-parallel", workers, "-shards", workers, "-json", dir)
+			"-parallel", workers, "-shards", workers, "-json", dir, "-trace-dir", dir)
 		cmd.Stderr = os.Stderr
 		out, err := cmd.Output()
 		if err != nil {
 			return fmt.Errorf("-parallel %s: %v", workers, err)
 		}
-		outs = append(outs, stripTimingLines(out))
+		outs = append(outs, stripTracedLines(stripTimingLines(out)))
+		files, err := readArtifacts(dir)
+		if err != nil {
+			return err
+		}
+		// Sweep JSON + analysis aggregate + a trace/metrics/serving
+		// triple per runtime.
+		if len(files) < 11 {
+			return fmt.Errorf("-parallel %s: %d artifacts in %s, want >= 11", workers, len(files), dir)
+		}
+		artifacts = append(artifacts, files)
 	}
 	if !bytes.Equal(outs[0], outs[1]) {
 		return fmt.Errorf("serving table differs between -parallel 1 and -parallel 4 -shards 4")
 	}
-	var jsons [][]byte
-	for _, workers := range []string{"1", "4"} {
-		buf, err := os.ReadFile(filepath.Join(tmp, "p"+workers, "BENCH_serving.json"))
-		if err != nil {
-			return err
+	for name, buf := range artifacts[0] {
+		other, ok := artifacts[1][name]
+		if !ok {
+			return fmt.Errorf("%s missing from the -parallel 4 run", name)
+		}
+		if !bytes.Equal(buf, other) {
+			return fmt.Errorf("%s differs between -parallel 1 and -parallel 4 -shards 4", name)
 		}
 		var doc any
 		if err := json.Unmarshal(buf, &doc); err != nil {
-			return fmt.Errorf("-parallel %s BENCH_serving.json is not valid JSON: %v", workers, err)
+			return fmt.Errorf("%s is not valid JSON: %v", name, err)
 		}
-		jsons = append(jsons, buf)
+		if strings.HasSuffix(name, ".serving.json") {
+			if err := checkServingSchema(name, doc); err != nil {
+				return err
+			}
+		}
 	}
-	if !bytes.Equal(jsons[0], jsons[1]) {
-		return fmt.Errorf("BENCH_serving.json differs between -parallel 1 and -parallel 4 -shards 4")
+	for _, artifact := range []string{"BENCH_serving.json", "BENCH_serving_analysis.json"} {
+		cmd := exec.Command("go", "run", "./tools/benchdiff", "-warn",
+			filepath.Join(tmp, "p1", artifact),
+			filepath.Join(tmp, "p4", artifact))
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("benchdiff %s: %v", artifact, err)
+		}
 	}
-	cmd := exec.Command("go", "run", "./tools/benchdiff", "-warn",
-		filepath.Join(tmp, "p1", "BENCH_serving.json"),
-		filepath.Join(tmp, "p4", "BENCH_serving.json"))
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
-	if err := cmd.Run(); err != nil {
-		return fmt.Errorf("benchdiff: %v", err)
+	return nil
+}
+
+// checkServingSchema validates a serving_*.serving.json decomposition
+// artifact: the analyzer's top-level keys must be present, and every
+// request's segments must sum exactly to its measured total latency —
+// the decomposition's defining invariant, checked here at the artifact
+// boundary so a drifting writer cannot ship a silently broken report.
+func checkServingSchema(name string, doc any) error {
+	obj, ok := doc.(map[string]any)
+	if !ok {
+		return fmt.Errorf("%s: not a JSON object", name)
+	}
+	for _, key := range []string{"requests", "segment_ns", "pools", "imbalance", "episodes", "counters"} {
+		if _, ok := obj[key]; !ok {
+			return fmt.Errorf("%s: missing %q", name, key)
+		}
+	}
+	reqs, ok := obj["requests"].([]any)
+	if !ok || len(reqs) == 0 {
+		return fmt.Errorf("%s: no requests in decomposition", name)
+	}
+	for _, rq := range reqs {
+		r, ok := rq.(map[string]any)
+		if !ok {
+			return fmt.Errorf("%s: malformed request entry", name)
+		}
+		total, _ := r["total_ns"].(float64)
+		segs, _ := r["segment_ns"].(map[string]any)
+		var sum float64
+		for _, v := range segs {
+			f, _ := v.(float64)
+			sum += f
+		}
+		if sum != total {
+			return fmt.Errorf("%s: request %v segments sum to %.0f, total %.0f", name, r["seq"], sum, total)
+		}
 	}
 	return nil
 }
@@ -384,6 +450,20 @@ func shardsDeterminism() error {
 
 // stripTimingLines removes the "---- <exp> done in <wall> ----" lines,
 // the only output legitimately dependent on host speed.
+// stripTracedLines removes the "traced: ..." artifact-pointer lines —
+// they embed the output directory, which necessarily differs between
+// the two determinism runs.
+func stripTracedLines(out []byte) []byte {
+	var kept [][]byte
+	for _, line := range bytes.Split(out, []byte("\n")) {
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("traced:")) {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return bytes.Join(kept, []byte("\n"))
+}
+
 func stripTimingLines(out []byte) []byte {
 	var kept [][]byte
 	for _, line := range bytes.Split(out, []byte("\n")) {
